@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: Squash differencing on/off. Differencing exploits event
+ * repetitiveness (paper §4.3.1): unchanged CSR/regfile words are not
+ * retransmitted at fusion boundaries.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    std::printf("Ablation: differencing (XiangShan default, Palladium, "
+                "Squash enabled)\n\n");
+    TextTable table({"Workload", "Diff", "Speed", "Bytes/cycle",
+                     "Snapshot bytes in->out"});
+    workload::WorkloadOptions opts;
+    opts.iterations = 1200;
+    opts.bodyLength = 64;
+    opts.seed = 2025;
+    struct Row
+    {
+        const char *name;
+        workload::Program program;
+    } rows[] = {
+        {"spec-like", workload::makeComputeLike(opts)},
+        {"linux-boot", workload::makeBootLike(opts)},
+    };
+    for (Row &row : rows) {
+        for (bool diff : {false, true}) {
+            CosimConfig cfg = makeConfig(dut::xsDefaultConfig(),
+                                         link::palladiumPlatform(),
+                                         OptLevel::BNSD);
+            cfg.differencing = diff;
+            CosimResult r = runOrDie(cfg, row.program);
+            u64 in = r.counters.get("squash.diff_bytes_in");
+            u64 out = r.counters.get("squash.diff_bytes_out");
+            std::string ratio =
+                diff ? std::to_string(in) + " -> " + std::to_string(out)
+                     : "-";
+            table.addRow({row.name, diff ? "on" : "off",
+                          fmtHz(r.simSpeedHz),
+                          fmtDouble(r.bytesPerCycle, 0), ratio});
+        }
+    }
+    table.print();
+    return 0;
+}

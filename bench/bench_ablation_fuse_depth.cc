@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ablation: Squash fusion-window depth sweep. Deeper windows cut more
+ * data but grow the replay window (more buffered events, longer
+ * reprocessing after a mismatch).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    workload::Program linux_boot = linuxBootWorkload();
+
+    std::printf("Ablation: Squash fusion depth (XiangShan default, "
+                "Palladium, full DiffTest-H)\n\n");
+    TextTable table({"maxFuse", "Speed", "Bytes/cycle", "Fusion ratio",
+                     "Flushes"});
+    for (unsigned depth : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        CosimConfig cfg = makeConfig(dut::xsDefaultConfig(),
+                                     link::palladiumPlatform(),
+                                     OptLevel::BNSD);
+        cfg.maxFuse = depth;
+        CosimResult r = runOrDie(cfg, linux_boot);
+        table.addRow({std::to_string(depth), fmtHz(r.simSpeedHz),
+                      fmtDouble(r.bytesPerCycle, 0),
+                      fmtDouble(r.fusionRatio, 1),
+                      std::to_string(r.counters.get("squash.flushes"))});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Ablation: Batch transmission-packet size sweep (DESIGN.md §4). Larger
+ * packets amortize the startup handshake but add buffering latency and
+ * hardware area; the sweep shows where the startup term stops mattering.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    workload::Program linux_boot = linuxBootWorkload();
+
+    std::printf("Ablation: Batch packet size (XiangShan default, "
+                "Palladium, +Batch+NonBlock)\n\n");
+    TextTable table({"Packet bytes", "Speed", "Transfers/cycle",
+                     "Packet utilization"});
+    for (unsigned bytes : {3072u, 4096u, 8192u, 16384u, 32768u, 65536u}) {
+        CosimConfig cfg = makeConfig(dut::xsDefaultConfig(),
+                                     link::palladiumPlatform(),
+                                     OptLevel::BN);
+        cfg.packetBytes = bytes;
+        CosimResult r = runOrDie(cfg, linux_boot);
+        table.addRow({std::to_string(bytes), fmtHz(r.simSpeedHz),
+                      fmtDouble(r.invokesPerCycle, 3),
+                      fmtPercent(r.packetUtilization)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared support for the paper-reproduction benchmark harnesses: the
+ * standard workloads, run helpers and formatting.
+ */
+
+#ifndef DTH_BENCH_BENCH_COMMON_H_
+#define DTH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "cosim/cosim.h"
+#include "link/platform.h"
+#include "workload/generators.h"
+
+namespace dth::bench {
+
+/** The Linux-boot-like workload used by the headline evaluations. */
+inline workload::Program
+linuxBootWorkload(u64 seed = 2025, unsigned iterations = 1500)
+{
+    workload::WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = iterations;
+    opts.bodyLength = 64;
+    return workload::makeBootLike(opts);
+}
+
+inline workload::Program
+microbenchWorkload(u64 seed = 2025, unsigned iterations = 1500)
+{
+    workload::WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = iterations;
+    opts.bodyLength = 64;
+    return workload::makeMicrobench(opts);
+}
+
+/** Build a config for one platform/DUT/level combination. */
+inline cosim::CosimConfig
+makeConfig(const dut::DutConfig &dut_config, const link::Platform &platform,
+           cosim::OptLevel level)
+{
+    cosim::CosimConfig cfg;
+    cfg.dut = dut_config;
+    cfg.platform = platform;
+    cfg.applyOptLevel(level);
+    return cfg;
+}
+
+/** Run a co-simulation; fails loudly if verification fails. */
+inline cosim::CosimResult
+runOrDie(const cosim::CosimConfig &cfg, const workload::Program &program,
+         u64 max_cycles = 400000)
+{
+    cosim::CoSimulator sim(cfg, program);
+    cosim::CosimResult r = sim.run(max_cycles);
+    if (!r.verified) {
+        std::fprintf(stderr, "UNEXPECTED MISMATCH: %s\n",
+                     r.mismatch.describe().c_str());
+        std::exit(1);
+    }
+    return r;
+}
+
+inline std::string
+fmtSpeedup(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", value);
+    return buf;
+}
+
+} // namespace dth::bench
+
+#endif // DTH_BENCH_BENCH_COMMON_H_

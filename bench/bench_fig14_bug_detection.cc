@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Paper Fig. 14 + Table 6: bug-detection time. Part 1 exercises the
+ * detection + Replay machinery end-to-end for every bug archetype
+ * (real runs with injected faults). Part 2 projects detection time for
+ * bugs that manifest after millions-to-billions of cycles, using the
+ * measured co-simulation speeds (paper: up to 2 months under Verilator
+ * vs 11 hours under DiffTest-H on Palladium).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    // ---- Part 1: live detection + localization ------------------------
+    struct BugCase
+    {
+        dut::BugArchetype archetype;
+        const char *workload;
+    } cases[] = {
+        {dut::BugArchetype::WrongRdValue, "boot"},
+        {dut::BugArchetype::CsrCorruption, "boot"},
+        {dut::BugArchetype::StoreDataCorruption, "boot"},
+        {dut::BugArchetype::RefillCorruption, "compute"},
+        {dut::BugArchetype::VectorLaneCorruption, "vector"},
+        {dut::BugArchetype::VtypeCorruption, "vector"},
+        {dut::BugArchetype::LostInterrupt, "boot"},
+    };
+
+    std::printf("Table 6 / Fig. 14 part 1: live bug detection with "
+                "DiffTest-H (Squash + Replay active)\n\n");
+    TextTable live({"Bug archetype", "Category", "Injected@",
+                    "Detected@", "Replay", "Localized field"});
+    for (const BugCase &bc : cases) {
+        workload::WorkloadOptions opts;
+        opts.seed = 5;
+        opts.iterations = 2500;
+        opts.bodyLength = 48;
+        workload::Program p;
+        std::string kind = bc.workload;
+        if (kind == "boot")
+            p = workload::makeBootLike(opts);
+        else if (kind == "compute")
+            p = workload::makeComputeLike(opts);
+        else
+            p = workload::makeVectorLike(opts);
+
+        CosimConfig cfg = makeConfig(dut::xsDefaultConfig(),
+                                     link::palladiumPlatform(),
+                                     OptLevel::BNSD);
+        CoSimulator sim(cfg, p);
+        dut::FaultSpec fault;
+        fault.archetype = bc.archetype;
+        fault.triggerSeq = 20000;
+        sim.armFault(fault);
+        CosimResult r = sim.run(4'000'000);
+        const dut::FaultOutcome &fo = sim.dutModel().faultOutcome();
+        if (!fo.fired || r.verified) {
+            std::fprintf(stderr, "bug %s escaped detection!\n",
+                         dut::bugArchetypeName(bc.archetype));
+            return 1;
+        }
+        live.addRow({dut::bugArchetypeName(bc.archetype),
+                     dut::bugCategory(bc.archetype),
+                     std::to_string(fo.firedSeq),
+                     std::to_string(r.mismatch.seq),
+                     r.replayRan ? "ran" : "-", r.mismatch.field});
+    }
+    live.print();
+
+    // ---- Part 2: projected detection times ----------------------------
+    workload::Program linux_boot = linuxBootWorkload();
+    link::Platform pldm = link::palladiumPlatform();
+    dut::DutConfig xs = dut::xsDefaultConfig();
+    double verilator = link::verilatorHz(xs.gatesMillions, 16);
+    double baseline =
+        runOrDie(makeConfig(xs, pldm, OptLevel::Z), linux_boot).simSpeedHz;
+    double difftest_h =
+        runOrDie(makeConfig(xs, pldm, OptLevel::BNSD), linux_boot)
+            .simSpeedHz;
+
+    std::printf("\nFig. 14 part 2: projected time to reach the "
+                "manifestation cycle of deep bugs\n(measured speeds: "
+                "Verilator16 %s, baseline %s, DiffTest-H %s)\n\n",
+                fmtHz(verilator).c_str(), fmtHz(baseline).c_str(),
+                fmtHz(difftest_h).c_str());
+    TextTable proj({"Bug manifests at", "Verilator 16T",
+                    "Baseline DiffTest", "DiffTest-H (PLDM)", "Speedup"});
+    const double cycle_counts[] = {1e8, 1e9, 5e9, 1.9e10};
+    for (double cycles : cycle_counts) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.1e cycles", cycles);
+        proj.addRow({label, fmtSeconds(cycles / verilator),
+                     fmtSeconds(cycles / baseline),
+                     fmtSeconds(cycles / difftest_h),
+                     fmtSpeedup(difftest_h / verilator)});
+    }
+    proj.print();
+    std::printf("\nPaper: bugs needing up to 2 months under Verilator "
+                "are detected within 11 hours by DiffTest-H on "
+                "Palladium.\n");
+    return 0;
+}

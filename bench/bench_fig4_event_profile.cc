@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Paper Fig. 4: verification-event size and invocation frequency in
+ * baseline DiffTest, measured on the XiangShan-default DUT running the
+ * Linux-boot-like workload. Event ids are ordered by increasing size.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "dut/dut.h"
+
+using namespace dth;
+using namespace dth::bench;
+
+int
+main()
+{
+    workload::Program linux_boot = linuxBootWorkload();
+    dut::DutModel dm(dut::xsDefaultConfig(), linux_boot);
+
+    std::array<u64, kNumEventTypes> invocations{};
+    while (!dm.done() && dm.cycles() < 300000) {
+        CycleEvents ce = dm.cycle();
+        for (const Event &e : ce.events)
+            ++invocations[static_cast<unsigned>(e.type)];
+    }
+    u64 cycles = dm.cycles();
+
+    std::vector<unsigned> order(kNumEventTypes);
+    for (unsigned i = 0; i < kNumEventTypes; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [](unsigned a, unsigned b) {
+        return eventInfo(a).bytesPerEntry < eventInfo(b).bytesPerEntry;
+    });
+
+    std::printf("Figure 4: Event size and invocations per cycle "
+                "(baseline DiffTest, XiangShan default, %llu cycles)\n\n",
+                (unsigned long long)cycles);
+    TextTable table({"Rank", "Type", "Bytes/entry", "Invocations/cycle"});
+    for (unsigned rank = 0; rank < kNumEventTypes; ++rank) {
+        unsigned t = order[rank];
+        double rate = static_cast<double>(invocations[t]) / cycles;
+        table.addRow({std::to_string(rank), eventInfo(t).name,
+                      std::to_string(eventInfo(t).bytesPerEntry),
+                      fmtDouble(rate, 4)});
+    }
+    table.print();
+
+    u64 total_events = 0, total_bytes = 0;
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        total_events += invocations[t];
+        total_bytes += invocations[t] * eventInfo(t).bytesPerEntry;
+    }
+    std::printf("\nTotals: %.2f events/cycle, %.0f bytes/cycle "
+                "(paper §2.2: ~15 communications, ~1.2 KB per cycle)\n",
+                static_cast<double>(total_events) / cycles,
+                static_cast<double>(total_bytes) / cycles);
+    std::printf("Size range across types: %.0fx (paper: up to 170x)\n",
+                structuralSizeRange());
+    return 0;
+}

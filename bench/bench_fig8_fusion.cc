@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Fig. 8 / §4.3.1: order-coupled fusion (prior work) breaks the
+ * fusion window at every NDE, while Squash transmits NDEs ahead with
+ * order tags and keeps fusing. Measured across workloads with rising
+ * NDE density (compute -> boot -> io-heavy).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    struct Row
+    {
+        const char *name;
+        workload::Program program;
+    };
+    workload::WorkloadOptions opts;
+    opts.iterations = 1200;
+    opts.bodyLength = 64;
+    opts.seed = 2025;
+    Row rows[] = {
+        {"SPEC-like (rare NDEs)", workload::makeComputeLike(opts)},
+        {"Linux-boot-like", workload::makeBootLike(opts)},
+        {"I/O-heavy driver loop", workload::makeIoHeavy(opts)},
+    };
+
+    std::printf("Figure 8: Fusion scheme comparison (XiangShan default, "
+                "Palladium, maxFuse=32)\n\n");
+    TextTable table({"Workload", "NDEs/kInstr", "Coupled fusion ratio",
+                     "Squash fusion ratio", "Coupled B/cyc",
+                     "Squash B/cyc", "Coupled KHz", "Squash KHz"});
+
+    for (Row &row : rows) {
+        CosimConfig decoupled = makeConfig(
+            dut::xsDefaultConfig(), link::palladiumPlatform(),
+            OptLevel::BNSD);
+        CosimConfig coupled = decoupled;
+        coupled.orderCoupledFusion = true;
+
+        CosimResult rd = runOrDie(decoupled, row.program);
+        CosimResult rc = runOrDie(coupled, row.program);
+        double nde_rate =
+            1000.0 * rd.counters.get("squash.nde_ahead") / rd.instrs;
+        table.addRow({row.name, fmtDouble(nde_rate, 1),
+                      fmtDouble(rc.fusionRatio, 1),
+                      fmtDouble(rd.fusionRatio, 1),
+                      fmtDouble(rc.bytesPerCycle, 0),
+                      fmtDouble(rd.bytesPerCycle, 0),
+                      fmtDouble(rc.simSpeedHz / 1e3, 0),
+                      fmtDouble(rd.simSpeedHz / 1e3, 0)});
+    }
+    table.print();
+    std::printf("\nPaper claim: order-coupled fusion suffers frequent "
+                "breaks under device interaction and exceptions;\n"
+                "order-decoupled Squash sustains the fusion ratio and "
+                "transmits less data.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the host-side hot paths: the
+ * REF interpreter step rate, Batch packing/unpacking throughput,
+ * differencing, digest folding, and the mux-tree primitive. These bound
+ * the *host* cost of running the co-simulation itself (distinct from
+ * the modeled link timing).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pack/muxtree.h"
+#include "pack/packer.h"
+#include "riscv/core.h"
+#include "squash/fused_views.h"
+#include "workload/generators.h"
+
+namespace dth {
+namespace {
+
+void
+BM_RefStepRate(benchmark::State &state)
+{
+    workload::WorkloadOptions opts;
+    opts.iterations = 1000000; // effectively endless for the bench
+    opts.bodyLength = 64;
+    workload::Program p = workload::makeComputeLike(opts);
+    riscv::Soc soc(riscv::CoreConfig{.resetPc = p.base});
+    soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(soc.core.step());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RefStepRate);
+
+std::vector<CycleEvents>
+syntheticStream(unsigned cycles)
+{
+    Rng rng(7);
+    std::vector<CycleEvents> stream;
+    u64 emit = 0;
+    for (unsigned c = 0; c < cycles; ++c) {
+        CycleEvents ce;
+        ce.cycle = c;
+        for (unsigned i = 0; i < 6; ++i) {
+            Event e = Event::make(
+                static_cast<EventType>(rng.nextBelow(kNumEventTypes)), 0,
+                static_cast<u8>(i), c * 4 + i);
+            e.emitSeq = emit++;
+            for (auto &b : e.payload)
+                b = static_cast<u8>(rng.next());
+            ce.events.push_back(std::move(e));
+        }
+        stream.push_back(std::move(ce));
+    }
+    return stream;
+}
+
+void
+BM_BatchPack(benchmark::State &state)
+{
+    auto stream = syntheticStream(64);
+    u64 bytes = 0;
+    for (auto _ : state) {
+        BatchPacker packer(4096);
+        std::vector<Transfer> transfers;
+        for (const CycleEvents &ce : stream)
+            packer.packCycle(ce, transfers);
+        packer.flush(transfers);
+        for (const Transfer &t : transfers)
+            bytes += t.size();
+        benchmark::DoNotOptimize(transfers);
+    }
+    state.SetBytesProcessed(static_cast<i64>(bytes));
+}
+BENCHMARK(BM_BatchPack);
+
+void
+BM_BatchUnpack(benchmark::State &state)
+{
+    auto stream = syntheticStream(64);
+    BatchPacker packer(4096);
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream)
+        packer.packCycle(ce, transfers);
+    packer.flush(transfers);
+    u64 bytes = 0;
+    for (auto _ : state) {
+        BatchUnpacker unpacker;
+        for (const Transfer &t : transfers) {
+            auto events = unpacker.unpack(t);
+            benchmark::DoNotOptimize(events);
+            bytes += t.size();
+        }
+    }
+    state.SetBytesProcessed(static_cast<i64>(bytes));
+}
+BENCHMARK(BM_BatchUnpack);
+
+void
+BM_Differencing(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<u8> prev(968), cur(968);
+    for (auto &b : prev)
+        b = static_cast<u8>(rng.next());
+    cur = prev;
+    for (int i = 0; i < 5; ++i)
+        storeU64(cur, rng.nextBelow(121) * 8, rng.next());
+    u64 bytes = 0;
+    for (auto _ : state) {
+        auto diff = diffSnapshot(EventType::CsrState, prev, cur);
+        benchmark::DoNotOptimize(diff);
+        bytes += prev.size();
+    }
+    state.SetBytesProcessed(static_cast<i64>(bytes));
+}
+BENCHMARK(BM_Differencing);
+
+void
+BM_DigestFold(benchmark::State &state)
+{
+    u64 acc = 0;
+    u64 i = 0;
+    for (auto _ : state) {
+        acc ^= commitDigestTerm(0x80000000 + i * 4, 0x13 + i, i * 7);
+        ++i;
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DigestFold);
+
+void
+BM_MuxTreeCompaction(benchmark::State &state)
+{
+    Rng rng(11);
+    std::vector<bool> valid(64);
+    for (size_t i = 0; i < valid.size(); ++i)
+        valid[i] = rng.chance(0.4);
+    for (auto _ : state) {
+        auto out = compactValidIndices(valid);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MuxTreeCompaction);
+
+} // namespace
+} // namespace dth

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Paper Table 5: optimization breakdown across DUTs and platforms.
+ * Rows: Baseline (Z), +Batch (B), +NonBlock (BN), +Squash (BNSD).
+ * Columns: NutShell/Palladium, XiangShan/Palladium, XiangShan/FPGA.
+ * Also reports the §6.3 communication-overhead reduction.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+namespace {
+
+struct Column
+{
+    const char *title;
+    dut::DutConfig dut;
+    link::Platform platform;
+};
+
+struct Row
+{
+    OptLevel level;
+    double speedHz[3];
+    double commFraction[3];
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Mirrors the artifact's `make pldm-run WORKLOAD=linux|microbench`.
+    std::string workload_name = argc > 1 ? argv[1] : "linux";
+    workload::Program linux_boot = workload_name == "microbench"
+                                       ? microbenchWorkload()
+                                       : linuxBootWorkload();
+
+    Column columns[3] = {
+        {"NutShell on Palladium", dut::nutshellConfig(),
+         link::palladiumPlatform()},
+        {"XiangShan on Palladium", dut::xsDefaultConfig(),
+         link::palladiumPlatform()},
+        {"XiangShan on FPGA", dut::xsDefaultConfig(),
+         link::fpgaPlatform()},
+    };
+
+    const OptLevel levels[4] = {OptLevel::Z, OptLevel::B, OptLevel::BN,
+                                OptLevel::BNSD};
+    Row rows[4];
+
+    for (unsigned c = 0; c < 3; ++c) {
+        for (unsigned l = 0; l < 4; ++l) {
+            CosimConfig cfg =
+                makeConfig(columns[c].dut, columns[c].platform, levels[l]);
+            CosimResult r = runOrDie(cfg, linux_boot);
+            rows[l].level = levels[l];
+            rows[l].speedHz[c] = r.simSpeedHz;
+            rows[l].commFraction[c] = r.timing.communicationFraction();
+        }
+    }
+
+    std::printf("Table 5: Optimization breakdown across DUTs and "
+                "platforms (workload: %s)\n\n",
+                linux_boot.name.c_str());
+    TextTable table({"Setup", "NutShell/PLDM", "XiangShan/PLDM",
+                     "XiangShan/FPGA"});
+    for (unsigned l = 0; l < 4; ++l) {
+        std::vector<std::string> cells{optLevelName(rows[l].level)};
+        for (unsigned c = 0; c < 3; ++c) {
+            std::string cell = fmtHz(rows[l].speedHz[c]);
+            if (l > 0) {
+                cell += " (" +
+                        fmtSpeedup(rows[l].speedHz[c] /
+                                   rows[0].speedHz[c]) +
+                        ")";
+            }
+            cells.push_back(cell);
+        }
+        table.addRow(cells);
+    }
+    table.print();
+
+    std::printf("\nPaper reference: NutShell/PLDM 14->102->389->1030 KHz "
+                "(74x); XS/PLDM 6->24->71->478 KHz (80x);\n"
+                "XS/FPGA 0.1->1.3->2.2->7.8 MHz (78x).\n");
+
+    std::printf("\nCommunication overhead (share of total time):\n");
+    TextTable comm({"Setup", "NutShell/PLDM", "XiangShan/PLDM",
+                    "XiangShan/FPGA"});
+    for (unsigned l = 0; l < 4; ++l) {
+        std::vector<std::string> cells{optLevelName(rows[l].level)};
+        for (unsigned c = 0; c < 3; ++c)
+            cells.push_back(fmtPercent(rows[l].commFraction[c]));
+        comm.addRow(cells);
+    }
+    comm.print();
+
+    std::printf("\n");
+    for (unsigned c = 0; c < 3; ++c) {
+        double dut_only =
+            columns[c].platform.dutOnlyHz(columns[c].dut.gatesMillions);
+        double overhead_base = 1.0 / rows[0].speedHz[c] - 1.0 / dut_only;
+        double overhead_full = 1.0 / rows[3].speedHz[c] - 1.0 / dut_only;
+        double reduction = 1.0 - overhead_full / overhead_base;
+        std::printf("%s: communication overhead reduced by %s "
+                    "(paper: 99.8%% PLDM / 98.8%% FPGA)\n",
+                    columns[c].title, fmtPercent(reduction, 2).c_str());
+    }
+    return 0;
+}

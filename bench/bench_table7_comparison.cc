@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Table 7: comparison with prior hardware-accelerated
+ * co-simulation frameworks. Prior-work rows carry the paper's reported
+ * numbers (IBI-check on IBM AWAN, SBS-check estimated with gem5,
+ * Fromajo on FireSim); DiffTest-H rows are measured on our models.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace dth;
+using namespace dth::bench;
+using namespace dth::cosim;
+
+int
+main()
+{
+    workload::Program linux_boot = linuxBootWorkload();
+    dut::DutConfig xs = dut::xsDefaultConfig();
+
+    CosimResult pldm = runOrDie(
+        makeConfig(xs, link::palladiumPlatform(), OptLevel::BNSD),
+        linux_boot);
+    CosimResult fpga = runOrDie(
+        makeConfig(xs, link::fpgaPlatform(), OptLevel::BNSD), linux_boot);
+
+    double pldm_dut_only =
+        link::palladiumPlatform().dutOnlyHz(xs.gatesMillions);
+    double fpga_dut_only = link::fpgaPlatform().dutOnlyHz(xs.gatesMillions);
+
+    std::printf("Table 7: Comparison of hardware-accelerated "
+                "co-simulation frameworks\n"
+                "(prior-work rows reproduce the paper's reported "
+                "numbers; DiffTest-H rows are measured here)\n\n");
+    TextTable table({"Work", "Platform", "States/Bytes", "Comm overhead",
+                     "DUT-only", "Co-sim speed"});
+    table.addRow({"IBI-check [8]", "IBM AWAN", "2 / 7", "20%", "100 KHz",
+                  "80 KHz"});
+    table.addRow({"SBS-check [19]", "gem5 estimate", "2 / 7", "2%",
+                  "100 KHz", "98 KHz"});
+    table.addRow(
+        {"DiffTest-H (ours)", "Palladium model",
+         "32 / " + std::to_string((int)pldm.rawBytesPerInstr),
+         fmtPercent(1.0 - pldm.simSpeedHz / pldm_dut_only),
+         fmtHz(pldm_dut_only), fmtHz(pldm.simSpeedHz)});
+    table.addRow({"Fromajo [56,57]", "FireSim", "7 / 24", "99%",
+                  "100 MHz", "1 MHz"});
+    table.addRow(
+        {"DiffTest-H (ours)", "VU19P model",
+         "32 / " + std::to_string((int)fpga.rawBytesPerInstr),
+         fmtPercent(1.0 - fpga.simSpeedHz / fpga_dut_only),
+         fmtHz(fpga_dut_only), fmtHz(fpga.simSpeedHz)});
+    table.print();
+
+    std::printf("\nDiffTest-H vs Fromajo: %.1fx faster on FPGA "
+                "(paper: 7.8x) with 32 vs 7 verification state types.\n",
+                fpga.simSpeedHz / 1e6);
+    std::printf("Paper reference: DiffTest-H 478 KHz (0.4%% overhead) on "
+                "Palladium; 7.8 MHz (84%% overhead) on FPGA.\n");
+    return 0;
+}

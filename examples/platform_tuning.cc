@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Platform tuning with the toolkit (paper §5): capture a DUT trace
+ * once, analyze event volume/frequency/repetitiveness offline (the
+ * "SQL analysis" backend), then sweep Squash/Batch parameters over the
+ * trace — without re-running the DUT — and verify the chosen
+ * configuration end-to-end on both platform models.
+ *
+ *   $ ./platform_tuning
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "cosim/cosim.h"
+#include "tuning/analysis.h"
+#include "workload/generators.h"
+
+using namespace dth;
+
+int
+main()
+{
+    // 1. Capture the monitor stream of one Linux-boot-like run.
+    workload::WorkloadOptions opts;
+    opts.seed = 11;
+    opts.iterations = 1200;
+    opts.bodyLength = 64;
+    workload::Program program = workload::makeBootLike(opts);
+
+    cosim::CosimConfig capture_cfg;
+    capture_cfg.dut = dut::xsDefaultConfig();
+    capture_cfg.platform = link::palladiumPlatform();
+    capture_cfg.applyOptLevel(cosim::OptLevel::BNSD);
+
+    tuning::DutTrace trace;
+    trace.workloadName = program.name;
+    {
+        cosim::CoSimulator sim(capture_cfg, program);
+        sim.setMonitorTap([&trace](const CycleEvents &ce) {
+            trace.cycles.push_back(ce);
+        });
+        cosim::CosimResult r = sim.run(2'000'000);
+        if (!r.goodTrap) {
+            std::fprintf(stderr, "capture run failed: %s\n",
+                         r.mismatch.describe().c_str());
+            return 1;
+        }
+    }
+    std::printf("captured trace: %zu cycles, %llu events, %llu bytes\n\n",
+                trace.cycles.size(),
+                (unsigned long long)trace.totalEvents(),
+                (unsigned long long)trace.totalBytes());
+
+    // 2. Offline analysis: who talks, how often, how repetitive?
+    tuning::TraceAnalysis analysis = tuning::analyzeTrace(trace);
+    std::printf("per-type transmission statistics (CSV excerpt):\n%s\n",
+                analysis.toCsv().c_str());
+
+    // 3. Sweep fusion depth and packet size over the trace only.
+    std::printf("offline pipeline sweep (no DUT re-run):\n\n");
+    TextTable sweep({"maxFuse", "packet", "wire bytes", "transfers",
+                     "fusion ratio"});
+    unsigned best_fuse = 8;
+    unsigned best_packet = 4096;
+    u64 best_bytes = ~0ULL;
+    for (unsigned fuse : {8u, 32u, 128u}) {
+        for (unsigned packet : {4096u, 16384u}) {
+            SquashConfig sc;
+            sc.maxFuse = fuse;
+            tuning::PipelineVolume v =
+                tuning::simulatePipeline(trace, sc, packet);
+            sweep.addRow({std::to_string(fuse), std::to_string(packet),
+                          std::to_string(v.wireBytes),
+                          std::to_string(v.transfers),
+                          fmtDouble(v.fusionRatio, 1)});
+            if (v.wireBytes < best_bytes) {
+                best_bytes = v.wireBytes;
+                best_fuse = fuse;
+                best_packet = packet;
+            }
+        }
+    }
+    sweep.print();
+    std::printf("\nselected: maxFuse=%u, packetBytes=%u\n\n", best_fuse,
+                best_packet);
+
+    // 4. Confirm the tuned configuration end-to-end on both platforms.
+    for (const link::Platform &platform :
+         {link::palladiumPlatform(), link::fpgaPlatform()}) {
+        cosim::CosimConfig cfg = capture_cfg;
+        cfg.platform = platform;
+        cfg.maxFuse = best_fuse;
+        cfg.packetBytes = best_packet;
+        cosim::CoSimulator sim(cfg, program);
+        cosim::CosimResult r = sim.run(2'000'000);
+        if (!r.goodTrap) {
+            std::fprintf(stderr, "tuned run failed on %s\n",
+                         platform.name.c_str());
+            return 1;
+        }
+        std::printf("%-22s %s\n", platform.name.c_str(),
+                    r.summary().c_str());
+    }
+    return 0;
+}

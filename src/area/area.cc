@@ -1,0 +1,56 @@
+#include "area/area.h"
+
+#include <cmath>
+
+namespace dth::area {
+
+unsigned
+probesPerCore(const dut::DutConfig &config)
+{
+    return 4 * config.enabledEventTypes();
+}
+
+double
+interfaceBytesPerCore(const dut::DutConfig &config)
+{
+    double bytes = 0;
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        if (!config.eventEnabled[t])
+            continue;
+        const EventTypeInfo &info = eventInfo(t);
+        // Commit-slot-indexed monitors shrink with the commit width.
+        double entries = info.entriesPerCore;
+        if (info.entriesPerCore > 1)
+            entries = std::ceil(entries * config.commitWidth / 6.0);
+        bytes += info.bytesPerEntry * entries;
+    }
+    return bytes;
+}
+
+AreaEstimate
+estimateArea(const dut::DutConfig &config, bool with_batch)
+{
+    // Calibrated constants (gates).
+    constexpr double kGatesPerProbe = 11000;
+    constexpr double kBufferGatesPerByte = 30; // double-buffered regs
+    constexpr double kSquashPerCore = 350e3;
+    constexpr double kReplaySramGatesPerByte = 5.2;
+    constexpr double kReplayBufferBytes = 256 * 1024;
+    constexpr double kBatchGatesPerInterfaceBit = 105;
+
+    AreaEstimate a;
+    a.dutGatesM = config.gatesMillions;
+    double iface = interfaceBytesPerCore(config);
+    double cores = config.cores;
+    a.probesM = cores * probesPerCore(config) * kGatesPerProbe / 1e6;
+    a.eventBuffersM = cores * iface * kBufferGatesPerByte / 1e6;
+    a.squashUnitM = cores * kSquashPerCore / 1e6;
+    a.replayBufferM =
+        cores * kReplayBufferBytes * kReplaySramGatesPerByte / 1e6;
+    if (with_batch)
+        a.batchPackerM =
+            cores * iface * 8 * kBatchGatesPerInterfaceBit / 1e6;
+    return a;
+}
+
+} // namespace dth::area

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytical gate-count model for the DiffTest-H hardware units
+ * (paper Fig. 15). The DUT's own gate count comes from its
+ * configuration (Table 4); the verification logic is decomposed into
+ * monitor probes, event buffers, the Squash unit, the Replay buffer
+ * SRAM, and — dominating when enabled — the Batch packer's wide
+ * mux/offset network, whose size scales with the packed interface
+ * width. Constants are calibrated to the paper's ~6% (without Batch)
+ * and ~25% (with Batch) overheads on XiangShan.
+ */
+
+#ifndef DTH_AREA_AREA_H_
+#define DTH_AREA_AREA_H_
+
+#include "dut/config.h"
+
+namespace dth::area {
+
+/** Breakdown of DiffTest-H gate counts (million gates). */
+struct AreaEstimate
+{
+    double dutGatesM = 0;
+    double probesM = 0;
+    double eventBuffersM = 0;
+    double squashUnitM = 0;
+    double replayBufferM = 0;
+    double batchPackerM = 0; //!< zero when Batch is disabled
+
+    double
+    difftestGatesM() const
+    {
+        return probesM + eventBuffersM + squashUnitM + replayBufferM +
+               batchPackerM;
+    }
+
+    double
+    overheadFraction() const
+    {
+        return dutGatesM > 0 ? difftestGatesM() / dutGatesM : 0;
+    }
+
+    double totalM() const { return dutGatesM + difftestGatesM(); }
+};
+
+/** Monitor probes instantiated per core (4 per covered event type;
+ *  XiangShan's 32 types give the paper's 128 probes per core). */
+unsigned probesPerCore(const dut::DutConfig &config);
+
+/** Width-scaled monitored interface bytes per core. */
+double interfaceBytesPerCore(const dut::DutConfig &config);
+
+/** Estimate the area of DiffTest-H instrumentation on @p config. */
+AreaEstimate estimateArea(const dut::DutConfig &config, bool with_batch);
+
+} // namespace dth::area
+
+#endif // DTH_AREA_AREA_H_

@@ -1,0 +1,701 @@
+#include "checker/checker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "squash/squash.h"
+
+namespace dth::checker {
+
+using riscv::StepResult;
+
+std::string
+MismatchReport::describe() const
+{
+    if (!valid)
+        return "no mismatch";
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "[core %u] %s mismatch at instruction #%llu (pc 0x%llx): "
+        "%s expected 0x%llx, got 0x%llx -> component: %s%s",
+        core, eventInfo(eventType).name, (unsigned long long)seq,
+        (unsigned long long)refPc, field.c_str(),
+        (unsigned long long)expected, (unsigned long long)actual,
+        component.c_str(),
+        fused ? " (fused window; run Replay for instruction detail)"
+              : (replayed ? " (localized by Replay)" : ""));
+    return buf;
+}
+
+CoreChecker::CoreChecker(unsigned core_id, const workload::Program &program,
+                         bool mmio_sync)
+    : coreId_(core_id), mmioSync_(mmio_sync)
+{
+    // The REF has RAM but no devices: device values come from oracles.
+    bus_ = std::make_unique<riscv::Bus>();
+    riscv::CoreConfig cc;
+    cc.resetPc = program.base;
+    cc.autoInterrupts = false;
+    cc.hartId = core_id;
+    ref_ = std::make_unique<riscv::Core>(*bus_, cc);
+    bus_->ram().load(program.base, program.image.data(),
+                     program.image.size());
+    undo_ = std::make_unique<replay::UndoLog>(*ref_);
+    ref_->setObserver(undo_.get());
+}
+
+bool
+CoreChecker::fail(const Event &event, const char *field, u64 expected,
+                  u64 actual)
+{
+    failed_ = true;
+    report_.valid = true;
+    report_.core = coreId_;
+    report_.seq = event.commitSeq;
+    report_.refPc = lastStep_ ? lastStep_->pc : ref_->pc();
+    report_.eventType = event.type;
+    report_.field = field;
+    report_.expected = expected;
+    report_.actual = actual;
+    report_.component = event.info().component;
+    report_.fused = false;
+    report_.replayed = replayMode_;
+    counters_.add("checker.mismatches");
+    return false;
+}
+
+bool
+CoreChecker::failFused(const Event &event, const char *field, u64 expected,
+                       u64 actual, u64 first_seq, u64 last_seq)
+{
+    fail(event, field, expected, actual);
+    report_.fused = true;
+    report_.replayed = false;
+    report_.windowFirstSeq = first_seq;
+    report_.windowLastSeq = last_seq;
+    return false;
+}
+
+StepResult
+CoreChecker::stepOnce()
+{
+    StepResult r = ref_->step();
+    if (r.retired) {
+        ++instrsStepped_;
+        foldStepDigests(r);
+        lastStep_ = r;
+    }
+    return r;
+}
+
+void
+CoreChecker::foldStepDigests(const StepResult &r)
+{
+    commitWindowDigest_ ^= commitDigestTerm(r.pc, r.instr, r.rdVal);
+    ++commitWindowCount_;
+    auto fold = [&](EventType t, u64 term) {
+        auxDigest_[static_cast<unsigned>(t)] ^= term;
+        ++auxCount_[static_cast<unsigned>(t)];
+    };
+    for (unsigned i = 0; i < r.memCount; ++i) {
+        const riscv::MemAccessInfo &m = r.mem[i];
+        if (!m.valid || m.mmio)
+            continue;
+        if (m.store) {
+            fold(EventType::StoreEvent,
+                 storeDigestTerm(m.addr, m.data,
+                                 byteMask(1u << m.sizeLog2)));
+        } else if (!m.atomic) {
+            fold(EventType::LoadEvent,
+                 loadDigestTerm(m.addr, m.data, r.seqNo));
+        }
+    }
+    if (r.isBranch) {
+        fold(EventType::BranchEvent,
+             branchDigestTerm(r.pc, r.branchTaken ? 1 : 0, r.nextPc));
+    }
+    if (r.vecWen) {
+        fold(EventType::VecWriteback,
+             vecDigestTerm(r.vrd, r.vecVal[0], r.vecVal[1]));
+    }
+    if (r.isVecConfig) {
+        fold(EventType::VtypeEvent,
+             branchDigestTerm(ref_->csrs().vtype, ref_->csrs().vl,
+                              r.seqNo));
+    }
+}
+
+bool
+CoreChecker::ensureSteppedTo(u64 seq, const Event &context)
+{
+    while (ref_->seqNo() < seq) {
+        if (ref_->halted())
+            return fail(context, "ref-halted-early", seq, ref_->seqNo());
+        StepResult r = stepOnce();
+        if (r.interrupt) {
+            return fail(context, "unexpected-ref-interrupt", 0, r.cause);
+        }
+        if (!r.retired && !r.halted) {
+            return fail(context, "ref-stuck", seq, ref_->seqNo());
+        }
+    }
+    return true;
+}
+
+bool
+CoreChecker::processEvent(const Event &event)
+{
+    if (failed_)
+        return false;
+    ++eventsChecked_;
+    counters_.add("checker.events");
+
+    switch (event.type) {
+      case EventType::InstrCommit: return checkInstrCommit(event);
+      case EventType::FusedCommit: return checkFusedCommit(event);
+      case EventType::FusedDigest: return checkFusedDigest(event);
+      case EventType::Trap: return checkTrap(event);
+      case EventType::ArchEvent: return checkArchEvent(event);
+      case EventType::LoadEvent: return checkLoad(event);
+      case EventType::StoreEvent: return checkStore(event);
+      case EventType::AtomicEvent: return checkAtomic(event);
+      case EventType::L1DRefill:
+      case EventType::L1IRefill:
+      case EventType::L2Refill: return checkRefill(event);
+      case EventType::SbufferEvent: return checkSbuffer(event);
+      case EventType::L1TlbEvent:
+      case EventType::L2TlbEvent: return checkTlb(event);
+      case EventType::ArchIntRegState: return checkIntRegState(event);
+      case EventType::ArchFpRegState: return checkFpRegState(event);
+      case EventType::CsrState: return checkCsrState(event);
+      case EventType::FpCsrState: return checkFpCsr(event);
+      case EventType::ArchVecRegState: return checkVecRegState(event);
+      case EventType::VecCsrState: return checkVecCsr(event);
+      case EventType::HCsrState:
+      case EventType::DebugCsrState:
+      case EventType::TriggerCsrState: return checkZeroSnapshot(event);
+
+      case EventType::MmioEvent: {
+        MmioView v(event);
+        if (v.isLoad()) {
+            ref_->pushMmioFill(v.addr(), v.data());
+            counters_.add("checker.mmio_fills");
+        } else {
+            counters_.add("checker.mmio_stores");
+        }
+        return true;
+      }
+      case EventType::LrScEvent: {
+        LrScView v(event);
+        ref_->pushScOutcome(v.success() != 0);
+        counters_.add("checker.sc_outcomes");
+        return true;
+      }
+
+      case EventType::BranchEvent: {
+        if (!ensureSteppedTo(event.commitSeq, event))
+            return false;
+        PayloadView v(event);
+        if (lastStep_ && lastStep_->seqNo == event.commitSeq &&
+            lastStep_->isBranch) {
+            u64 taken = lastStep_->branchTaken ? 1 : 0;
+            if (v.word(8) != taken)
+                return fail(event, "branch-taken", taken, v.word(8));
+            if (v.word(16) != lastStep_->nextPc)
+                return fail(event, "branch-target", lastStep_->nextPc,
+                            v.word(16));
+        }
+        return true;
+      }
+      case EventType::VecWriteback: {
+        if (!ensureSteppedTo(event.commitSeq, event))
+            return false;
+        PayloadView v(event);
+        if (lastStep_ && lastStep_->seqNo == event.commitSeq &&
+            lastStep_->vecWen) {
+            if (v.word(8) != lastStep_->vecVal[0])
+                return fail(event, "vec-lane0", lastStep_->vecVal[0],
+                            v.word(8));
+            if (v.word(16) != lastStep_->vecVal[1])
+                return fail(event, "vec-lane1", lastStep_->vecVal[1],
+                            v.word(16));
+        }
+        return true;
+      }
+      case EventType::VtypeEvent: {
+        if (!ensureSteppedTo(event.commitSeq, event))
+            return false;
+        VtypeView v(event);
+        if (v.vl() != ref_->csrs().vl)
+            return fail(event, "vl", ref_->csrs().vl, v.vl());
+        if (v.vtype() != ref_->csrs().vtype)
+            return fail(event, "vtype", ref_->csrs().vtype, v.vtype());
+        return true;
+      }
+
+      // Informational / structural-only events.
+      case EventType::UartIoEvent:
+        counters_.add("checker.uart_io");
+        return true;
+      case EventType::AiaEvent:
+      case EventType::RunaheadEvent:
+      case EventType::GuestPtwEvent:
+      case EventType::HldStEvent:
+      case EventType::DebugMode:
+        counters_.add("checker.informational");
+        return true;
+
+      case EventType::DiffState:
+        dth_panic("DiffState must be completed before checking");
+    }
+    return true;
+}
+
+bool
+CoreChecker::checkInstrCommit(const Event &event)
+{
+    InstrCommitView v(event);
+    u64 seq = v.seqNo();
+    if (!ensureSteppedTo(seq - 1, event))
+        return false;
+    if (ref_->seqNo() < seq) {
+        StepResult r = stepOnce();
+        if (r.interrupt)
+            return fail(event, "unexpected-ref-interrupt", 0, r.cause);
+        if (!r.retired)
+            return fail(event, "ref-did-not-retire", seq, ref_->seqNo());
+    }
+    dth_assert(lastStep_ && lastStep_->seqNo == seq,
+               "commit/step misalignment: event %llu ref %llu",
+               (unsigned long long)seq,
+               (unsigned long long)ref_->seqNo());
+    const StepResult &r = *lastStep_;
+    if (v.pc() != r.pc)
+        return fail(event, "pc", r.pc, v.pc());
+    if (v.instr() != r.instr)
+        return fail(event, "instr", r.instr, v.instr());
+    if (v.skip()) {
+        // DiffTest skip semantics: copy the DUT result into the REF.
+        if (v.rfWen())
+            ref_->setXReg(v.rd(), v.rdVal());
+        counters_.add("checker.skipped_commits");
+        return true;
+    }
+    if (v.nextPc() != r.nextPc)
+        return fail(event, "next-pc", r.nextPc, v.nextPc());
+    if (v.rfWen() != (r.rfWen ? 1 : 0))
+        return fail(event, "rf-wen", r.rfWen, v.rfWen());
+    if (v.rfWen()) {
+        if (v.rd() != r.rd)
+            return fail(event, "rd", r.rd, v.rd());
+        if (v.rdVal() != r.rdVal)
+            return fail(event, "rd-value", r.rdVal, v.rdVal());
+    }
+    if (v.fpWen() && v.frdVal() != r.frdVal)
+        return fail(event, "frd-value", r.frdVal, v.frdVal());
+    counters_.add("checker.commits");
+    return true;
+}
+
+bool
+CoreChecker::checkFusedCommit(const Event &event)
+{
+    FusedCommitView v(event);
+    u64 first = v.firstSeq();
+    u64 last = v.lastSeq();
+    if (!ensureSteppedTo(last, event))
+        return false;
+    dth_assert(lastStep_, "fused commit before any step");
+    if (commitWindowCount_ != v.count()) {
+        return failFused(event, "fused-count", commitWindowCount_,
+                         v.count(), first, last);
+    }
+    if (lastStep_->pc != v.lastPc()) {
+        return failFused(event, "fused-last-pc", lastStep_->pc, v.lastPc(),
+                         first, last);
+    }
+    if (lastStep_->nextPc != v.nextPc()) {
+        return failFused(event, "fused-next-pc", lastStep_->nextPc,
+                         v.nextPc(), first, last);
+    }
+    if (commitWindowDigest_ != v.digest()) {
+        return failFused(event, "fused-digest", commitWindowDigest_,
+                         v.digest(), first, last);
+    }
+    // Window verified: advance the compensation-log checkpoint (the log
+    // retains two windows; see lastMarkSeq()).
+    commitWindowDigest_ = 0;
+    commitWindowCount_ = 0;
+    undo_->mark();
+    markSeqPrev_ = markSeq_;
+    markSeq_ = last;
+    counters_.add("checker.fused_commits");
+    counters_.add("checker.fused_instrs", v.count());
+    return true;
+}
+
+bool
+CoreChecker::checkFusedDigest(const Event &event)
+{
+    FusedDigestView v(event);
+    if (!ensureSteppedTo(v.lastSeq(), event))
+        return false;
+    unsigned t = v.baseType();
+    dth_assert(t < kNumEventTypes, "bad digest base type %u", t);
+    if (auxCount_[t] != v.count()) {
+        return failFused(event, "digest-count", auxCount_[t], v.count(),
+                         v.firstSeq(), v.lastSeq());
+    }
+    if (auxDigest_[t] != v.digest()) {
+        Event base = event;
+        base.type = static_cast<EventType>(t); // report the base component
+        failFused(base, "window-digest", auxDigest_[t], v.digest(),
+                  v.firstSeq(), v.lastSeq());
+        return false;
+    }
+    auxDigest_[t] = 0;
+    auxCount_[t] = 0;
+    counters_.add("checker.fused_digests");
+    return true;
+}
+
+bool
+CoreChecker::checkTrap(const Event &event)
+{
+    TrapView v(event);
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    if (!ref_->halted())
+        return fail(event, "trap-without-ref-halt", 1, 0);
+    if (v.code() != ref_->haltCode())
+        return fail(event, "trap-code", ref_->haltCode(), v.code());
+    sawTrap_ = true;
+    trapCode_ = v.code();
+    counters_.add("checker.traps");
+    return true;
+}
+
+bool
+CoreChecker::checkArchEvent(const Event &event)
+{
+    ArchEventView v(event);
+    if (v.isInterrupt()) {
+        // NDE synchronization: the DUT took this interrupt after
+        // instruction seqNo(); force the REF to do the same.
+        if (!ensureSteppedTo(v.seqNo(), event))
+            return false;
+        ref_->forceInterrupt(v.cause());
+        StepResult r = ref_->step();
+        if (!r.interrupt)
+            return fail(event, "ref-missed-interrupt", v.cause(), 0);
+        if (r.cause != v.cause())
+            return fail(event, "interrupt-cause", r.cause, v.cause());
+        counters_.add("checker.interrupts");
+        return true;
+    }
+    if (v.isException()) {
+        if (!ensureSteppedTo(v.seqNo(), event))
+            return false;
+        if (!lastStep_ || lastStep_->seqNo != v.seqNo() ||
+            !lastStep_->exception) {
+            return fail(event, "ref-missed-exception", v.cause(), 0);
+        }
+        if (lastStep_->cause != v.cause())
+            return fail(event, "exception-cause", lastStep_->cause,
+                        v.cause());
+        counters_.add("checker.exceptions");
+        return true;
+    }
+    return true;
+}
+
+bool
+CoreChecker::checkLoad(const Event &event)
+{
+    LoadView v(event);
+    if (!ensureSteppedTo(v.seqNo(), event))
+        return false;
+    unsigned nbytes = 1u << v.size();
+    u64 ref_val = bus_->ram().read(v.paddr(), nbytes);
+    u64 got = v.data() & byteMask(nbytes);
+    if ((ref_val & byteMask(nbytes)) != got)
+        return fail(event, "load-data", ref_val & byteMask(nbytes), got);
+    counters_.add("checker.loads");
+    return true;
+}
+
+bool
+CoreChecker::checkStore(const Event &event)
+{
+    StoreView v(event);
+    if (!ensureSteppedTo(v.seqNo(), event))
+        return false;
+    unsigned nbytes = 1u << v.size();
+    u64 ref_val = bus_->ram().read(v.addr(), nbytes) & byteMask(nbytes);
+    if (ref_val != (v.data() & byteMask(nbytes)))
+        return fail(event, "store-data", ref_val, v.data());
+    counters_.add("checker.stores");
+    return true;
+}
+
+bool
+CoreChecker::checkAtomic(const Event &event)
+{
+    AtomicView v(event);
+    if (!ensureSteppedTo(v.seqNo(), event))
+        return false;
+    if (lastStep_ && lastStep_->seqNo == v.seqNo() &&
+        lastStep_->mem[0].valid) {
+        if (v.loadedValue() != lastStep_->mem[0].data)
+            return fail(event, "amo-loaded-value", lastStep_->mem[0].data,
+                        v.loadedValue());
+    }
+    counters_.add("checker.atomics");
+    return true;
+}
+
+bool
+CoreChecker::checkRefill(const Event &event)
+{
+    RefillView v(event);
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    for (unsigned w = 0; w < 8; ++w) {
+        u64 ref_word = bus_->ram().read(v.addr() + 8 * w, 8);
+        if (v.lineWord(w) != ref_word)
+            return fail(event, "refill-line-data", ref_word,
+                        v.lineWord(w));
+    }
+    counters_.add("checker.refills");
+    return true;
+}
+
+bool
+CoreChecker::checkSbuffer(const Event &event)
+{
+    SbufferView v(event);
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    for (unsigned w = 0; w < 8; ++w) {
+        u64 ref_word = bus_->ram().read(v.addr() + 8 * w, 8);
+        if (v.dataWord(w) != ref_word)
+            return fail(event, "sbuffer-line-data", ref_word,
+                        v.dataWord(w));
+    }
+    counters_.add("checker.sbuffer");
+    return true;
+}
+
+bool
+CoreChecker::checkTlb(const Event &event)
+{
+    TlbView v(event);
+    // Bare-metal identity mapping: a fill whose ppn differs from its vpn
+    // indicates a TLB bug.
+    if (v.ppn() != v.vpn())
+        return fail(event, "tlb-ppn", v.vpn(), v.ppn());
+    counters_.add("checker.tlb");
+    return true;
+}
+
+bool
+CoreChecker::checkIntRegState(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    RegFileView v(event);
+    for (unsigned i = 0; i < 32; ++i) {
+        if (v.reg(i) != ref_->xreg(i))
+            return fail(event, ("x" + std::to_string(i)).c_str(),
+                        ref_->xreg(i), v.reg(i));
+    }
+    counters_.add("checker.regstates");
+    return true;
+}
+
+bool
+CoreChecker::checkFpRegState(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    RegFileView v(event);
+    for (unsigned i = 0; i < 32; ++i) {
+        if (v.reg(i) != ref_->freg(i))
+            return fail(event, ("f" + std::to_string(i)).c_str(),
+                        ref_->freg(i), v.reg(i));
+    }
+    return true;
+}
+
+bool
+CoreChecker::checkCsrState(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    CsrStateView v(event);
+    const riscv::CsrFile &c = ref_->csrs();
+    struct NamedCsr
+    {
+        CsrSlot slot;
+        const char *name;
+        u64 ref_val;
+    };
+    const NamedCsr named[] = {
+        {CsrSlot::PrivilegeMode, "priv", c.priv},
+        {CsrSlot::Mstatus, "mstatus", c.mstatus},
+        {CsrSlot::Misa, "misa", c.misa},
+        {CsrSlot::Mie, "mie", c.mie},
+        {CsrSlot::Mtvec, "mtvec", c.mtvec},
+        {CsrSlot::Mscratch, "mscratch", c.mscratch},
+        {CsrSlot::Mepc, "mepc", c.mepc},
+        {CsrSlot::Mcause, "mcause", c.mcause},
+        {CsrSlot::Mtval, "mtval", c.mtval},
+        {CsrSlot::Minstret, "minstret", c.minstret},
+        {CsrSlot::Satp, "satp", c.satp},
+        {CsrSlot::Medeleg, "medeleg", c.medeleg},
+        {CsrSlot::Mideleg, "mideleg", c.mideleg},
+        {CsrSlot::Stvec, "stvec", c.stvec},
+        {CsrSlot::Sscratch, "sscratch", c.sscratch},
+        {CsrSlot::Sepc, "sepc", c.sepc},
+        {CsrSlot::Scause, "scause", c.scause},
+        {CsrSlot::Stval, "stval", c.stval},
+        {CsrSlot::Mhartid, "mhartid", c.mhartid},
+    };
+    for (const NamedCsr &n : named) {
+        if (v.csr(n.slot) != n.ref_val)
+            return fail(event, n.name, n.ref_val, v.csr(n.slot));
+    }
+    counters_.add("checker.csr_states");
+    return true;
+}
+
+bool
+CoreChecker::checkFpCsr(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    FpCsrView v(event);
+    if (v.fcsr() != ref_->csrs().fcsr)
+        return fail(event, "fcsr", ref_->csrs().fcsr, v.fcsr());
+    return true;
+}
+
+bool
+CoreChecker::checkVecRegState(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    VecRegView v(event);
+    for (unsigned r = 0; r < riscv::kNumVregs; ++r) {
+        for (unsigned l = 0; l < riscv::kVLanes64; ++l) {
+            if (v.lane(r, l) != ref_->vregLane(r, l)) {
+                return fail(event,
+                            ("v" + std::to_string(r) + "[" +
+                             std::to_string(l) + "]")
+                                .c_str(),
+                            ref_->vregLane(r, l), v.lane(r, l));
+            }
+        }
+    }
+    return true;
+}
+
+bool
+CoreChecker::checkVecCsr(const Event &event)
+{
+    if (!ensureSteppedTo(event.commitSeq, event))
+        return false;
+    VecCsrView v(event);
+    const riscv::CsrFile &c = ref_->csrs();
+    if (v.vl() != c.vl)
+        return fail(event, "vl", c.vl, v.vl());
+    if (v.vtype() != c.vtype)
+        return fail(event, "vtype", c.vtype, v.vtype());
+    if (v.vstart() != c.vstart)
+        return fail(event, "vstart", c.vstart, v.vstart());
+    return true;
+}
+
+bool
+CoreChecker::checkZeroSnapshot(const Event &event)
+{
+    // Hypervisor/debug/trigger CSR files are architecturally untouched by
+    // the workloads; any nonzero word is a monitor or transport bug.
+    PayloadView v(event);
+    for (size_t off = 0; off + 8 <= event.payload.size(); off += 8) {
+        if (v.word(off) != 0)
+            return fail(event, "nonzero-static-csr", 0, v.word(off));
+    }
+    return true;
+}
+
+bool
+CoreChecker::replayOriginalEvents(std::vector<Event> originals)
+{
+    dth_assert(failed_, "replay requires a detected mismatch");
+    counters_.add("checker.replays");
+
+    // Revert the REF to the last verified checkpoint (compensation
+    // log). Queued NDE oracles belong to the aborted timeline; the
+    // retransmitted originals re-supply the window's synchronization.
+    undo_->revertToMark();
+    ref_->clearOracles();
+    lastStep_.reset();
+    replayMode_ = true;
+    failed_ = false;
+    replayTranscript_.clear();
+    MismatchReport fusedReport = report_;
+    report_ = MismatchReport{};
+
+    // Restore checking order among the retransmitted original events.
+    std::stable_sort(originals.begin(), originals.end(),
+                     checkingOrderLess);
+
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "REF reverted to checkpoint #%llu; reprocessing %zu "
+                  "original events",
+                  (unsigned long long)markSeqPrev_, originals.size());
+    replayTranscript_.push_back(line);
+    for (const Event &e : originals) {
+        bool ok = processEvent(e);
+        if (e.type == EventType::InstrCommit) {
+            InstrCommitView v(e);
+            std::snprintf(line, sizeof(line),
+                          "#%-8llu pc 0x%llx instr 0x%08llx%s%s",
+                          (unsigned long long)v.seqNo(),
+                          (unsigned long long)v.pc(),
+                          (unsigned long long)v.instr(),
+                          v.rfWen() ? (" -> x" + std::to_string(v.rd()))
+                                          .c_str()
+                                    : "",
+                          ok ? "" : "   <-- MISMATCH");
+            replayTranscript_.push_back(line);
+        } else if (!ok) {
+            std::snprintf(line, sizeof(line),
+                          "#%-8llu %s   <-- MISMATCH",
+                          (unsigned long long)e.commitSeq,
+                          e.describe().c_str());
+            replayTranscript_.push_back(line);
+        }
+        if (!ok)
+            break;
+    }
+    replayMode_ = false;
+    if (!failed_) {
+        // The per-event stream passed but the fused compare failed: the
+        // corruption must live in the fusion/transport layer itself.
+        report_ = fusedReport;
+        failed_ = true;
+        return false;
+    }
+    report_.replayed = true;
+    report_.windowFirstSeq = fusedReport.windowFirstSeq;
+    report_.windowLastSeq = fusedReport.windowLastSeq;
+    return true;
+}
+
+} // namespace dth::checker

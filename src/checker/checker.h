@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The ISA checker (paper §2.2, §4.6): drives the REF model from the
+ * verification-event stream, synchronizes non-deterministic events
+ * through the Core's oracles, and compares architectural state. It
+ * accepts both unfused streams (per-instruction commits) and Squash
+ * output (FusedCommit/FusedDigest/DiffState), and implements the
+ * software half of Replay: compensation-log checkpoints at fused-window
+ * boundaries, rollback, and instruction-level reprocessing of the
+ * retransmitted original events.
+ */
+
+#ifndef DTH_CHECKER_CHECKER_H_
+#define DTH_CHECKER_CHECKER_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "event/payloads.h"
+#include "replay/undo_log.h"
+#include "riscv/core.h"
+#include "squash/fused_views.h"
+#include "workload/program.h"
+
+namespace dth::checker {
+
+/** A verification failure with its behavioural-semantics localization. */
+struct MismatchReport
+{
+    bool valid = false;
+    unsigned core = 0;
+    u64 seq = 0;   //!< order tag at which the mismatch was detected
+    u64 refPc = 0; //!< REF pc at detection
+    EventType eventType = EventType::InstrCommit;
+    std::string field;
+    u64 expected = 0;
+    u64 actual = 0;
+    /** Microarchitectural component implicated (behavioural semantics). */
+    std::string component;
+    /** True if detected at fused granularity (pre-Replay). */
+    bool fused = false;
+    u64 windowFirstSeq = 0;
+    u64 windowLastSeq = 0;
+    /** Replay refined this report to instruction granularity. */
+    bool replayed = false;
+
+    std::string describe() const;
+};
+
+/** Checker for one core: REF + comparison logic. */
+class CoreChecker
+{
+  public:
+    /**
+     * @param core_id which DUT core this checker mirrors
+     * @param program workload image loaded into the REF's private memory
+     * @param mmio_sync MMIO values are synchronized via MmioEvent
+     *        oracles; when false, commits flagged `skip` copy the DUT
+     *        value into the REF instead of comparing
+     */
+    CoreChecker(unsigned core_id, const workload::Program &program,
+                bool mmio_sync = true);
+
+    /**
+     * Process one event (already completed and in checking order).
+     * Returns false once verification has failed.
+     */
+    bool processEvent(const Event &event);
+
+    bool failed() const { return failed_; }
+    const MismatchReport &report() const { return report_; }
+
+    /** Trap observed with code 0 ("HIT GOOD TRAP"). */
+    bool sawGoodTrap() const { return sawTrap_ && trapCode_ == 0; }
+    bool sawTrap() const { return sawTrap_; }
+    u64 trapCode() const { return trapCode_; }
+
+    // ---- Replay (software half) ----------------------------------------
+    /**
+     * The rollback boundary: the start of the older retained window.
+     * Content checks of the last verified window may still fail after
+     * its boundary passed, so the compensation log keeps two windows.
+     */
+    u64 lastMarkSeq() const { return markSeqPrev_; }
+
+    /**
+     * Roll the REF back to the last checkpoint and reprocess the
+     * retransmitted original events; refines report() to instruction
+     * granularity. Returns true if the failure was re-localized.
+     */
+    bool replayOriginalEvents(std::vector<Event> originals);
+
+    /**
+     * Instruction-level transcript of the last replay (the paper's
+     * "detailed debugging report", Fig. 12 step 8): one line per
+     * reprocessed commit and per checked event, ending at the failure.
+     */
+    const std::vector<std::string> &replayTranscript() const
+    {
+        return replayTranscript_;
+    }
+
+    // ---- Introspection and work accounting ------------------------------
+    riscv::Core &ref() { return *ref_; }
+    u64 refSeq() const { return ref_->seqNo(); }
+    u64 instrsStepped() const { return instrsStepped_; }
+    u64 eventsChecked() const { return eventsChecked_; }
+    PerfCounters &counters() { return counters_; }
+
+  private:
+    bool fail(const Event &event, const char *field, u64 expected,
+              u64 actual);
+    bool failFused(const Event &event, const char *field, u64 expected,
+                   u64 actual, u64 first_seq, u64 last_seq);
+    bool ensureSteppedTo(u64 seq, const Event &context);
+    riscv::StepResult stepOnce();
+    void foldStepDigests(const riscv::StepResult &r);
+
+    bool checkInstrCommit(const Event &event);
+    bool checkFusedCommit(const Event &event);
+    bool checkFusedDigest(const Event &event);
+    bool checkTrap(const Event &event);
+    bool checkArchEvent(const Event &event);
+    bool checkLoad(const Event &event);
+    bool checkStore(const Event &event);
+    bool checkAtomic(const Event &event);
+    bool checkRefill(const Event &event);
+    bool checkSbuffer(const Event &event);
+    bool checkTlb(const Event &event);
+    bool checkIntRegState(const Event &event);
+    bool checkFpRegState(const Event &event);
+    bool checkCsrState(const Event &event);
+    bool checkFpCsr(const Event &event);
+    bool checkVecRegState(const Event &event);
+    bool checkVecCsr(const Event &event);
+    bool checkZeroSnapshot(const Event &event);
+
+    unsigned coreId_;
+    bool mmioSync_;
+    std::unique_ptr<riscv::Bus> bus_;
+    std::unique_ptr<riscv::Core> ref_;
+    std::unique_ptr<replay::UndoLog> undo_;
+
+    std::optional<riscv::StepResult> lastStep_;
+
+    // Fused-window digest accumulators (commit window + per aux type).
+    u64 commitWindowDigest_ = 0;
+    u64 commitWindowCount_ = 0;
+    std::array<u64, kNumEventTypes> auxDigest_{};
+    std::array<u64, kNumEventTypes> auxCount_{};
+
+    u64 markSeq_ = 0;
+    u64 markSeqPrev_ = 0;
+    bool replayMode_ = false;
+    std::vector<std::string> replayTranscript_;
+
+    bool failed_ = false;
+    MismatchReport report_;
+    bool sawTrap_ = false;
+    u64 trapCode_ = 0;
+
+    u64 instrsStepped_ = 0;
+    u64 eventsChecked_ = 0;
+    PerfCounters counters_;
+};
+
+} // namespace dth::checker
+
+#endif // DTH_CHECKER_CHECKER_H_

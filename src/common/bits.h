@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA model and the packers.
+ */
+
+#ifndef DTH_COMMON_BITS_H_
+#define DTH_COMMON_BITS_H_
+
+#include "common/types.h"
+
+namespace dth {
+
+/** Extract bits [hi:lo] (inclusive) from a 64-bit value. */
+constexpr u64
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & ((hi - lo == 63) ? ~0ULL
+                                            : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** Extract a single bit. */
+constexpr u64
+bit(u64 value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr i64
+sext(u64 value, unsigned width)
+{
+    unsigned shift = 64 - width;
+    return static_cast<i64>(value << shift) >> shift;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr u64
+alignUp(u64 value, u64 align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of two). */
+constexpr u64
+alignDown(u64 value, u64 align)
+{
+    return value & ~(align - 1);
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPow2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** A byte mask with the low @p nbytes bytes set. */
+constexpr u64
+byteMask(unsigned nbytes)
+{
+    return nbytes >= 8 ? ~0ULL : ((1ULL << (nbytes * 8)) - 1);
+}
+
+} // namespace dth
+
+#endif // DTH_COMMON_BITS_H_

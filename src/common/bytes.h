@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Little-endian byte-stream writer/reader used for event serialization and
+ * packet assembly. All cross-"interface" data in DiffTest-H moves through
+ * these streams so the software side genuinely parses what the hardware
+ * side emitted.
+ */
+
+#ifndef DTH_COMMON_BYTES_H_
+#define DTH_COMMON_BYTES_H_
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace dth {
+
+/** Appends little-endian scalars and raw bytes to a growable buffer. */
+class ByteWriter
+{
+  public:
+    ByteWriter() = default;
+    explicit ByteWriter(std::vector<u8> *out) : external_(out) {}
+
+    void putU8(u8 v) { put(&v, 1); }
+    void putU16(u16 v) { putLe(v, 2); }
+    void putU32(u32 v) { putLe(v, 4); }
+    void putU64(u64 v) { putLe(v, 8); }
+
+    void
+    putBytes(const u8 *data, size_t n)
+    {
+        put(data, n);
+    }
+
+    void
+    putBytes(std::span<const u8> data)
+    {
+        put(data.data(), data.size());
+    }
+
+    /** Append @p n zero bytes (padding). */
+    void
+    putZeros(size_t n)
+    {
+        buf().insert(buf().end(), n, 0);
+    }
+
+    size_t size() const { return bufConst().size(); }
+    const std::vector<u8> &bytes() const { return bufConst(); }
+    std::vector<u8> take() { return std::move(buf()); }
+
+  private:
+    std::vector<u8> &buf() { return external_ ? *external_ : owned_; }
+    const std::vector<u8> &
+    bufConst() const
+    {
+        return external_ ? *external_ : owned_;
+    }
+
+    void
+    putLe(u64 v, unsigned nbytes)
+    {
+        u8 tmp[8];
+        for (unsigned i = 0; i < nbytes; ++i)
+            tmp[i] = static_cast<u8>(v >> (8 * i));
+        put(tmp, nbytes);
+    }
+
+    void
+    put(const u8 *data, size_t n)
+    {
+        buf().insert(buf().end(), data, data + n);
+    }
+
+    std::vector<u8> owned_;
+    std::vector<u8> *external_ = nullptr;
+};
+
+/** Consumes little-endian scalars from a byte span; panics on underrun. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+    u8 getU8() { return get(1); }
+    u16 getU16() { return static_cast<u16>(get(2)); }
+    u32 getU32() { return static_cast<u32>(get(4)); }
+    u64 getU64() { return get(8); }
+
+    /** Read @p n raw bytes. */
+    std::span<const u8>
+    getBytes(size_t n)
+    {
+        dth_assert(pos_ + n <= data_.size(),
+                   "byte stream underrun: need %zu at %zu/%zu", n, pos_,
+                   data_.size());
+        auto out = data_.subspan(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    void
+    skip(size_t n)
+    {
+        (void)getBytes(n);
+    }
+
+    size_t remaining() const { return data_.size() - pos_; }
+    size_t position() const { return pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    u64
+    get(unsigned nbytes)
+    {
+        auto raw = getBytes(nbytes);
+        u64 v = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            v |= static_cast<u64>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    std::span<const u8> data_;
+    size_t pos_ = 0;
+};
+
+} // namespace dth
+
+#endif // DTH_COMMON_BYTES_H_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Named performance counters. Both "hardware" and "software" sides of the
+ * co-simulation register counters here (paper §5: the tuning toolkit's
+ * performance-evaluation support), e.g. transmission counts, data volume,
+ * Squash fusion ratio, Batch packet utilization.
+ */
+
+#ifndef DTH_COMMON_COUNTERS_H_
+#define DTH_COMMON_COUNTERS_H_
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace dth {
+
+/** A flat map of named monotonically increasing counters. */
+class PerfCounters
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, u64 delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Add to a floating-point accumulator (for time/ratio sums). */
+    void
+    addReal(const std::string &name, double delta)
+    {
+        reals_[name] += delta;
+    }
+
+    /** Track the maximum seen for @p name. */
+    void
+    trackMax(const std::string &name, u64 value)
+    {
+        u64 &slot = counters_[name];
+        if (value > slot)
+            slot = value;
+    }
+
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    double
+    getReal(const std::string &name) const
+    {
+        auto it = reals_.find(name);
+        return it == reals_.end() ? 0.0 : it->second;
+    }
+
+    /** Ratio of two integer counters; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        u64 d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    const std::map<std::string, u64> &integers() const { return counters_; }
+    const std::map<std::string, double> &reals() const { return reals_; }
+
+    void
+    clear()
+    {
+        counters_.clear();
+        reals_.clear();
+    }
+
+    /** Merge another counter set into this one. */
+    void
+    merge(const PerfCounters &other)
+    {
+        for (const auto &[k, v] : other.counters_)
+            counters_[k] += v;
+        for (const auto &[k, v] : other.reals_)
+            reals_[k] += v;
+    }
+
+  private:
+    std::map<std::string, u64> counters_;
+    std::map<std::string, double> reals_;
+};
+
+} // namespace dth
+
+#endif // DTH_COMMON_COUNTERS_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 panic/fatal idiom:
+ * panic() is an internal invariant violation (a DiffTest-H bug), fatal()
+ * is a user/configuration error, warn()/inform() are advisory.
+ */
+
+#ifndef DTH_COMMON_LOGGING_H_
+#define DTH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dth {
+
+/** Verbosity levels for advisory output. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Global verbosity; benches lower this to keep output clean. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, std::string msg);
+[[noreturn]] void fatalImpl(const char *file, int line, std::string msg);
+void warnImpl(std::string msg);
+void informImpl(std::string msg);
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace dth
+
+/** Abort on an internal invariant violation (DiffTest-H bug). */
+#define dth_panic(...)                                                      \
+    ::dth::detail::panicImpl(__FILE__, __LINE__,                            \
+                             ::dth::detail::formatMessage(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define dth_fatal(...)                                                      \
+    ::dth::detail::fatalImpl(__FILE__, __LINE__,                            \
+                             ::dth::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about suspicious conditions. */
+#define dth_warn(...)                                                       \
+    ::dth::detail::warnImpl(::dth::detail::formatMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define dth_inform(...)                                                     \
+    ::dth::detail::informImpl(::dth::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define dth_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            dth_panic("assertion failed: %s -- %s", #cond,                  \
+                      ::dth::detail::formatMessage(__VA_ARGS__).c_str());   \
+        }                                                                   \
+    } while (0)
+
+#endif // DTH_COMMON_LOGGING_H_

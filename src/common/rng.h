@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic xorshift random number generator. All stochastic behaviour
+ * in DiffTest-H (workload generation, microarchitectural texture, fault
+ * injection) flows from seeded instances of this class so that every
+ * simulation is exactly reproducible.
+ */
+
+#ifndef DTH_COMMON_RNG_H_
+#define DTH_COMMON_RNG_H_
+
+#include "common/types.h"
+
+namespace dth {
+
+/** xorshift64* generator; small, fast and deterministic across hosts. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit sample. */
+    u64
+    next()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64 nextBelow(u64 bound) { return next() % bound; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64 nextRange(u64 lo, u64 hi) { return lo + nextBelow(hi - lo + 1); }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    /** Derive an independent child stream (for per-module determinism). */
+    Rng fork() { return Rng(next() ^ 0xA24BAED4963EE407ULL); }
+
+  private:
+    u64 state_;
+};
+
+} // namespace dth
+
+#endif // DTH_COMMON_RNG_H_

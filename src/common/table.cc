@@ -1,0 +1,123 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dth {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    dth_assert(cells.size() == header_.size(),
+               "row arity %zu != header arity %zu", cells.size(),
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = emit_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto emit = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ',';
+        }
+        return line + '\n';
+    };
+    std::string out = emit(header_);
+    for (const auto &row : rows_)
+        out += emit(row);
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtHz(double hz)
+{
+    char buf[64];
+    if (hz >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f MHz", hz / 1e6);
+    else if (hz >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1f KHz", hz / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f Hz", hz);
+    return buf;
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 86400 * 2)
+        std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400);
+    else if (seconds >= 3600)
+        std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600);
+    else if (seconds >= 60)
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60);
+    else if (seconds >= 1)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    return buf;
+}
+
+} // namespace dth

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal aligned text-table printer used by the benchmark harnesses to
+ * print the paper's tables and figure series.
+ */
+
+#ifndef DTH_COMMON_TABLE_H_
+#define DTH_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dth {
+
+/** Collects rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, rule, rows) to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Render as comma-separated values (for offline analysis). */
+    std::string renderCsv() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting helpers for table cells. */
+std::string fmtDouble(double v, int precision = 2);
+std::string fmtPercent(double fraction, int precision = 1);
+
+/** Human-readable frequency, e.g. 478000 -> "478.0 KHz". */
+std::string fmtHz(double hz);
+
+/** Human-readable duration, e.g. 39600 -> "11.0 h". */
+std::string fmtSeconds(double seconds);
+
+} // namespace dth
+
+#endif // DTH_COMMON_TABLE_H_

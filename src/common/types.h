@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout DiffTest-H.
+ */
+
+#ifndef DTH_COMMON_TYPES_H_
+#define DTH_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dth {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+} // namespace dth
+
+#endif // DTH_COMMON_TYPES_H_

@@ -1,0 +1,334 @@
+#include "cosim/cosim.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace dth::cosim {
+
+const char *
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::Z: return "Baseline";
+      case OptLevel::B: return "+Batch";
+      case OptLevel::BN: return "+NonBlock";
+      case OptLevel::BNSD: return "+Squash";
+    }
+    return "?";
+}
+
+void
+CosimConfig::applyOptLevel(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::Z:
+        batch = false;
+        nonBlocking = false;
+        squash = false;
+        break;
+      case OptLevel::B:
+        batch = true;
+        nonBlocking = false;
+        squash = false;
+        break;
+      case OptLevel::BN:
+        batch = true;
+        nonBlocking = true;
+        squash = false;
+        break;
+      case OptLevel::BNSD:
+        batch = true;
+        nonBlocking = true;
+        squash = true;
+        break;
+    }
+}
+
+std::string
+CosimResult::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %llu cycles, %llu instrs, %.2f KHz, comm %.1f%%",
+                  goodTrap ? "HIT GOOD TRAP"
+                           : (verified ? "ran clean" : "MISMATCH"),
+                  (unsigned long long)cycles, (unsigned long long)instrs,
+                  simSpeedHz / 1e3, timing.communicationFraction() * 100);
+    return buf;
+}
+
+CoSimulator::CoSimulator(const CosimConfig &config,
+                         const workload::Program &program)
+    : config_(config), program_(program)
+{
+    dut_ = std::make_unique<dut::DutModel>(config_.dut, program_,
+                                           config_.seed);
+    if (config_.squash) {
+        SquashConfig sc;
+        sc.maxFuse = config_.maxFuse;
+        sc.differencing = config_.differencing;
+        sc.orderCoupled = config_.orderCoupledFusion;
+        sc.cores = config_.dut.cores;
+        squash_ = std::make_unique<SquashUnit>(sc);
+    }
+    if (config_.fixedOffsetPacking) {
+        dth_assert(!config_.squash,
+                   "fixed-offset packing models prior work without Squash");
+        packer_ = std::make_unique<FixedOffsetPacker>(
+            config_.dut.eventEnabled, config_.dut.cores,
+            config_.packetBytes);
+        unpacker_ = std::make_unique<FixedOffsetUnpacker>(
+            config_.dut.eventEnabled, config_.dut.cores);
+    } else if (config_.batch) {
+        packer_ = std::make_unique<BatchPacker>(config_.packetBytes);
+        unpacker_ = std::make_unique<BatchUnpacker>();
+    } else {
+        packer_ = std::make_unique<PerEventPacker>();
+        unpacker_ = std::make_unique<PerEventUnpacker>();
+    }
+    completer_ = std::make_unique<SquashCompleter>(config_.dut.cores);
+    reorderer_ = std::make_unique<Reorderer>(config_.dut.cores);
+    if (config_.enableReplay) {
+        replayBuffer_ = std::make_unique<replay::ReplayBuffer>(
+            config_.dut.cores, config_.replayBufferCapacity);
+    }
+    link_ = std::make_unique<link::LinkSimulator>(
+        config_.platform,
+        config_.platform.dutOnlyHz(config_.dut.gatesMillions),
+        config_.nonBlocking);
+    emitCounters_.assign(config_.dut.cores, 0);
+    bool mmio_sync = config_.dut.enabled(EventType::MmioEvent);
+    for (unsigned c = 0; c < config_.dut.cores; ++c) {
+        checkers_.push_back(std::make_unique<checker::CoreChecker>(
+            c, program_, mmio_sync));
+    }
+}
+
+CoSimulator::~CoSimulator() = default;
+
+checker::CoreChecker &
+CoSimulator::coreChecker(unsigned core)
+{
+    return *checkers_[core];
+}
+
+void
+CoSimulator::armFault(const dut::FaultSpec &spec)
+{
+    dut_->armFault(spec);
+}
+
+bool
+CoSimulator::anyFailed() const
+{
+    for (const auto &c : checkers_)
+        if (c->failed())
+            return true;
+    return false;
+}
+
+bool
+CoSimulator::allGoodTrap() const
+{
+    for (const auto &c : checkers_)
+        if (!c->sawGoodTrap())
+            return false;
+    return true;
+}
+
+void
+CoSimulator::feedChecker(const Event &event)
+{
+    checker::CoreChecker &chk = *checkers_[event.core];
+    if (chk.failed())
+        return;
+    if (!chk.processEvent(event)) {
+        if (config_.enableReplay && replayBuffer_)
+            runReplay(event.core);
+    } else if (event.type == EventType::FusedCommit && replayBuffer_) {
+        // Window verified: the hardware buffer can drop it.
+        replayBuffer_->release(event.core, chk.lastMarkSeq());
+    }
+}
+
+void
+CoSimulator::runReplay(unsigned core)
+{
+    checker::CoreChecker &chk = *checkers_[core];
+    const checker::MismatchReport &rep = chk.report();
+    if (!config_.squash) {
+        // Unfused streams are already instruction-granular.
+        return;
+    }
+    replayRan_ = true;
+    u64 first = chk.lastMarkSeq() + 1;
+    u64 last = std::max(rep.seq, rep.windowLastSeq);
+    bool complete = false;
+    std::vector<Event> originals =
+        replayBuffer_->request(core, first, last, &complete);
+    replayComplete_ = complete;
+    if (!complete) {
+        dth_warn("replay window [%llu, %llu] partially evicted",
+                 (unsigned long long)first, (unsigned long long)last);
+    }
+    // Retransmission crosses the link once more.
+    size_t bytes = 0;
+    for (const Event &e : originals)
+        bytes += eventWireBytes(e);
+    link::SoftwareWork work;
+    work.eventsChecked = originals.size();
+    work.instrsStepped = last - first + 1;
+    work.bytesParsed = bytes;
+    link_->onTransfer(dut_->cycles(), bytes, work);
+    replayBuffer_->counters().add("replay.retransmit_bytes", bytes);
+    replayBuffer_->counters().add("replay.retransmit_events",
+                                  originals.size());
+    chk.replayOriginalEvents(std::move(originals));
+}
+
+void
+CoSimulator::processTransfer(const Transfer &transfer)
+{
+    std::vector<Event> events = unpacker_->unpack(transfer);
+
+    u64 instrs_before = 0, events_before = 0;
+    for (const auto &c : checkers_) {
+        instrs_before += c->instrsStepped();
+        events_before += c->eventsChecked();
+    }
+
+    for (Event &e : events)
+        reorderer_->push(completer_->complete(e));
+    for (Event &e : reorderer_->drain())
+        feedChecker(e);
+
+    u64 instrs_after = 0, events_after = 0;
+    for (const auto &c : checkers_) {
+        instrs_after += c->instrsStepped();
+        events_after += c->eventsChecked();
+    }
+    link::SoftwareWork work;
+    work.instrsStepped = instrs_after - instrs_before;
+    work.eventsChecked = events_after - events_before;
+    work.bytesParsed = transfer.size();
+    link_->onTransfer(transfer.issueCycle, transfer.size(), work);
+}
+
+void
+CoSimulator::stampEmissionOrder(CycleEvents &cycle)
+{
+    for (Event &e : cycle.events)
+        e.emitSeq = emitCounters_[e.core]++;
+}
+
+CosimResult
+CoSimulator::run(u64 max_cycles)
+{
+    std::vector<Transfer> transfers;
+    u64 last_emit_cycle = 0;
+
+    while (!dut_->done() && dut_->cycles() < max_cycles && !anyFailed()) {
+        CycleEvents ce = dut_->cycle();
+        if (monitorTap_)
+            monitorTap_(ce);
+        if (replayBuffer_) {
+            for (const Event &e : ce.events)
+                replayBuffer_->record(e);
+        }
+        if (squash_) {
+            CycleEvents squashed = squash_->process(ce);
+            stampEmissionOrder(squashed);
+            packer_->packCycle(squashed, transfers);
+        } else {
+            stampEmissionOrder(ce);
+            packer_->packCycle(ce, transfers);
+        }
+        if (!transfers.empty()) {
+            last_emit_cycle = dut_->cycles();
+        } else if (dut_->cycles() - last_emit_cycle >=
+                   config_.packetFlushInterval) {
+            packer_->flush(transfers);
+            last_emit_cycle = dut_->cycles();
+        }
+        for (const Transfer &t : transfers)
+            processTransfer(t);
+        transfers.clear();
+    }
+
+    // Drain: flush open fusion windows and partial packets, then feed
+    // everything that is still buffered on the software side.
+    if (!anyFailed()) {
+        if (squash_) {
+            CycleEvents tail = squash_->finish();
+            stampEmissionOrder(tail);
+            packer_->packCycle(tail, transfers);
+        }
+        packer_->flush(transfers);
+        for (const Transfer &t : transfers)
+            processTransfer(t);
+        transfers.clear();
+        for (Event &e : reorderer_->drainAll())
+            feedChecker(e);
+    }
+
+    CosimResult result;
+    result.cycles = dut_->cycles();
+    result.instrs = dut_->totalInstrsRetired();
+    result.timing = link_->finish(result.cycles);
+    result.simSpeedHz =
+        result.timing.totalSec > 0
+            ? static_cast<double>(result.cycles) / result.timing.totalSec
+            : 0;
+    result.goodTrap = allGoodTrap();
+    result.verified = !anyFailed();
+    result.replayRan = replayRan_;
+    result.replayComplete = replayComplete_;
+    for (const auto &c : checkers_) {
+        if (c->failed()) {
+            result.mismatch = c->report();
+            break;
+        }
+    }
+
+    // Merge counters and derive the communication statistics.
+    if (replayBuffer_) {
+        replayBuffer_->counters().trackMax("replay.buffered_bytes",
+                                           replayBuffer_->bufferedBytes());
+        result.counters.merge(replayBuffer_->counters());
+    }
+    result.counters.merge(dut_->counters());
+    result.counters.merge(packer_->counters());
+    if (squash_)
+        result.counters.merge(squash_->counters());
+    for (const auto &c : checkers_)
+        result.counters.merge(c->counters());
+    const PerfCounters &pc = result.counters;
+    if (result.cycles > 0) {
+        result.invokesPerCycle =
+            static_cast<double>(result.timing.transfers) / result.cycles;
+        result.bytesPerCycle =
+            static_cast<double>(result.timing.bytes) / result.cycles;
+    }
+    u64 dut_instrs = pc.get("dut.instrs");
+    if (dut_instrs > 0) {
+        result.rawBytesPerInstr =
+            static_cast<double>(pc.get("dut.bytes")) / dut_instrs;
+    }
+    result.fusionRatio = pc.ratio("squash.commits_absorbed",
+                                  "squash.flushes");
+    u64 bubble = pc.get("pack.bubble_bytes");
+    u64 valid = pc.get("pack.valid_bytes");
+    if (bubble + valid > 0) {
+        result.bubbleFraction =
+            static_cast<double>(bubble) / (bubble + valid);
+    }
+    u64 samples = pc.get("pack.utilization_samples");
+    if (samples > 0) {
+        result.packetUtilization =
+            pc.getReal("pack.utilization_sum") / samples;
+    }
+    return result;
+}
+
+} // namespace dth::cosim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The DiffTest-H co-simulation framework top level (paper Fig. 3/12):
+ * the DUT model's monitors feed the acceleration unit (Squash fusion +
+ * differencing, Batch packing), transfers cross the modeled link
+ * (blocking or non-blocking), and the software side unpacks, completes,
+ * reorders and checks against per-core REF models. On a mismatch at
+ * fused granularity, the Replay unit rolls the REF back via the
+ * compensation log and reprocesses the buffered original events.
+ *
+ * Optimization levels mirror the artifact's DIFF_CONFIG options:
+ *   Z      baseline DiffTest (per-event DPI, blocking)
+ *   B      +Batch  (tight packing)
+ *   BN     +NonBlock (speculative run-ahead)
+ *   BNSD   +Squash+Differencing (full DiffTest-H)
+ */
+
+#ifndef DTH_COSIM_COSIM_H_
+#define DTH_COSIM_COSIM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "dut/dut.h"
+#include "link/link_sim.h"
+#include "pack/packer.h"
+#include "replay/buffer.h"
+#include "squash/squash.h"
+
+namespace dth::cosim {
+
+/** Artifact-style optimization levels. */
+enum class OptLevel { Z, B, BN, BNSD };
+
+const char *optLevelName(OptLevel level);
+
+/** Full co-simulation configuration. */
+struct CosimConfig
+{
+    dut::DutConfig dut;
+    link::Platform platform;
+
+    // Optimization switches (set via applyOptLevel or individually).
+    bool batch = true;
+    bool nonBlocking = true;
+    bool squash = true;
+    bool differencing = true;
+    /** Prior-work order-coupled fusion (Fig. 8 baseline). */
+    bool orderCoupledFusion = false;
+    /** Prior-work fixed-offset packing instead of Batch (Fig. 5). */
+    bool fixedOffsetPacking = false;
+
+    unsigned packetBytes = 4096;
+    unsigned maxFuse = 32;
+    bool enableReplay = true;
+    size_t replayBufferCapacity = 16384;
+    /** Flush a partially filled packet after this many idle cycles. */
+    u64 packetFlushInterval = 1024;
+
+    u64 seed = 0xD1FF;
+
+    void applyOptLevel(OptLevel level);
+};
+
+/** Outcome of one co-simulation run. */
+struct CosimResult
+{
+    bool verified = false; //!< no mismatch detected
+    bool goodTrap = false; //!< all cores hit the good trap
+    u64 cycles = 0;
+    u64 instrs = 0;
+
+    double simSpeedHz = 0;
+    link::LinkResult timing;
+
+    checker::MismatchReport mismatch;
+    bool replayRan = false;
+    bool replayComplete = false;
+
+    // Communication statistics.
+    double invokesPerCycle = 0;
+    double bytesPerCycle = 0;
+    double rawBytesPerInstr = 0; //!< pre-optimization volume (Table 4)
+    double fusionRatio = 0;      //!< commits absorbed per flush
+    double bubbleFraction = 0;   //!< fixed-offset padding share
+    double packetUtilization = 0;
+
+    PerfCounters counters;
+
+    std::string summary() const;
+};
+
+/** The co-simulation driver. */
+class CoSimulator
+{
+  public:
+    CoSimulator(const CosimConfig &config,
+                const workload::Program &program);
+    ~CoSimulator();
+
+    /** Arm a DUT fault before running. */
+    void armFault(const dut::FaultSpec &spec);
+
+    /** Observe the raw monitor stream (trace dumping, paper §5). */
+    void
+    setMonitorTap(std::function<void(const CycleEvents &)> tap)
+    {
+        monitorTap_ = std::move(tap);
+    }
+
+    /** Run until trap, mismatch, or @p max_cycles. */
+    CosimResult run(u64 max_cycles);
+
+    dut::DutModel &dutModel() { return *dut_; }
+    checker::CoreChecker &coreChecker(unsigned core);
+    const CosimConfig &config() const { return config_; }
+
+  private:
+    void processTransfer(const Transfer &transfer);
+    void stampEmissionOrder(CycleEvents &cycle);
+    void feedChecker(const Event &event);
+    void runReplay(unsigned core);
+    bool anyFailed() const;
+    bool allGoodTrap() const;
+
+    CosimConfig config_;
+    workload::Program program_;
+
+    std::unique_ptr<dut::DutModel> dut_;
+    std::unique_ptr<SquashUnit> squash_;
+    std::unique_ptr<Packer> packer_;
+    std::unique_ptr<Unpacker> unpacker_;
+    std::unique_ptr<SquashCompleter> completer_;
+    std::unique_ptr<Reorderer> reorderer_;
+    std::unique_ptr<replay::ReplayBuffer> replayBuffer_;
+    std::unique_ptr<link::LinkSimulator> link_;
+    std::vector<std::unique_ptr<checker::CoreChecker>> checkers_;
+
+    bool replayRan_ = false;
+    bool replayComplete_ = false;
+    std::vector<u64> emitCounters_;
+    std::function<void(const CycleEvents &)> monitorTap_;
+};
+
+} // namespace dth::cosim
+
+#endif // DTH_COSIM_COSIM_H_

@@ -1,0 +1,104 @@
+#include "dut/config.h"
+
+namespace dth::dut {
+
+unsigned
+DutConfig::enabledEventTypes() const
+{
+    unsigned n = 0;
+    for (bool e : eventEnabled)
+        n += e ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+std::array<bool, kNumEventTypes>
+allEvents()
+{
+    std::array<bool, kNumEventTypes> e{};
+    e.fill(true);
+    return e;
+}
+
+} // namespace
+
+DutConfig
+nutshellConfig()
+{
+    DutConfig c;
+    c.name = "NutShell";
+    c.cores = 1;
+    c.commitWidth = 1;
+    c.gatesMillions = 0.6;
+    c.commitCycleProb = 0.55;
+    c.fullRegState = false; // reg state only on traps
+    // Paper Table 4: NutShell monitors 6 event types. MmioEvent is one of
+    // them so the REF can synchronize device reads.
+    c.eventEnabled[static_cast<unsigned>(EventType::InstrCommit)] = true;
+    c.eventEnabled[static_cast<unsigned>(EventType::Trap)] = true;
+    c.eventEnabled[static_cast<unsigned>(EventType::ArchEvent)] = true;
+    c.eventEnabled[static_cast<unsigned>(EventType::ArchIntRegState)] = true;
+    c.eventEnabled[static_cast<unsigned>(EventType::CsrState)] = true;
+    c.eventEnabled[static_cast<unsigned>(EventType::MmioEvent)] = true;
+    c.l1dSets = 32;
+    c.l1dWays = 2;
+    c.sbufferThreshold = 0; // no store buffer monitor
+    return c;
+}
+
+DutConfig
+xsMinimalConfig()
+{
+    DutConfig c;
+    c.name = "XiangShan (Minimal)";
+    c.cores = 1;
+    c.commitWidth = 2;
+    c.gatesMillions = 39.4;
+    c.commitCycleProb = 0.52;
+    c.fullRegState = true;
+    // The 2-wide configuration samples the register-state monitors at a
+    // lower rate, matching its smaller per-instruction verification
+    // volume (paper Table 4).
+    c.regStateInterval = 3;
+    c.eventEnabled = allEvents();
+    c.l1dSets = 32;
+    c.l1dWays = 4;
+    c.l2Sets = 256;
+    c.extIrqInterval = 40000;
+    return c;
+}
+
+DutConfig
+xsDefaultConfig()
+{
+    DutConfig c;
+    c.name = "XiangShan (Default)";
+    c.cores = 1;
+    c.commitWidth = 6;
+    c.gatesMillions = 57.6;
+    c.commitCycleProb = 0.34; // ~1.2 IPC with E[k|commit] ~ 3.5
+    c.fullRegState = true;
+    c.eventEnabled = allEvents();
+    c.extIrqInterval = 40000;
+    return c;
+}
+
+DutConfig
+xsDualConfig()
+{
+    DutConfig c = xsDefaultConfig();
+    c.name = "XiangShan (Default, 2C)";
+    c.cores = 2;
+    c.gatesMillions = 111.8;
+    return c;
+}
+
+std::array<DutConfig, 4>
+allDutConfigs()
+{
+    return {nutshellConfig(), xsMinimalConfig(), xsDefaultConfig(),
+            xsDualConfig()};
+}
+
+} // namespace dth::dut

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DUT configurations (paper Table 3/4): NutShell (scalar in-order),
+ * XiangShan Minimal (2-wide OoO), XiangShan Default (6-wide OoO), and the
+ * dual-core XiangShan Default. A configuration fixes the commit width,
+ * the enabled verification-event set, the microarchitectural texture
+ * rates and the gate count used by the area/Verilator models.
+ */
+
+#ifndef DTH_DUT_CONFIG_H_
+#define DTH_DUT_CONFIG_H_
+
+#include <array>
+#include <string>
+
+#include "event/event_type.h"
+
+namespace dth::dut {
+
+/** Static description of a DUT configuration. */
+struct DutConfig
+{
+    std::string name;
+    unsigned cores = 1;
+    unsigned commitWidth = 1;
+    /** Logic scale in million gates (paper Table 4). */
+    double gatesMillions = 1.0;
+    /** Probability a cycle commits at least one instruction. */
+    double commitCycleProb = 0.5;
+
+    /** Emit the full register-update family every commit cycle. */
+    bool fullRegState = true;
+    /** Emit the register-update family every Nth commit cycle. */
+    unsigned regStateInterval = 1;
+    /** Which of the 32 event types this DUT's monitors cover. */
+    std::array<bool, kNumEventTypes> eventEnabled{};
+
+    // Microarchitectural texture rates (events per cycle per core).
+    double l1dSets = 64, l1dWays = 4;
+    double l1iSets = 64, l1iWays = 4;
+    double l2Sets = 512, l2Ways = 8;
+    double tlbEntries = 32;
+    double l2TlbEntries = 256;
+    /** Store-buffer flush threshold (stores per flush). */
+    unsigned sbufferThreshold = 8;
+    /** External-interrupt pulse interval in cycles (0 = never). */
+    u64 extIrqInterval = 0;
+
+    unsigned enabledEventTypes() const;
+    bool enabled(EventType t) const
+    {
+        return eventEnabled[static_cast<unsigned>(t)];
+    }
+};
+
+/** NutShell: scalar in-order, 0.6 M gates, 6 event types. */
+DutConfig nutshellConfig();
+
+/** XiangShan Minimal: 2-wide OoO, 39.4 M gates, 32 event types. */
+DutConfig xsMinimalConfig();
+
+/** XiangShan Default: 6-wide OoO, 57.6 M gates, 32 event types. */
+DutConfig xsDefaultConfig();
+
+/** XiangShan Default dual-core: 111.8 M gates. */
+DutConfig xsDualConfig();
+
+/** All four paper configurations, smallest first. */
+std::array<DutConfig, 4> allDutConfigs();
+
+} // namespace dth::dut
+
+#endif // DTH_DUT_CONFIG_H_

@@ -1,0 +1,645 @@
+#include "dut/dut.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace dth::dut {
+
+using riscv::StepResult;
+
+DutModel::CoreCtx::CoreCtx(const riscv::CoreConfig &cc, const DutConfig &dc)
+    : soc(cc),
+      l1d(static_cast<unsigned>(dc.l1dSets),
+          static_cast<unsigned>(dc.l1dWays)),
+      l1i(static_cast<unsigned>(dc.l1iSets),
+          static_cast<unsigned>(dc.l1iWays)),
+      l2(static_cast<unsigned>(dc.l2Sets), static_cast<unsigned>(dc.l2Ways)),
+      l1tlb(static_cast<unsigned>(dc.tlbEntries)),
+      l2tlb(static_cast<unsigned>(dc.l2TlbEntries)),
+      sbuf(dc.sbufferThreshold)
+{}
+
+DutModel::DutModel(const DutConfig &config, const workload::Program &program,
+                   u64 seed)
+    : config_(config), program_(program), rng_(seed)
+{
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        riscv::CoreConfig cc;
+        cc.resetPc = program.base;
+        cc.autoInterrupts = true;
+        cc.spuriousScFailRate =
+            config_.enabled(EventType::LrScEvent) ? 0.03 : 0.0;
+        cc.rngSeed = seed + 101 * c + 7;
+        cc.hartId = c;
+        auto ctx = std::make_unique<CoreCtx>(cc, config_);
+        ctx->soc.bus.ram().load(program.base, program.image.data(),
+                                program.image.size());
+        ctxs_.push_back(std::move(ctx));
+    }
+}
+
+bool
+DutModel::done() const
+{
+    for (const auto &ctx : ctxs_)
+        if (!ctx->done)
+            return false;
+    return true;
+}
+
+u64
+DutModel::instrsRetired(unsigned core) const
+{
+    return ctxs_[core]->soc.core.seqNo();
+}
+
+u64
+DutModel::totalInstrsRetired() const
+{
+    u64 n = 0;
+    for (const auto &ctx : ctxs_)
+        n += ctx->soc.core.seqNo();
+    return n;
+}
+
+void
+DutModel::armFault(const FaultSpec &spec)
+{
+    dth_assert(fault_.archetype == BugArchetype::None,
+               "only one fault per run");
+    fault_ = spec;
+}
+
+bool
+DutModel::faultArmedFor(BugArchetype a, unsigned core_id, u64 seq) const
+{
+    return fault_.archetype == a && !faultOutcome_.fired &&
+           fault_.core == core_id && seq >= fault_.triggerSeq;
+}
+
+void
+DutModel::markFired(u64 seq, const std::string &what)
+{
+    faultOutcome_.fired = true;
+    faultOutcome_.firedSeq = seq;
+    faultOutcome_.firedCycle = cycle_;
+    faultOutcome_.description = what;
+}
+
+void
+DutModel::push(CycleEvents &out, Event event)
+{
+    if (!config_.enabled(event.type))
+        return;
+    counters_.add("dut.events");
+    counters_.add("dut.bytes", event.wireBytes());
+    out.events.push_back(std::move(event));
+}
+
+CycleEvents
+DutModel::cycle()
+{
+    CycleEvents out;
+    out.cycle = cycle_;
+    for (unsigned c = 0; c < config_.cores; ++c)
+        cycleCore(c, out);
+    ++cycle_;
+    return out;
+}
+
+void
+DutModel::cycleCore(unsigned core_id, CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    if (ctx.done)
+        return;
+    ctx.soc.clint.tick();
+    if (config_.extIrqInterval > 0 &&
+        cycle_ % config_.extIrqInterval == config_.extIrqInterval - 1) {
+        ctx.soc.core.setExternalInterrupt(true);
+    }
+
+    unsigned target = 0;
+    if (rng_.chance(config_.commitCycleProb))
+        target = 1 + static_cast<unsigned>(
+                         rng_.nextBelow(config_.commitWidth));
+
+    unsigned committed = 0;
+    bool vecThisCycle = false;
+    bool interruptThisCycle = false;
+    while (committed < target && !ctx.done) {
+        emitTexture(core_id, ctx.soc.core.pc(), true, out);
+        StepResult r = ctx.soc.core.step();
+
+        if (r.interrupt) {
+            interruptThisCycle = true;
+            ctx.soc.core.setExternalInterrupt(false);
+            u64 seq = ctx.soc.core.seqNo();
+            if (faultArmedFor(BugArchetype::LostInterrupt, core_id, seq)) {
+                markFired(seq, "suppressed interrupt ArchEvent");
+            } else {
+                Event e = Event::make(EventType::ArchEvent,
+                                      static_cast<u8>(core_id), 0, seq);
+                ArchEventView v(e);
+                v.set_kind(1);
+                v.set_cause(r.cause);
+                v.set_exceptionPc(r.pc);
+                v.set_seqNo(seq);
+                push(out, std::move(e));
+                if (r.cause == riscv::kIntExternal) {
+                    Event aia = Event::make(EventType::AiaEvent,
+                                            static_cast<u8>(core_id), 0,
+                                            seq);
+                    storeU64(aia.payload, 0, r.cause);
+                    storeU64(aia.payload, 8, seq);
+                    push(out, std::move(aia));
+                }
+            }
+            if (faultArmedFor(BugArchetype::CsrCorruption, core_id, seq)) {
+                ctx.soc.core.writeCsr(riscv::kCsrMepc,
+                                      ctx.soc.core.csrs().mepc ^
+                                          fault_.xorMask);
+                markFired(seq, "corrupted mepc on interrupt entry");
+            }
+            break; // redirect consumes the remaining commit slots
+        }
+
+        if (r.halted) {
+            Event e = Event::make(EventType::Trap, static_cast<u8>(core_id),
+                                  0, r.seqNo);
+            TrapView v(e);
+            v.set_hasTrap(1);
+            v.set_pc(r.pc);
+            v.set_code(r.haltCode);
+            v.set_cycle(cycle_);
+            v.set_instrCount(ctx.soc.core.seqNo());
+            push(out, std::move(e));
+            ctx.done = true;
+            break;
+        }
+
+        // Fault hooks that alter the retired result / DUT state.
+        if (maybeCorruptRd(core_id, r))
+            markFired(r.seqNo, "corrupted rd writeback value");
+        if (r.exception &&
+            faultArmedFor(BugArchetype::CsrCorruption, core_id, r.seqNo)) {
+            maybeCorruptTrapCsr(core_id, r);
+            markFired(r.seqNo, "corrupted mepc on exception entry");
+        }
+        if (maybeCorruptStore(core_id, r))
+            markFired(r.seqNo, "flipped bit behind a committed store");
+        if (maybeCorruptVector(core_id, r))
+            markFired(r.seqNo, "flipped a vector register lane");
+
+        // NDE oracles (MMIO values, SC outcomes) must precede the commit
+        // they synchronize on the wire, so the REF sees them before it
+        // executes the tagged instruction.
+        emitMemEvents(core_id, r, out);
+        emitCommit(core_id, r, committed, out);
+
+        if (r.exception) {
+            Event e = Event::make(EventType::ArchEvent,
+                                  static_cast<u8>(core_id), 0, r.seqNo);
+            ArchEventView v(e);
+            v.set_kind(2);
+            v.set_cause(r.cause);
+            v.set_exceptionPc(r.pc);
+            v.set_exceptionInst(r.instr);
+            v.set_seqNo(r.seqNo);
+            push(out, std::move(e));
+        }
+
+        if (r.isBranch) {
+            Event e = Event::make(EventType::BranchEvent,
+                                  static_cast<u8>(core_id),
+                                  static_cast<u8>(committed), r.seqNo);
+            storeU64(e.payload, 0, r.pc);
+            storeU64(e.payload, 8, r.branchTaken);
+            storeU64(e.payload, 16, r.nextPc);
+            storeU64(e.payload, 24, r.seqNo);
+            push(out, std::move(e));
+            if (rng_.chance(0.01)) {
+                Event ra = Event::make(EventType::RunaheadEvent,
+                                       static_cast<u8>(core_id), 0,
+                                       r.seqNo);
+                storeU64(ra.payload, 0, r.pc);
+                storeU64(ra.payload, 8, r.seqNo);
+                push(out, std::move(ra));
+            }
+        }
+
+        if (r.vecWen) {
+            vecThisCycle = true;
+            ctx.vecTouched = true;
+            Event e = Event::make(EventType::VecWriteback,
+                                  static_cast<u8>(core_id),
+                                  static_cast<u8>(committed), r.seqNo);
+            storeU64(e.payload, 0, r.vrd);
+            storeU64(e.payload, 8, r.vecVal[0]);
+            storeU64(e.payload, 16, r.vecVal[1]);
+            storeU64(e.payload, 24, r.seqNo);
+            push(out, std::move(e));
+        }
+        if (r.isVecConfig) {
+            Event e = Event::make(EventType::VtypeEvent,
+                                  static_cast<u8>(core_id), 0, r.seqNo);
+            VtypeView v(e);
+            v.set_vtype(ctx.soc.core.csrs().vtype);
+            v.set_vl(ctx.soc.core.csrs().vl);
+            v.set_seqNo(r.seqNo);
+            push(out, std::move(e));
+        }
+
+        ++committed;
+    }
+
+    emitPendingLineEvents(core_id, out);
+
+    // A mid-cycle interrupt redirect leaves the architectural state
+    // post-trap; a snapshot would be tagged with the pre-trap order tag
+    // and mismatch. Real monitors gate the snapshot the same way.
+    if (committed > 0)
+        ++ctx.commitCycles;
+    if (committed > 0 && config_.fullRegState && !interruptThisCycle &&
+        ctx.commitCycles % std::max(1u, config_.regStateInterval) == 0) {
+        emitRegState(core_id, out);
+    }
+    if (vecThisCycle && !interruptThisCycle &&
+        config_.enabled(EventType::ArchVecRegState)) {
+        CoreCtx &cc = *ctxs_[core_id];
+        Event e = Event::make(EventType::ArchVecRegState,
+                              static_cast<u8>(core_id), 0,
+                              cc.soc.core.seqNo());
+        VecRegView v(e);
+        v.set_vstart(cc.soc.core.csrs().vstart);
+        v.set_vl(cc.soc.core.csrs().vl);
+        v.set_vtype(cc.soc.core.csrs().vtype);
+        for (unsigned reg = 0; reg < riscv::kNumVregs; ++reg)
+            for (unsigned lane = 0; lane < riscv::kVLanes64; ++lane)
+                v.setLane(reg, lane, cc.soc.core.vregLane(reg, lane));
+        push(out, std::move(e));
+    }
+    counters_.add("dut.instrs", committed);
+}
+
+void
+DutModel::emitCommit(unsigned core_id, const StepResult &r, unsigned slot,
+                     CycleEvents &out)
+{
+    bool mmio_touch = false;
+    for (unsigned i = 0; i < r.memCount; ++i)
+        mmio_touch |= r.mem[i].valid && r.mem[i].mmio;
+
+    Event e = Event::make(EventType::InstrCommit, static_cast<u8>(core_id),
+                          static_cast<u8>(slot), r.seqNo);
+    InstrCommitView v(e);
+    v.set_pc(r.pc);
+    v.set_instr(r.instr);
+    v.set_rdVal(r.rdVal);
+    v.set_seqNo(r.seqNo);
+    v.set_rd(r.rd);
+    v.set_rfWen(r.rfWen ? 1 : 0);
+    v.set_fpWen(r.fpWen ? 1 : 0);
+    v.set_vecWen(r.vecWen ? 1 : 0);
+    v.set_isLoad(r.memCount > 0 && !r.mem[0].store ? 1 : 0);
+    v.set_isStore(r.memCount > 0 && r.mem[0].store ? 1 : 0);
+    v.set_isBranch(r.isBranch ? 1 : 0);
+    v.set_taken(r.branchTaken ? 1 : 0);
+    v.set_frd(r.frd);
+    v.set_vrd(r.vrd);
+    v.set_frdVal(r.frdVal);
+    v.set_nextPc(r.nextPc);
+    // When the MMIO event stream is not monitored (small DUTs), the REF
+    // cannot synchronize device values; DiffTest-style "skip" tells the
+    // checker to copy the DUT value instead of comparing.
+    bool can_sync = config_.enabled(EventType::MmioEvent);
+    v.set_skip(mmio_touch && !can_sync ? 1 : 0);
+    push(out, std::move(e));
+}
+
+void
+DutModel::emitMemEvents(unsigned core_id, const StepResult &r,
+                        CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    u8 cid = static_cast<u8>(core_id);
+
+    if (r.scEvent) {
+        Event e = Event::make(EventType::LrScEvent, cid, 0, r.seqNo);
+        LrScView v(e);
+        v.set_addr(r.memCount ? r.mem[0].addr : 0);
+        v.set_success(r.scSuccess ? 1 : 0);
+        v.set_seqNo(r.seqNo);
+        push(out, std::move(e));
+    }
+
+    bool atomic = false;
+    for (unsigned i = 0; i < r.memCount; ++i)
+        atomic |= r.mem[i].atomic;
+    if (atomic && !r.scEvent && r.memCount >= 1) {
+        const auto &m0 = r.mem[0];
+        Event e = Event::make(EventType::AtomicEvent, cid, 0, r.seqNo);
+        AtomicView v(e);
+        v.set_addr(m0.addr);
+        v.set_loadedValue(m0.data);
+        v.set_storedValue(r.memCount > 1 ? r.mem[1].data : 0);
+        v.set_mask(byteMask(1u << m0.sizeLog2));
+        v.set_seqNo(r.seqNo);
+        push(out, std::move(e));
+    }
+
+    u8 load_slot = 0, store_slot = 0;
+    for (unsigned i = 0; i < r.memCount; ++i) {
+        const riscv::MemAccessInfo &m = r.mem[i];
+        if (!m.valid)
+            continue;
+        if (m.mmio) {
+            Event e = Event::make(EventType::MmioEvent, cid,
+                                  static_cast<u8>(i), r.seqNo);
+            MmioView v(e);
+            v.set_addr(m.addr);
+            v.set_data(m.data);
+            v.set_seqNo(r.seqNo);
+            v.set_isLoad(m.store ? 0 : 1);
+            v.set_size(m.sizeLog2);
+            push(out, std::move(e));
+            if (m.store &&
+                m.addr == riscv::kUartBase + riscv::kUartData) {
+                Event io = Event::make(EventType::UartIoEvent, cid, 0,
+                                       r.seqNo);
+                UartIoView uv(io);
+                uv.set_ch(m.data);
+                uv.set_flags(1);
+                push(out, std::move(io));
+            }
+            continue;
+        }
+
+        emitTexture(core_id, m.addr, false, out);
+
+        if (m.store) {
+            Event e = Event::make(EventType::StoreEvent, cid, store_slot++,
+                                  r.seqNo);
+            StoreView v(e);
+            v.set_addr(m.addr);
+            v.set_data(m.data);
+            v.set_mask(byteMask(1u << m.sizeLog2));
+            v.set_seqNo(r.seqNo);
+            v.set_size(m.sizeLog2);
+            push(out, std::move(e));
+            u64 flushed = 0;
+            if (ctx.sbuf.store(m.addr, &flushed))
+                pendingFlushes_.push_back(flushed);
+        } else if (!m.atomic) {
+            Event e = Event::make(EventType::LoadEvent, cid, load_slot++,
+                                  r.seqNo);
+            LoadView v(e);
+            v.set_paddr(m.addr);
+            v.set_vaddr(m.addr);
+            v.set_data(m.data);
+            v.set_seqNo(r.seqNo);
+            v.set_size(m.sizeLog2);
+            v.set_isMmio(0);
+            push(out, std::move(e));
+        }
+    }
+}
+
+void
+DutModel::emitTexture(unsigned core_id, u64 addr, bool is_fetch,
+                      CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    if (!ctx.soc.bus.isRam(addr))
+        return;
+    (void)out;
+    if (is_fetch) {
+        if (!ctx.l1i.access(addr)) {
+            pendingRefills_.emplace_back(EventType::L1IRefill,
+                                         ctx.l1i.lineAddr(addr));
+            if (!ctx.l2.access(addr))
+                pendingRefills_.emplace_back(EventType::L2Refill,
+                                             ctx.l2.lineAddr(addr));
+        }
+        return;
+    }
+
+    u64 seq = ctx.soc.core.seqNo();
+    if (!ctx.l1tlb.access(addr)) {
+        Event e = Event::make(EventType::L1TlbEvent,
+                              static_cast<u8>(core_id), 0, seq);
+        TlbView v(e);
+        v.set_vpn(addr >> 12);
+        v.set_ppn(addr >> 12);
+        v.set_perm(0xF);
+        v.set_level(1);
+        push(out, std::move(e));
+        if (!ctx.l2tlb.access(addr)) {
+            Event e2 = Event::make(EventType::L2TlbEvent,
+                                   static_cast<u8>(core_id), 0, seq);
+            TlbView v2(e2);
+            v2.set_vpn(addr >> 12);
+            v2.set_ppn(addr >> 12);
+            v2.set_perm(0xF);
+            v2.set_level(2);
+            push(out, std::move(e2));
+            Event ptw = Event::make(EventType::GuestPtwEvent,
+                                    static_cast<u8>(core_id), 0, seq);
+            storeU64(ptw.payload, 0, addr >> 12);
+            storeU64(ptw.payload, 8, seq);
+            push(out, std::move(ptw));
+        }
+    }
+    if (!ctx.l1d.access(addr)) {
+        pendingRefills_.emplace_back(EventType::L1DRefill,
+                                     ctx.l1d.lineAddr(addr));
+        if (!ctx.l2.access(addr))
+            pendingRefills_.emplace_back(EventType::L2Refill,
+                                         ctx.l2.lineAddr(addr));
+    }
+}
+
+void
+DutModel::emitPendingLineEvents(unsigned core_id, CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    for (const auto &[type, line] : pendingRefills_)
+        emitRefill(core_id, type, line, out);
+    pendingRefills_.clear();
+    for (u64 flushed : pendingFlushes_) {
+        if (!config_.enabled(EventType::SbufferEvent))
+            continue;
+        Event sb = Event::make(EventType::SbufferEvent,
+                               static_cast<u8>(core_id), 0,
+                               ctx.soc.core.seqNo());
+        SbufferView sv(sb);
+        sv.set_addr(flushed);
+        sv.set_mask(~0ULL);
+        for (unsigned w = 0; w < 8; ++w)
+            sv.setDataWord(w, ctx.soc.bus.ram().read(flushed + 8 * w, 8));
+        push(out, std::move(sb));
+    }
+    pendingFlushes_.clear();
+}
+
+void
+DutModel::emitRefill(unsigned core_id, EventType type, u64 line_addr,
+                     CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    Event e = Event::make(type, static_cast<u8>(core_id), 0,
+                          ctx.soc.core.seqNo());
+    RefillView v(e);
+    v.set_addr(line_addr);
+    for (unsigned w = 0; w < 8; ++w)
+        v.setLineWord(w, ctx.soc.bus.ram().read(line_addr + 8 * w, 8));
+    v.set_way(0);
+    v.set_setIndex(ctx.l1d.setIndexOf(line_addr));
+    if (type == EventType::L1DRefill &&
+        faultArmedFor(BugArchetype::RefillCorruption, core_id,
+                      ctx.soc.core.seqNo())) {
+        v.setLineWord(0, v.lineWord(0) ^ fault_.xorMask);
+        markFired(ctx.soc.core.seqNo(), "corrupted L1D refill line data");
+    }
+    push(out, std::move(e));
+}
+
+void
+DutModel::emitRegState(unsigned core_id, CycleEvents &out)
+{
+    CoreCtx &ctx = *ctxs_[core_id];
+    riscv::Core &core = ctx.soc.core;
+    u8 cid = static_cast<u8>(core_id);
+    u64 seq = core.seqNo();
+
+    {
+        Event e = Event::make(EventType::ArchIntRegState, cid, 0, seq);
+        RegFileView v(e);
+        for (unsigned i = 0; i < 32; ++i)
+            v.setReg(i, core.xreg(i));
+        push(out, std::move(e));
+    }
+    {
+        Event e = Event::make(EventType::ArchFpRegState, cid, 0, seq);
+        RegFileView v(e);
+        for (unsigned i = 0; i < 32; ++i)
+            v.setReg(i, core.freg(i));
+        push(out, std::move(e));
+    }
+    {
+        Event e = Event::make(EventType::CsrState, cid, 0, seq);
+        CsrStateView v(e);
+        const riscv::CsrFile &c = core.csrs();
+        v.setCsr(CsrSlot::PrivilegeMode, c.priv);
+        v.setCsr(CsrSlot::Mstatus, c.mstatus);
+        v.setCsr(CsrSlot::Misa, c.misa);
+        v.setCsr(CsrSlot::Mie, c.mie);
+        v.setCsr(CsrSlot::Mtvec, c.mtvec);
+        v.setCsr(CsrSlot::Mscratch, c.mscratch);
+        v.setCsr(CsrSlot::Mepc, c.mepc);
+        v.setCsr(CsrSlot::Mcause, c.mcause);
+        v.setCsr(CsrSlot::Mtval, c.mtval);
+        v.setCsr(CsrSlot::Minstret, c.minstret);
+        v.setCsr(CsrSlot::Satp, c.satp);
+        v.setCsr(CsrSlot::Medeleg, c.medeleg);
+        v.setCsr(CsrSlot::Mideleg, c.mideleg);
+        v.setCsr(CsrSlot::Stvec, c.stvec);
+        v.setCsr(CsrSlot::Sscratch, c.sscratch);
+        v.setCsr(CsrSlot::Sepc, c.sepc);
+        v.setCsr(CsrSlot::Scause, c.scause);
+        v.setCsr(CsrSlot::Stval, c.stval);
+        v.setCsr(CsrSlot::Mhartid, c.mhartid);
+        push(out, std::move(e));
+    }
+    {
+        Event e = Event::make(EventType::FpCsrState, cid, 0, seq);
+        FpCsrView v(e);
+        v.set_fcsr(core.csrs().fcsr);
+        push(out, std::move(e));
+    }
+    // Hypervisor/debug/trigger CSR monitors exist on XiangShan but the
+    // workloads never touch them; their snapshots are constant zero.
+    push(out, Event::make(EventType::HCsrState, cid, 0, seq));
+    push(out, Event::make(EventType::DebugCsrState, cid, 0, seq));
+    push(out, Event::make(EventType::TriggerCsrState, cid, 0, seq));
+    {
+        Event e = Event::make(EventType::VecCsrState, cid, 0, seq);
+        VecCsrView v(e);
+        const riscv::CsrFile &c = core.csrs();
+        v.set_vstart(c.vstart);
+        v.set_vxsat(c.vxsat);
+        v.set_vxrm(c.vxrm);
+        v.set_vcsr((c.vxrm << 1) | c.vxsat);
+        u64 vl = c.vl;
+        // A vector-config monitor bug corrupts every snapshot from the
+        // trigger point on (a transient corruption in a mid-window
+        // snapshot would be dropped by Squash, as in real hardware).
+        if (fault_.archetype == BugArchetype::VtypeCorruption &&
+            fault_.core == core_id && seq >= fault_.triggerSeq) {
+            vl ^= fault_.xorMask;
+            if (!faultOutcome_.fired)
+                markFired(seq, "VecCsr events report wrong vl");
+        }
+        v.set_vl(vl);
+        v.set_vtype(c.vtype);
+        v.set_vlenb(riscv::kVlenBits / 8);
+        push(out, std::move(e));
+    }
+}
+
+bool
+DutModel::maybeCorruptRd(unsigned core_id, StepResult &r)
+{
+    if (!faultArmedFor(BugArchetype::WrongRdValue, core_id, r.seqNo) ||
+        !r.rfWen) {
+        return false;
+    }
+    riscv::Core &core = ctxs_[core_id]->soc.core;
+    u64 bad = r.rdVal ^ fault_.xorMask;
+    core.setXReg(r.rd, bad);
+    r.rdVal = bad;
+    return true;
+}
+
+bool
+DutModel::maybeCorruptTrapCsr(unsigned core_id, const StepResult &)
+{
+    riscv::Core &core = ctxs_[core_id]->soc.core;
+    core.writeCsr(riscv::kCsrMepc, core.csrs().mepc ^ fault_.xorMask);
+    return true;
+}
+
+bool
+DutModel::maybeCorruptStore(unsigned core_id, const StepResult &r)
+{
+    if (!faultArmedFor(BugArchetype::StoreDataCorruption, core_id, r.seqNo))
+        return false;
+    for (unsigned i = 0; i < r.memCount; ++i) {
+        const riscv::MemAccessInfo &m = r.mem[i];
+        if (m.valid && m.store && !m.mmio) {
+            riscv::PhysMem &ram = ctxs_[core_id]->soc.bus.ram();
+            unsigned nbytes = 1u << m.sizeLog2;
+            u64 cur = ram.read(m.addr, nbytes);
+            ram.write(m.addr, nbytes, cur ^ (fault_.xorMask & 0xFF));
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DutModel::maybeCorruptVector(unsigned core_id, StepResult &r)
+{
+    if (!faultArmedFor(BugArchetype::VectorLaneCorruption, core_id,
+                       r.seqNo) ||
+        !r.vecWen) {
+        return false;
+    }
+    riscv::Core &core = ctxs_[core_id]->soc.core;
+    u64 bad = core.vregLane(r.vrd, 0) ^ fault_.xorMask;
+    core.setVRegLane(r.vrd, 0, bad);
+    r.vecVal[0] = bad;
+    return true;
+}
+
+} // namespace dth::dut

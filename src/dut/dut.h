@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The DUT model: stands in for the XiangShan/NutShell RTL running on an
+ * emulator or FPGA. Each core wraps a private RISC-V core (the same ISA
+ * semantics as the REF) in a cycle-driven commit-stage model with
+ * monitor probes that emit the full verification-event stream, plus
+ * cache/TLB/store-buffer texture and device-driven non-determinism
+ * (CLINT timer, external interrupt pulses, UART jitter, spurious SC
+ * failures). A FaultInjector can introduce the paper's bug archetypes.
+ *
+ * In a multi-core configuration each core runs a private memory image of
+ * the workload (cores do not share memory), so per-core checking against
+ * a per-core REF stays exact; cross-core coherence traffic is
+ * represented by the L2 refill texture. See DESIGN.md §2.
+ */
+
+#ifndef DTH_DUT_DUT_H_
+#define DTH_DUT_DUT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/rng.h"
+#include "dut/config.h"
+#include "dut/fault.h"
+#include "dut/texture.h"
+#include "event/event.h"
+#include "event/payloads.h"
+#include "riscv/core.h"
+#include "workload/program.h"
+
+namespace dth::dut {
+
+/** The emulated design under test. */
+class DutModel
+{
+  public:
+    DutModel(const DutConfig &config, const workload::Program &program,
+             u64 seed = 0xD07);
+
+    /** Advance one hardware cycle; returns the cycle's events. */
+    CycleEvents cycle();
+
+    /** All cores have hit their trap instruction. */
+    bool done() const;
+
+    u64 cycles() const { return cycle_; }
+    u64 instrsRetired(unsigned core = 0) const;
+    u64 totalInstrsRetired() const;
+
+    /** Arm a fault; at most one per run. */
+    void armFault(const FaultSpec &spec);
+    const FaultOutcome &faultOutcome() const { return faultOutcome_; }
+
+    const DutConfig &config() const { return config_; }
+    riscv::Core &core(unsigned i) { return ctxs_[i]->soc.core; }
+    const workload::Program &program() const { return program_; }
+    PerfCounters &counters() { return counters_; }
+
+  private:
+    struct CoreCtx
+    {
+        explicit CoreCtx(const riscv::CoreConfig &cc, const DutConfig &dc);
+
+        riscv::Soc soc;
+        CacheModel l1d;
+        CacheModel l1i;
+        CacheModel l2;
+        TlbModel l1tlb;
+        TlbModel l2tlb;
+        SbufferModel sbuf;
+        bool done = false;
+        bool vecTouched = false;
+        u64 commitCycles = 0;
+    };
+
+    void cycleCore(unsigned core_id, CycleEvents &out);
+    void emitPendingLineEvents(unsigned core_id, CycleEvents &out);
+    void emitCommit(unsigned core_id, const riscv::StepResult &r,
+                    unsigned slot, CycleEvents &out);
+    void emitMemEvents(unsigned core_id, const riscv::StepResult &r,
+                       CycleEvents &out);
+    void emitRegState(unsigned core_id, CycleEvents &out);
+    void emitRefill(unsigned core_id, EventType type, u64 line_addr,
+                    CycleEvents &out);
+    void emitTexture(unsigned core_id, u64 addr, bool is_fetch,
+                     CycleEvents &out);
+    void push(CycleEvents &out, Event event);
+
+    // Fault hooks; each returns true if the fault fired here.
+    bool maybeCorruptRd(unsigned core_id, riscv::StepResult &r);
+    bool maybeCorruptTrapCsr(unsigned core_id, const riscv::StepResult &r);
+    bool maybeCorruptStore(unsigned core_id, const riscv::StepResult &r);
+    bool maybeCorruptVector(unsigned core_id, riscv::StepResult &r);
+    bool faultArmedFor(BugArchetype a, unsigned core_id, u64 seq) const;
+    void markFired(u64 seq, const std::string &what);
+
+    DutConfig config_;
+    workload::Program program_;
+    Rng rng_;
+    std::vector<std::unique_ptr<CoreCtx>> ctxs_;
+    u64 cycle_ = 0;
+
+    FaultSpec fault_;
+    FaultOutcome faultOutcome_;
+
+    // Memory-content texture events (refills, store-buffer flushes) are
+    // deferred to the end of the cycle so their order tag matches the
+    // memory state their payload was captured at.
+    std::vector<std::pair<EventType, u64>> pendingRefills_;
+    std::vector<u64> pendingFlushes_;
+
+    PerfCounters counters_;
+};
+
+} // namespace dth::dut
+
+#endif // DTH_DUT_DUT_H_

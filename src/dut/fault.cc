@@ -1,0 +1,41 @@
+#include "dut/fault.h"
+
+namespace dth::dut {
+
+const char *
+bugArchetypeName(BugArchetype archetype)
+{
+    switch (archetype) {
+      case BugArchetype::None: return "none";
+      case BugArchetype::WrongRdValue: return "wrong-rd-value";
+      case BugArchetype::CsrCorruption: return "csr-corruption";
+      case BugArchetype::StoreDataCorruption: return "store-corruption";
+      case BugArchetype::RefillCorruption: return "refill-corruption";
+      case BugArchetype::VectorLaneCorruption: return "vector-lane";
+      case BugArchetype::VtypeCorruption: return "vtype-corruption";
+      case BugArchetype::LostInterrupt: return "lost-interrupt";
+    }
+    return "?";
+}
+
+const char *
+bugCategory(BugArchetype archetype)
+{
+    switch (archetype) {
+      case BugArchetype::CsrCorruption:
+      case BugArchetype::LostInterrupt:
+        return "exception/interrupt handling";
+      case BugArchetype::StoreDataCorruption:
+      case BugArchetype::RefillCorruption:
+        return "memory hierarchy and coherence";
+      case BugArchetype::WrongRdValue:
+      case BugArchetype::VectorLaneCorruption:
+      case BugArchetype::VtypeCorruption:
+        return "vector and control logic";
+      case BugArchetype::None:
+        break;
+    }
+    return "none";
+}
+
+} // namespace dth::dut

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fault injection: bug archetypes mirroring the paper's three categories
+ * of XiangShan bugs (Table 6): exception/interrupt handling errors,
+ * memory hierarchy and coherence issues, and vector/control logic
+ * errors. A fault either corrupts the DUT's architectural state (a real
+ * divergence the checker must catch) or only the emitted verification
+ * event (a monitor-visible bug).
+ */
+
+#ifndef DTH_DUT_FAULT_H_
+#define DTH_DUT_FAULT_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace dth::dut {
+
+/** Bug archetypes; see Table 6 in the paper. */
+enum class BugArchetype {
+    None,
+    /** Writeback bug: committed rd value (and DUT state) is wrong. */
+    WrongRdValue,
+    /** Exception handling: mepc corrupted when a trap is taken. */
+    CsrCorruption,
+    /** Memory hierarchy: a store silently flips a bit in DUT memory. */
+    StoreDataCorruption,
+    /** Memory hierarchy: a refill event carries a corrupted line. */
+    RefillCorruption,
+    /** Vector logic: a vector register lane is flipped. */
+    VectorLaneCorruption,
+    /** Vector config: the VecCsr event reports the wrong vl. */
+    VtypeCorruption,
+    /** Interrupt handling: an interrupt's ArchEvent is never emitted. */
+    LostInterrupt,
+};
+
+const char *bugArchetypeName(BugArchetype archetype);
+
+/** Which paper bug category an archetype belongs to. */
+const char *bugCategory(BugArchetype archetype);
+
+/** A single armed fault. */
+struct FaultSpec
+{
+    BugArchetype archetype = BugArchetype::None;
+    /** Fires at the first eligible instruction with seqNo >= this. */
+    u64 triggerSeq = 0;
+    unsigned core = 0;
+    /** Bits to flip in the corrupted value. */
+    u64 xorMask = 0x10;
+};
+
+/** Records when/where an armed fault actually fired. */
+struct FaultOutcome
+{
+    bool fired = false;
+    u64 firedSeq = 0;
+    u64 firedCycle = 0;
+    std::string description;
+};
+
+} // namespace dth::dut
+
+#endif // DTH_DUT_FAULT_H_

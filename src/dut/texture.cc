@@ -1,0 +1,83 @@
+#include "dut/texture.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace dth::dut {
+
+CacheModel::CacheModel(unsigned sets, unsigned ways, unsigned line_bytes)
+    : sets_(sets), numWays_(ways), lineBytes_(line_bytes)
+{
+    dth_assert(isPow2(sets) && ways >= 1, "bad cache geometry %ux%u", sets,
+               ways);
+    ways_.resize(size_t(sets) * ways);
+}
+
+unsigned
+CacheModel::setIndexOf(u64 addr) const
+{
+    return static_cast<unsigned>((addr / lineBytes_) % sets_);
+}
+
+bool
+CacheModel::access(u64 addr)
+{
+    ++accesses_;
+    ++clock_;
+    u64 tag = addr / lineBytes_ / sets_;
+    unsigned set = setIndexOf(addr);
+    Way *base = &ways_[size_t(set) * numWays_];
+    Way *victim = base;
+    for (unsigned w = 0; w < numWays_; ++w) {
+        if (base[w].tag == tag) {
+            base[w].stamp = clock_;
+            return true;
+        }
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    ++misses_;
+    victim->tag = tag;
+    victim->stamp = clock_;
+    return false;
+}
+
+TlbModel::TlbModel(unsigned entries) : entries_(entries)
+{
+    pages_.assign(entries, ~0ULL);
+}
+
+bool
+TlbModel::access(u64 vaddr)
+{
+    u64 page = vaddr >> 12;
+    size_t slot = page % entries_;
+    if (pages_[slot] == page)
+        return true;
+    ++misses_;
+    pages_[slot] = page;
+    return false;
+}
+
+bool
+SbufferModel::store(u64 addr, u64 *flushed_line)
+{
+    if (threshold_ == 0)
+        return false;
+    u64 line = alignDown(addr, 64);
+    if (line != currentLine_ && pending_ > 0) {
+        *flushed_line = currentLine_;
+        currentLine_ = line;
+        pending_ = 1;
+        return true;
+    }
+    currentLine_ = line;
+    if (++pending_ >= threshold_) {
+        *flushed_line = currentLine_;
+        pending_ = 0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace dth::dut

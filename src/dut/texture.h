@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microarchitectural texture models: small set-associative cache and TLB
+ * models plus a store-buffer model. They are driven by the real address
+ * stream of the DUT core and produce the memory-hierarchy verification
+ * events (refills, TLB fills, store-buffer flushes) whose payloads are
+ * read back from the DUT's actual memory — so the checker can verify
+ * them against the REF.
+ */
+
+#ifndef DTH_DUT_TEXTURE_H_
+#define DTH_DUT_TEXTURE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dth::dut {
+
+/** Set-associative LRU cache model; tracks tags only. */
+class CacheModel
+{
+  public:
+    CacheModel(unsigned sets, unsigned ways, unsigned line_bytes = 64);
+
+    /** Access @p addr; returns true on hit (false = miss -> refill). */
+    bool access(u64 addr);
+
+    u64 lineAddr(u64 addr) const { return addr & ~(u64(lineBytes_) - 1); }
+    unsigned setIndexOf(u64 addr) const;
+    u64 accesses() const { return accesses_; }
+    u64 misses() const { return misses_; }
+
+  private:
+    unsigned sets_;
+    unsigned numWays_;
+    unsigned lineBytes_;
+    // numWays_ entries per set: tag plus LRU stamp.
+    struct Way
+    {
+        u64 tag = ~0ULL;
+        u64 stamp = 0;
+    };
+    std::vector<Way> ways_;
+    u64 clock_ = 0;
+    u64 accesses_ = 0;
+    u64 misses_ = 0;
+};
+
+/** Fully-associative-by-hash TLB model over 4 KiB pages. */
+class TlbModel
+{
+  public:
+    explicit TlbModel(unsigned entries);
+
+    /** Access the page of @p vaddr; returns true on hit. */
+    bool access(u64 vaddr);
+
+    u64 misses() const { return misses_; }
+
+  private:
+    unsigned entries_;
+    std::vector<u64> pages_;
+    u64 misses_ = 0;
+};
+
+/** Store-buffer model: coalesces stores per 64 B line, flushes when the
+ *  configured number of stores have accumulated or the line changes. */
+class SbufferModel
+{
+  public:
+    explicit SbufferModel(unsigned threshold) : threshold_(threshold) {}
+
+    /**
+     * Record a store; returns true when a flush should be emitted for
+     * @p flushed_line (the line address to flush).
+     */
+    bool store(u64 addr, u64 *flushed_line);
+
+    bool active() const { return threshold_ > 0; }
+
+  private:
+    unsigned threshold_;
+    u64 currentLine_ = ~0ULL;
+    unsigned pending_ = 0;
+};
+
+} // namespace dth::dut
+
+#endif // DTH_DUT_TEXTURE_H_

@@ -1,0 +1,19 @@
+#include "event/event.h"
+
+#include <cstdio>
+
+namespace dth {
+
+std::string
+Event::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s[core %u, idx %u, seq %llu, %u B]%s", info().name,
+                  core, index,
+                  static_cast<unsigned long long>(commitSeq),
+                  info().bytesPerEntry, isNde() ? " (NDE)" : "");
+    return buf;
+}
+
+} // namespace dth

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The verification event container. An Event is what a hardware monitor
+ * probe emits: a type tag, the producing core and entry index, an order
+ * tag (the global commit sequence number the event is bound to — the
+ * paper's "order semantics"), and the raw payload bytes, which are the
+ * exact on-wire representation.
+ */
+
+#ifndef DTH_EVENT_EVENT_H_
+#define DTH_EVENT_EVENT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "event/event_type.h"
+
+namespace dth {
+
+/** One verification event instance. */
+struct Event
+{
+    EventType type = EventType::InstrCommit;
+    u8 core = 0;
+    /** Entry index within the cycle (e.g. commit slot 0..5). */
+    u8 index = 0;
+    /**
+     * Order tag: global instruction sequence number this event must be
+     * checked after. For an InstrCommit this is the committed
+     * instruction's own sequence number; for an NDE it identifies the
+     * instruction boundary at which the REF must synchronize.
+     */
+    u64 commitSeq = 0;
+    /**
+     * Per-core emission index, assigned when the event enters the
+     * communication unit. Batch may permute events of one cycle into
+     * type groups and split them across packets; the software side uses
+     * this index to re-establish a contiguous emission prefix before
+     * events are released to the checker.
+     */
+    u64 emitSeq = 0;
+    /** Payload bytes; always exactly eventInfo(type).bytesPerEntry long. */
+    std::vector<u8> payload;
+
+    Event() = default;
+
+    /** Construct with a zero-filled payload of the correct length. */
+    static Event
+    make(EventType type, u8 core = 0, u8 index = 0, u64 commit_seq = 0)
+    {
+        Event e;
+        e.type = type;
+        e.core = core;
+        e.index = index;
+        e.commitSeq = commit_seq;
+        e.payload.assign(eventInfo(type).bytesPerEntry, 0);
+        return e;
+    }
+
+    const EventTypeInfo &info() const { return eventInfo(type); }
+    bool isNde() const { return info().nde; }
+    bool isFusible() const { return info().fusible; }
+    size_t wireBytes() const { return payload.size(); }
+
+    bool
+    operator==(const Event &other) const
+    {
+        return type == other.type && core == other.core &&
+               index == other.index && commitSeq == other.commitSeq &&
+               emitSeq == other.emitSeq && payload == other.payload;
+    }
+
+    /** Short human-readable description for debug reports. */
+    std::string describe() const;
+};
+
+/** All events produced by the DUT in one hardware cycle. */
+struct CycleEvents
+{
+    u64 cycle = 0;
+    std::vector<Event> events;
+
+    bool empty() const { return events.empty(); }
+    size_t count() const { return events.size(); }
+
+    /** Total payload bytes of all events in the cycle. */
+    size_t
+    totalBytes() const
+    {
+        size_t n = 0;
+        for (const Event &e : events)
+            n += e.wireBytes();
+        return n;
+    }
+};
+
+/** Little-endian field accessors into a payload buffer. */
+inline u64
+loadU64(std::span<const u8> payload, size_t offset)
+{
+    u64 v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<u64>(payload[offset + i]) << (8 * i);
+    return v;
+}
+
+inline void
+storeU64(std::span<u8> payload, size_t offset, u64 v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        payload[offset + i] = static_cast<u8>(v >> (8 * i));
+}
+
+} // namespace dth
+
+#endif // DTH_EVENT_EVENT_H_

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The 32 verification event types covered by DiffTest-H (paper Table 1),
+ * with their structural metadata: serialized size, entries per core and
+ * cycle, fusibility (Squash), non-determinism (NDE), category, and the
+ * microarchitectural component each type's behavioural semantics map to
+ * (used by Replay's localization report).
+ */
+
+#ifndef DTH_EVENT_EVENT_TYPE_H_
+#define DTH_EVENT_EVENT_TYPE_H_
+
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace dth {
+
+/** Paper Table 1 categories. */
+enum class EventCategory : u8 {
+    ControlFlow,
+    RegisterUpdate,
+    MemoryAccess,
+    MemoryHierarchy,
+    Extension,
+};
+
+/**
+ * The 32 verification event types. IDs are stable: they are the on-wire
+ * type tags used by Batch metadata and the trace format.
+ */
+enum class EventType : u8 {
+    // Control flow (5)
+    InstrCommit = 0,
+    Trap = 1,
+    ArchEvent = 2, //!< exceptions and external interrupts (NDE)
+    BranchEvent = 3,
+    DebugMode = 4,
+    // Register updates (9)
+    ArchIntRegState = 5,
+    ArchFpRegState = 6,
+    CsrState = 7,
+    FpCsrState = 8,
+    HCsrState = 9,
+    DebugCsrState = 10,
+    TriggerCsrState = 11,
+    ArchVecRegState = 12,
+    VecCsrState = 13,
+    // Memory access (3)
+    LoadEvent = 14,
+    StoreEvent = 15,
+    AtomicEvent = 16,
+    // Memory hierarchy (6)
+    SbufferEvent = 17,
+    L1DRefill = 18,
+    L1IRefill = 19,
+    L2Refill = 20,
+    L1TlbEvent = 21,
+    L2TlbEvent = 22,
+    // RISC-V extensions and DUT-specific non-determinism (9)
+    LrScEvent = 23, //!< SC success/failure outcome (NDE)
+    MmioEvent = 24, //!< MMIO access with observed value (NDE)
+    VecWriteback = 25,
+    VtypeEvent = 26,
+    HldStEvent = 27,
+    GuestPtwEvent = 28,
+    AiaEvent = 29, //!< AIA/IMSIC interrupt file update (NDE)
+    RunaheadEvent = 30,
+    UartIoEvent = 31, //!< device-side I/O notification (NDE)
+
+    // Squash wire-level pseudo-types: produced by the acceleration unit,
+    // never by a monitor probe. They share the Batch wire format.
+    FusedCommit = 32, //!< N instruction commits fused into one event
+    DiffState = 33,   //!< differenced register-state snapshot (variable)
+    FusedDigest = 34, //!< digest of a fused window of same-type events
+};
+
+/** Number of distinct monitor event types (paper Table 1). */
+inline constexpr unsigned kNumEventTypes = 32;
+
+/** Monitor types plus the Squash wire-level pseudo-types. */
+inline constexpr unsigned kNumWireTypes = 35;
+
+/** Structural metadata for one event type (the "structural semantics"). */
+struct EventTypeInfo
+{
+    EventType type;
+    const char *name;
+    /**
+     * Serialized payload size in bytes; the on-wire event body.
+     * Zero means variable-length: the wire carries a u16 length prefix
+     * (only the DiffState pseudo-type uses this).
+     */
+    u16 bytesPerEntry;
+    /** Maximum valid entries per core per cycle (full-width DUT). */
+    u8 entriesPerCore;
+    /** May Squash fuse instances of this type across instructions? */
+    bool fusible;
+    /** Is this a non-deterministic event requiring REF synchronization? */
+    bool nde;
+    EventCategory category;
+    /** Behavioural semantics: the microarchitectural component checked. */
+    const char *component;
+};
+
+/** Metadata lookup; @p type must be a valid EventType or wire type. */
+const EventTypeInfo &eventInfo(EventType type);
+
+/** Metadata by integer id (0..34; 32+ are wire-level pseudo-types). */
+const EventTypeInfo &eventInfo(unsigned id);
+
+/** True for variable-length wire types (length-prefixed payload). */
+inline bool
+isVariableLength(EventType type)
+{
+    return eventInfo(type).bytesPerEntry == 0;
+}
+
+/** Printable category name. */
+const char *categoryName(EventCategory category);
+
+/**
+ * Aggregate interface size: sum over all types of
+ * bytesPerEntry * entriesPerCore. The paper reports 11,496 bytes for the
+ * 32-type DiffTest interface (§2.2); ours is calibrated to the same scale.
+ */
+u32 aggregateInterfaceBytes();
+
+/** Largest / smallest bytesPerEntry, the "170x" structural range. */
+double structuralSizeRange();
+
+} // namespace dth
+
+#endif // DTH_EVENT_EVENT_TYPE_H_

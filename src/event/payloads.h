@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Typed views over event payload bytes. The payload vector is the exact
+ * on-wire representation (as a DPI-C struct would be); these views give
+ * named field access at fixed offsets without a separate
+ * serialize/deserialize step, so whatever the monitor writes is literally
+ * what the software parser reads after Batch/Squash processing.
+ */
+
+#ifndef DTH_EVENT_PAYLOADS_H_
+#define DTH_EVENT_PAYLOADS_H_
+
+#include "common/logging.h"
+#include "event/event.h"
+
+namespace dth {
+
+/** Base for payload views: bounds-checked u64/u8 field access. */
+class PayloadView
+{
+  public:
+    explicit PayloadView(Event &event)
+        : ro_(event.payload), rw_(event.payload)
+    {}
+
+    explicit PayloadView(const Event &event) : ro_(event.payload) {}
+
+    u64
+    word(size_t offset) const
+    {
+        dth_assert(offset + 8 <= ro_.size(), "payload read oob %zu", offset);
+        return loadU64(ro_, offset);
+    }
+
+    u8
+    byte(size_t offset) const
+    {
+        dth_assert(offset < ro_.size(), "payload read oob %zu", offset);
+        return ro_[offset];
+    }
+
+    void
+    setWord(size_t offset, u64 v)
+    {
+        dth_assert(!rw_.empty(), "writing through a read-only view");
+        dth_assert(offset + 8 <= rw_.size(), "payload write oob %zu",
+                   offset);
+        storeU64(rw_, offset, v);
+    }
+
+    void
+    setByte(size_t offset, u8 v)
+    {
+        dth_assert(!rw_.empty(), "writing through a read-only view");
+        dth_assert(offset < rw_.size(), "payload write oob %zu", offset);
+        rw_[offset] = v;
+    }
+
+  protected:
+    std::span<const u8> ro_;
+    std::span<u8> rw_;
+};
+
+/** Convenience macros for declaring fixed-offset fields. */
+#define DTH_FIELD_U64(name, offset)                                        \
+    u64 name() const { return word(offset); }                              \
+    void set_##name(u64 v) { setWord(offset, v); }
+
+#define DTH_FIELD_U8(name, offset)                                         \
+    u8 name() const { return byte(offset); }                               \
+    void set_##name(u8 v) { setByte(offset, v); }
+
+/** InstrCommit (128 B): one retired instruction. */
+class InstrCommitView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(pc, 0)
+    DTH_FIELD_U64(instr, 8) //!< raw 32-bit encoding in low bits
+    DTH_FIELD_U64(rdVal, 16)
+    DTH_FIELD_U64(seqNo, 24)
+    DTH_FIELD_U8(rd, 32)
+    DTH_FIELD_U8(rfWen, 33)
+    DTH_FIELD_U8(fpWen, 34)
+    DTH_FIELD_U8(vecWen, 35)
+    DTH_FIELD_U8(isLoad, 36)
+    DTH_FIELD_U8(isStore, 37)
+    DTH_FIELD_U8(isBranch, 38)
+    DTH_FIELD_U8(taken, 39)
+    DTH_FIELD_U8(frd, 40)
+    DTH_FIELD_U8(skip, 41) //!< MMIO-touching instruction: REF skips compare
+    DTH_FIELD_U8(vrd, 42)
+    DTH_FIELD_U64(frdVal, 48)
+    DTH_FIELD_U64(nextPc, 56)
+};
+
+/** Trap (80 B): good/bad trap terminating the workload. */
+class TrapView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(hasTrap, 0)
+    DTH_FIELD_U64(pc, 8)
+    DTH_FIELD_U64(code, 16)
+    DTH_FIELD_U64(cycle, 24)
+    DTH_FIELD_U64(instrCount, 32)
+};
+
+/** ArchEvent (48 B): exception taken or external interrupt (NDE). */
+class ArchEventView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    /** bit0: interrupt, bit1: exception. */
+    DTH_FIELD_U64(kind, 0)
+    DTH_FIELD_U64(cause, 8)
+    DTH_FIELD_U64(exceptionPc, 16)
+    DTH_FIELD_U64(exceptionInst, 24)
+    DTH_FIELD_U64(seqNo, 32)
+
+    bool isInterrupt() const { return kind() & 1; }
+    bool isException() const { return kind() & 2; }
+};
+
+/** Full 32-entry register file snapshot (256 B); int and fp share it. */
+class RegFileView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    u64 reg(unsigned i) const { return word(i * 8); }
+    void setReg(unsigned i, u64 v) { setWord(i * 8, v); }
+};
+
+/** Named CSR slots within the 121-word CsrState payload. */
+enum class CsrSlot : u8 {
+    PrivilegeMode = 0,
+    Mstatus,
+    Misa,
+    Mie,
+    Mip,
+    Mtvec,
+    Mscratch,
+    Mepc,
+    Mcause,
+    Mtval,
+    Mcycle,
+    Minstret,
+    Satp,
+    Medeleg,
+    Mideleg,
+    Stvec,
+    Sscratch,
+    Sepc,
+    Scause,
+    Stval,
+    Mhartid,
+    Mtimecmp,
+    NumNamed,
+};
+
+/** CsrState (968 B = 121 u64 slots): architectural CSR snapshot. */
+class CsrStateView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    static constexpr unsigned kSlots = 121;
+
+    u64 slot(unsigned i) const { return word(i * 8); }
+    void setSlot(unsigned i, u64 v) { setWord(i * 8, v); }
+
+    u64
+    csr(CsrSlot s) const
+    {
+        return slot(static_cast<unsigned>(s));
+    }
+
+    void
+    setCsr(CsrSlot s, u64 v)
+    {
+        setSlot(static_cast<unsigned>(s), v);
+    }
+};
+
+/** FpCsrState (16 B). */
+class FpCsrView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(fcsr, 0)
+};
+
+/** LoadEvent (112 B): retired load with the observed value. */
+class LoadView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(paddr, 0)
+    DTH_FIELD_U64(vaddr, 8)
+    DTH_FIELD_U64(data, 16)
+    DTH_FIELD_U64(seqNo, 24)
+    DTH_FIELD_U8(size, 32) //!< log2 bytes
+    DTH_FIELD_U8(isMmio, 33)
+    DTH_FIELD_U8(fuType, 34)
+};
+
+/** StoreEvent (48 B): committed store (address/data/mask). */
+class StoreView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    DTH_FIELD_U64(data, 8)
+    DTH_FIELD_U64(mask, 16)
+    DTH_FIELD_U64(seqNo, 24)
+    DTH_FIELD_U8(size, 32)
+};
+
+/** AtomicEvent (96 B). */
+class AtomicView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    DTH_FIELD_U64(operand, 8)
+    DTH_FIELD_U64(mask, 16)
+    DTH_FIELD_U64(loadedValue, 24)
+    DTH_FIELD_U64(storedValue, 32)
+    DTH_FIELD_U64(seqNo, 40)
+    DTH_FIELD_U8(funct, 48)
+};
+
+/** MmioEvent (80 B, NDE): observed device access and value. */
+class MmioView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    DTH_FIELD_U64(data, 8)
+    DTH_FIELD_U64(seqNo, 16) //!< order tag
+    DTH_FIELD_U8(isLoad, 24)
+    DTH_FIELD_U8(size, 25)
+};
+
+/** LrScEvent (48 B, NDE): SC outcome decided by the DUT. */
+class LrScView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    DTH_FIELD_U64(success, 8)
+    DTH_FIELD_U64(seqNo, 16)
+};
+
+/** Cache refill (136 B): address + 64 B line. */
+class RefillView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    u64 lineWord(unsigned i) const { return word(8 + i * 8); }
+    void setLineWord(unsigned i, u64 v) { setWord(8 + i * 8, v); }
+    DTH_FIELD_U64(way, 72)
+    DTH_FIELD_U64(setIndex, 80)
+};
+
+/** SbufferEvent (208 B): store-buffer flush of a 64 B line. */
+class SbufferView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(addr, 0)
+    DTH_FIELD_U64(mask, 8)
+    u64 dataWord(unsigned i) const { return word(16 + i * 8); }
+    void setDataWord(unsigned i, u64 v) { setWord(16 + i * 8, v); }
+};
+
+/** TLB fill (96 B for L1, 176 B for L2; shared leading fields). */
+class TlbView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(vpn, 0)
+    DTH_FIELD_U64(ppn, 8)
+    DTH_FIELD_U64(perm, 16)
+    DTH_FIELD_U64(level, 24)
+    DTH_FIELD_U64(satp, 32)
+};
+
+/** Vector CSR snapshot (136 B). */
+class VecCsrView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(vstart, 0)
+    DTH_FIELD_U64(vxsat, 8)
+    DTH_FIELD_U64(vxrm, 16)
+    DTH_FIELD_U64(vcsr, 24)
+    DTH_FIELD_U64(vl, 32)
+    DTH_FIELD_U64(vtype, 40)
+    DTH_FIELD_U64(vlenb, 48)
+};
+
+/**
+ * Vector register file snapshot (2720 B): a 160 B header followed by 32
+ * registers of 80 B each (64 B data + 8 B mask + 8 B meta). This is the
+ * structurally largest event (the 170x extreme of Fig. 4).
+ */
+class VecRegView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    static constexpr size_t kHeaderBytes = 160;
+    static constexpr size_t kBytesPerReg = 80;
+
+    DTH_FIELD_U64(vstart, 0)
+    DTH_FIELD_U64(vl, 8)
+    DTH_FIELD_U64(vtype, 16)
+    DTH_FIELD_U64(vcsr, 24)
+    DTH_FIELD_U64(vlenb, 32)
+
+    u64
+    lane(unsigned reg, unsigned lane64) const
+    {
+        return word(kHeaderBytes + reg * kBytesPerReg + lane64 * 8);
+    }
+
+    void
+    setLane(unsigned reg, unsigned lane64, u64 v)
+    {
+        setWord(kHeaderBytes + reg * kBytesPerReg + lane64 * 8, v);
+    }
+};
+
+/** VtypeEvent (48 B): vset* configuration change. */
+class VtypeView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(vtype, 0)
+    DTH_FIELD_U64(vl, 8)
+    DTH_FIELD_U64(seqNo, 16)
+};
+
+/** UartIoEvent (16 B, NDE): device-side output notification. */
+class UartIoView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_FIELD_U64(ch, 0)
+    DTH_FIELD_U64(flags, 8)
+};
+
+#undef DTH_FIELD_U64
+#undef DTH_FIELD_U8
+
+} // namespace dth
+
+#endif // DTH_EVENT_PAYLOADS_H_

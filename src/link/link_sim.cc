@@ -1,0 +1,105 @@
+#include "link/link_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dth::link {
+
+LinkSimulator::LinkSimulator(const Platform &platform, double dut_clock_hz,
+                             bool non_blocking)
+    : platform_(platform), clockHz_(dut_clock_hz),
+      nonBlocking_(non_blocking)
+{
+    dth_assert(clockHz_ > 0, "bad clock");
+}
+
+double
+LinkSimulator::swCost(const SoftwareWork &work, size_t bytes) const
+{
+    return platform_.swPerTransferSec +
+           work.instrsStepped * platform_.swPerInstrSec +
+           work.eventsChecked * platform_.swPerEventSec +
+           bytes * platform_.swPerByteSec;
+}
+
+void
+LinkSimulator::onTransfer(u64 issue_cycle, size_t bytes,
+                          const SoftwareWork &work)
+{
+    // Advance hardware emulation to the issuing cycle. A replay
+    // retransmission can be accounted slightly after a transfer issued
+    // earlier; clamp instead of rewinding.
+    if (issue_cycle < lastCycle_)
+        issue_cycle = lastCycle_;
+    double emul = (issue_cycle - lastCycle_) / clockHz_;
+    hwTime_ += emul;
+    result_.hwEmulationSec += emul;
+    lastCycle_ = issue_cycle;
+
+    // Communication startup: a full handshake in step-and-compare mode;
+    // a cheap streaming doorbell in non-blocking mode.
+    double sync = platform_.tSyncSec *
+                  (nonBlocking_ ? platform_.nonBlockSyncFactor : 1.0);
+    hwTime_ += sync;
+    result_.startupSec += sync;
+
+    // Data transmission.
+    double xmit = bytes / platform_.bwBytesPerSec;
+    result_.transmitSec += xmit;
+
+    double cost = swCost(work, bytes);
+    result_.transfers += 1;
+    result_.bytes += bytes;
+
+    if (!nonBlocking_) {
+        // Step-and-compare: the emulator pauses for transmission and
+        // until software finishes.
+        hwTime_ += xmit + cost;
+        result_.softwareSec += cost;
+        swFree_ = hwTime_;
+        return;
+    }
+
+    // Non-blocking: hardware, link and software form a pipeline.
+    double arrival;
+    if (platform_.hwPaysTransmission) {
+        hwTime_ += xmit;
+        arrival = hwTime_;
+    } else {
+        linkFree_ = std::max(linkFree_, hwTime_) + xmit;
+        arrival = linkFree_;
+    }
+    swFree_ = std::max(swFree_, arrival) + cost;
+    result_.softwareSec += cost;
+    inFlight_.push_back(swFree_);
+
+    // Bounded queue: backpressure stalls the hardware until the oldest
+    // queued transfer has been drained by software.
+    while (!inFlight_.empty() && inFlight_.front() <= hwTime_)
+        inFlight_.pop_front();
+    if (inFlight_.size() > platform_.queueDepth) {
+        double resume = inFlight_.front();
+        if (resume > hwTime_) {
+            result_.stallSec += resume - hwTime_;
+            hwTime_ = resume;
+        }
+        inFlight_.pop_front();
+    }
+}
+
+LinkResult
+LinkSimulator::finish(u64 total_cycles)
+{
+    dth_assert(total_cycles >= lastCycle_, "cycle count went backwards");
+    double emul = (total_cycles - lastCycle_) / clockHz_;
+    hwTime_ += emul;
+    result_.hwEmulationSec += emul;
+    lastCycle_ = total_cycles;
+
+    // Drain: the run ends when hardware, link and software are done.
+    result_.totalSec = std::max({hwTime_, linkFree_, swFree_});
+    return result_;
+}
+
+} // namespace dth::link

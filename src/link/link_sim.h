@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete timing simulator for the hardware/software link. Payload
+ * bytes move through the real packers/checker elsewhere; this ledger
+ * accounts for *time*: communication startup, data transmission and
+ * software processing, in blocking (step-and-compare) or non-blocking
+ * (speculative run-ahead with bounded queues and backpressure, §4.5)
+ * mode, and attributes the total to the paper's three overhead stages
+ * (Fig. 2).
+ */
+
+#ifndef DTH_LINK_LINK_SIM_H_
+#define DTH_LINK_LINK_SIM_H_
+
+#include <deque>
+
+#include "link/platform.h"
+
+namespace dth::link {
+
+/** Timing attribution for one co-simulation run. */
+struct LinkResult
+{
+    double totalSec = 0;
+    double hwEmulationSec = 0; //!< pure DUT emulation time
+    double startupSec = 0;     //!< N_invokes * T_sync
+    double transmitSec = 0;    //!< N_bytes / BW
+    double softwareSec = 0;    //!< REF + compare + parse (serial share)
+    double stallSec = 0;       //!< backpressure stalls (non-blocking)
+
+    u64 transfers = 0;
+    u64 bytes = 0;
+
+    double
+    communicationSec() const
+    {
+        return totalSec - hwEmulationSec;
+    }
+
+    /** Fraction of total time spent on communication (paper's >98%). */
+    double
+    communicationFraction() const
+    {
+        return totalSec > 0 ? communicationSec() / totalSec : 0;
+    }
+};
+
+/** Software work performed for one transfer (measured, not modeled). */
+struct SoftwareWork
+{
+    u64 instrsStepped = 0;
+    u64 eventsChecked = 0;
+    u64 bytesParsed = 0;
+};
+
+/** Simulates link timing transfer by transfer. */
+class LinkSimulator
+{
+  public:
+    /**
+     * @param platform link/host parameters
+     * @param dut_clock_hz emulation clock for this DUT's size
+     * @param non_blocking overlap software with hardware (bounded queue)
+     */
+    LinkSimulator(const Platform &platform, double dut_clock_hz,
+                  bool non_blocking);
+
+    /** Account one transfer issued at @p issue_cycle. */
+    void onTransfer(u64 issue_cycle, size_t bytes,
+                    const SoftwareWork &work);
+
+    /** Finish the run after @p total_cycles and return the ledger. */
+    LinkResult finish(u64 total_cycles);
+
+  private:
+    double swCost(const SoftwareWork &work, size_t bytes) const;
+
+    Platform platform_;
+    double clockHz_;
+    bool nonBlocking_;
+
+    double hwTime_ = 0;   //!< hardware-side timeline (s)
+    double linkFree_ = 0; //!< DMA/streaming link stage free time (s)
+    double swFree_ = 0;   //!< software pipeline free time (s)
+    u64 lastCycle_ = 0;
+    std::deque<double> inFlight_; //!< completion times of queued work
+
+    LinkResult result_;
+};
+
+} // namespace dth::link
+
+#endif // DTH_LINK_LINK_SIM_H_

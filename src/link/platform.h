@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Platform models for the hardware/software interface, following the
+ * paper's LogGP-style analytical model (§3, Eq. 1):
+ *
+ *   Overhead = N_invokes * T_sync + N_bytes / BW + T_software
+ *
+ * Presets are calibrated to the paper's measurements: Cadence Palladium
+ * (DPI-C synchronization on every call, moderate bandwidth), a Xilinx
+ * VU19P FPGA (PCIe/XDMA: expensive handshakes, high bandwidth), and the
+ * software RTL-simulator reference point (Verilator).
+ */
+
+#ifndef DTH_LINK_PLATFORM_H_
+#define DTH_LINK_PLATFORM_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace dth::link {
+
+/** One hardware-accelerated verification platform. */
+struct Platform
+{
+    std::string name;
+
+    /** DUT-only emulation speed for the XiangShan-default scale (Hz). */
+    double dutClockHz = 500e3;
+    /** Exponent for scaling DUT speed with design size (0 = flat). */
+    double gateScalingExp = 0.0;
+    /** Reference design size for dutClockHz (million gates). */
+    double referenceGatesM = 57.6;
+
+    /** Per-invocation handshake/synchronization latency (s). */
+    double tSyncSec = 8e-6;
+    /**
+     * Remaining fraction of tSync in non-blocking mode: streaming
+     * primitives (Palladium GFIFO, XDMA descriptor rings) replace the
+     * full blocking handshake with a cheap doorbell.
+     */
+    double nonBlockSyncFactor = 1.0;
+    /** Link bandwidth (bytes/s). */
+    double bwBytesPerSec = 100e6;
+    /** Does the hardware side also spend the transmission time? When
+     *  false, a DMA/streaming engine forms its own pipeline stage. */
+    bool hwPaysTransmission = true;
+
+    // Host-side software costs.
+    double swPerTransferSec = 2e-6; //!< DPI dispatch per transfer
+    double swPerInstrSec = 3e-6;    //!< REF step + per-instruction compare
+    double swPerEventSec = 0.4e-6;  //!< per-event parse/compare
+    double swPerByteSec = 2e-9;     //!< payload parsing
+
+    /** In-flight transfers before backpressure (non-blocking mode). */
+    unsigned queueDepth = 64;
+
+    /** DUT-only speed for a design of @p gates_millions. */
+    double dutOnlyHz(double gates_millions) const;
+};
+
+/** Cadence Palladium emulator. */
+Platform palladiumPlatform();
+
+/** Xilinx VU19P FPGA prototype (PCIe XDMA link). */
+Platform fpgaPlatform();
+
+/**
+ * Software RTL simulation (Verilator/VCS): DUT and checker share one
+ * process, so communication is a function call — DiffTest-H still runs
+ * there (paper §5), the optimizations just have little to optimize.
+ */
+Platform verilatorPlatform(double gates_millions, unsigned threads = 16);
+
+/** Software RTL simulation speed model (Verilator, N threads). */
+double verilatorHz(double gates_millions, unsigned threads);
+
+} // namespace dth::link
+
+#endif // DTH_LINK_PLATFORM_H_

@@ -1,0 +1,35 @@
+#include "pack/muxtree.h"
+
+namespace dth {
+
+std::vector<unsigned>
+prefixValidCounts(const std::vector<bool> &valid)
+{
+    std::vector<unsigned> counts(valid.size(), 0);
+    unsigned running = 0;
+    for (size_t i = 0; i < valid.size(); ++i) {
+        counts[i] = running;
+        if (valid[i])
+            ++running;
+    }
+    return counts;
+}
+
+std::vector<unsigned>
+compactValidIndices(const std::vector<bool> &valid)
+{
+    // Mirror the mux-tree selection rule: input i drives output k iff
+    // valid[i] && prefix[i] == k.
+    std::vector<unsigned> prefix = prefixValidCounts(valid);
+    unsigned total = 0;
+    for (bool v : valid)
+        total += v ? 1 : 0;
+    std::vector<unsigned> out(total, 0);
+    for (size_t i = 0; i < valid.size(); ++i) {
+        if (valid[i])
+            out[prefix[i]] = static_cast<unsigned>(i);
+    }
+    return out;
+}
+
+} // namespace dth

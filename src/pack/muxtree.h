@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Type-level packing primitive (paper Fig. 7): select the K-th valid
+ * entry out of N incoming same-type entries using per-entry prefix
+ * counters, exactly as the hardware mux-tree does. The software model is
+ * a faithful (if sequentialized) implementation of that parallel logic.
+ */
+
+#ifndef DTH_PACK_MUXTREE_H_
+#define DTH_PACK_MUXTREE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dth {
+
+/**
+ * For each input position i, the number of valid entries strictly before
+ * i (the hardware's per-entry prefix counter).
+ */
+std::vector<unsigned> prefixValidCounts(const std::vector<bool> &valid);
+
+/**
+ * Compacted selection: output[k] is the input index of the k-th valid
+ * entry; an input i is chosen as output k iff it is valid and exactly
+ * k entries before it are valid.
+ */
+std::vector<unsigned> compactValidIndices(const std::vector<bool> &valid);
+
+} // namespace dth
+
+#endif // DTH_PACK_MUXTREE_H_

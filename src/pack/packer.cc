@@ -1,0 +1,365 @@
+#include "pack/packer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "pack/muxtree.h"
+
+namespace dth {
+
+// ---------------------------------------------------------------------------
+// PerEventPacker: one DPI-style call per event.
+// ---------------------------------------------------------------------------
+
+void
+PerEventPacker::packCycle(const CycleEvents &cycle,
+                          std::vector<Transfer> &out)
+{
+    for (const Event &e : cycle.events) {
+        ByteWriter w;
+        w.putU8(static_cast<u8>(e.type));
+        w.putU8(e.core);
+        writeEventBody(w, e);
+        Transfer t;
+        t.bytes = w.take();
+        t.issueCycle = cycle.cycle;
+        counters_.add("pack.transfers");
+        counters_.add("pack.bytes", t.size());
+        counters_.add("pack.valid_bytes", t.size());
+        out.push_back(std::move(t));
+    }
+}
+
+std::vector<Event>
+PerEventUnpacker::unpack(const Transfer &transfer)
+{
+    ByteReader r(transfer.bytes);
+    auto type = static_cast<EventType>(r.getU8());
+    u8 core = r.getU8();
+    std::vector<Event> events;
+    events.push_back(readEventBody(r, type, core));
+    dth_assert(r.atEnd(), "trailing bytes in per-event transfer");
+    return events;
+}
+
+// ---------------------------------------------------------------------------
+// FixedOffsetPacker: per-cycle frames with full-capacity regions.
+//
+// As in prior-work static packaging, presence is tracked per event
+// *category* (a cycle with any commit carries the full control-flow and
+// register-update regions, a cycle with any memory access the full
+// memory-access regions, and so on); every enabled type of a present
+// category occupies its full-capacity region, and invalid entries are
+// transmitted as zero bubbles to preserve fixed offsets.
+//
+// Frame layout:
+//   u32 frameLen, u64 presence bitmap (bit core*8+category)
+//   per present (core, category), per enabled type in category:
+//       u16 count, u16 capacity,
+//       capacity x [u8 valid][u32 seq][u32 emit][u8 index][payload]
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kSlotHeader = 1 + kEventWireHeaderBytes; // valid + header
+
+size_t
+slotBytes(EventType type)
+{
+    return kSlotHeader + eventInfo(type).bytesPerEntry;
+}
+
+unsigned
+categoryOf(unsigned type)
+{
+    return static_cast<unsigned>(eventInfo(type).category);
+}
+
+} // namespace
+
+FixedOffsetPacker::FixedOffsetPacker(
+    const std::array<bool, kNumEventTypes> &enabled, unsigned cores,
+    unsigned packet_bytes)
+    : enabled_(enabled), cores_(cores), packetBytes_(packet_bytes)
+{
+    dth_assert(cores_ >= 1 && cores_ <= 2, "1 or 2 cores supported");
+}
+
+void
+FixedOffsetPacker::packCycle(const CycleEvents &cycle,
+                             std::vector<Transfer> &out)
+{
+    if (cycle.events.empty())
+        return;
+
+    // Bucket events by (core, type), preserving order.
+    std::vector<const Event *> buckets[2][kNumEventTypes];
+    for (const Event &e : cycle.events) {
+        dth_assert(e.core < cores_, "event from unknown core %u", e.core);
+        dth_assert(static_cast<unsigned>(e.type) < kNumEventTypes &&
+                       enabled_[static_cast<unsigned>(e.type)],
+                   "event type %s not in fixed layout", e.info().name);
+        buckets[e.core][static_cast<unsigned>(e.type)].push_back(&e);
+    }
+
+    u64 presence = 0;
+    for (unsigned c = 0; c < cores_; ++c)
+        for (unsigned t = 0; t < kNumEventTypes; ++t)
+            if (!buckets[c][t].empty())
+                presence |= 1ULL << (c * 8 + categoryOf(t));
+
+    ByteWriter w;
+    w.putU32(0); // frameLen patched below
+    w.putU64(presence);
+    for (unsigned c = 0; c < cores_; ++c) {
+        for (unsigned t = 0; t < kNumEventTypes; ++t) {
+            if (!enabled_[t])
+                continue;
+            if (!(presence & (1ULL << (c * 8 + categoryOf(t)))))
+                continue;
+            const auto &bucket = buckets[c][t];
+            const EventTypeInfo &info = eventInfo(t);
+            u16 count = static_cast<u16>(bucket.size());
+            u16 capacity = std::max<u16>(count, info.entriesPerCore);
+            w.putU16(count);
+            w.putU16(capacity);
+            for (unsigned s = 0; s < capacity; ++s) {
+                if (s < count) {
+                    w.putU8(1);
+                    writeEventBody(w, *bucket[s]);
+                    counters_.add("pack.valid_bytes", slotBytes(info.type));
+                } else {
+                    w.putZeros(slotBytes(info.type)); // bubble
+                    counters_.add("pack.bubble_bytes",
+                                  slotBytes(info.type));
+                }
+            }
+        }
+    }
+    std::vector<u8> frame = w.take();
+    u32 len = static_cast<u32>(frame.size());
+    for (unsigned i = 0; i < 4; ++i)
+        frame[i] = static_cast<u8>(len >> (8 * i));
+    counters_.add("pack.frames");
+    lastFrameCycle_ = cycle.cycle;
+    emitFrameBytes(frame, out);
+}
+
+void
+FixedOffsetPacker::emitFrameBytes(const std::vector<u8> &frame,
+                                  std::vector<Transfer> &out)
+{
+    pending_.insert(pending_.end(), frame.begin(), frame.end());
+    while (pending_.size() >= packetBytes_) {
+        Transfer t;
+        t.bytes.assign(pending_.begin(), pending_.begin() + packetBytes_);
+        t.issueCycle = lastFrameCycle_;
+        pending_.erase(pending_.begin(), pending_.begin() + packetBytes_);
+        counters_.add("pack.transfers");
+        counters_.add("pack.bytes", t.size());
+        out.push_back(std::move(t));
+    }
+}
+
+void
+FixedOffsetPacker::flush(std::vector<Transfer> &out)
+{
+    if (pending_.empty())
+        return;
+    Transfer t;
+    t.bytes = std::move(pending_);
+    t.issueCycle = lastFrameCycle_;
+    pending_.clear();
+    counters_.add("pack.transfers");
+    counters_.add("pack.bytes", t.size());
+    out.push_back(std::move(t));
+}
+
+FixedOffsetUnpacker::FixedOffsetUnpacker(
+    const std::array<bool, kNumEventTypes> &enabled, unsigned cores)
+    : enabled_(enabled), cores_(cores)
+{}
+
+std::vector<Event>
+FixedOffsetUnpacker::unpack(const Transfer &transfer)
+{
+    carry_.insert(carry_.end(), transfer.bytes.begin(),
+                  transfer.bytes.end());
+    std::vector<Event> events;
+    while (carry_.size() >= 4) {
+        u32 frame_len = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            frame_len |= static_cast<u32>(carry_[i]) << (8 * i);
+        if (carry_.size() < frame_len)
+            break;
+        ByteReader r(std::span<const u8>(carry_.data(), frame_len));
+        r.skip(4);
+        u64 presence = r.getU64();
+        for (unsigned c = 0; c < cores_; ++c) {
+            for (unsigned t = 0; t < kNumEventTypes; ++t) {
+                if (!enabled_[t])
+                    continue;
+                if (!(presence &
+                      (1ULL << (c * 8 + categoryOf(t)))))
+                    continue;
+                u16 count = r.getU16();
+                u16 capacity = r.getU16();
+                for (unsigned s = 0; s < capacity; ++s) {
+                    if (s < count) {
+                        u8 valid = r.getU8();
+                        dth_assert(valid == 1, "bad valid flag");
+                        events.push_back(readEventBody(
+                            r, static_cast<EventType>(t),
+                            static_cast<u8>(c)));
+                    } else {
+                        r.skip(slotBytes(static_cast<EventType>(t)));
+                    }
+                }
+            }
+        }
+        dth_assert(r.atEnd(), "frame length mismatch");
+        carry_.erase(carry_.begin(), carry_.begin() + frame_len);
+    }
+    return events;
+}
+
+// ---------------------------------------------------------------------------
+// BatchPacker: 3-level tight packing with metadata.
+// ---------------------------------------------------------------------------
+
+BatchPacker::BatchPacker(unsigned packet_bytes) : packetBytes_(packet_bytes)
+{
+    dth_assert(packet_bytes >= 64, "packet too small: %u", packet_bytes);
+}
+
+size_t
+BatchPacker::freeBytes() const
+{
+    size_t used = kBatchPacketHeaderBytes + metas_.size() + payload_.size();
+    return used >= packetBytes_ ? 0 : packetBytes_ - used;
+}
+
+void
+BatchPacker::emitPacket(std::vector<Transfer> &out)
+{
+    if (metas_.empty())
+        return;
+    ByteWriter w;
+    w.putU16(static_cast<u16>(metas_.size() / kBatchMetaBytes));
+    w.putU16(0);
+    w.putU32(static_cast<u32>(payload_.size()));
+    w.putBytes(metas_.data(), metas_.size());
+    w.putBytes(payload_.data(), payload_.size());
+    Transfer t;
+    t.bytes = w.take();
+    t.issueCycle = lastCycle_;
+    counters_.add("pack.transfers");
+    counters_.add("pack.bytes", t.size());
+    counters_.add("pack.valid_bytes", t.size());
+    counters_.addReal("pack.utilization_sum",
+                      static_cast<double>(t.size()) / packetBytes_);
+    counters_.add("pack.utilization_samples");
+    out.push_back(std::move(t));
+    metas_.clear();
+    payload_.clear();
+}
+
+void
+BatchPacker::packCycle(const CycleEvents &cycle, std::vector<Transfer> &out)
+{
+    lastCycle_ = cycle.cycle;
+
+    // Level 1 (type-level): bucket the cycle's events by (type, core) in
+    // order of first appearance. Within a bucket, relative order is the
+    // mux-tree compaction order (emission order).
+    std::vector<Group> groups;
+    auto find_group = [&](EventType type, u8 core) -> Group & {
+        for (Group &g : groups)
+            if (g.type == type && g.core == core)
+                return g;
+        groups.push_back(Group{type, core, {}});
+        return groups.back();
+    };
+    for (const Event &e : cycle.events)
+        find_group(e.type, e.core).events.push_back(&e);
+
+    // Level 2 (cycle-level) + level 3 (transmission-level): append each
+    // group's entries; the region offset is implicitly the running sum of
+    // preceding group lengths. Split at entry boundaries when the packet
+    // fills, generating a continuation meta in the next packet.
+    for (const Group &g : groups) {
+        size_t next = 0;
+        while (next < g.events.size()) {
+            size_t need =
+                kBatchMetaBytes + eventWireBytes(*g.events[next]);
+            if (freeBytes() < need) {
+                emitPacket(out);
+                if (freeBytes() < need) {
+                    dth_panic("event too large for %u-byte packets: %s",
+                              packetBytes_, g.events[next]->info().name);
+                }
+            }
+            size_t meta_pos = metas_.size();
+            ByteWriter meta(&metas_);
+            meta.putU8(static_cast<u8>(g.type));
+            meta.putU8(g.core);
+            meta.putU16(0); // count patched below
+            u16 count = 0;
+            ByteWriter body(&payload_);
+            while (next < g.events.size() &&
+                   freeBytes() >= eventWireBytes(*g.events[next])) {
+                writeEventBody(body, *g.events[next]);
+                ++next;
+                ++count;
+            }
+            metas_[meta_pos + 2] = static_cast<u8>(count);
+            metas_[meta_pos + 3] = static_cast<u8>(count >> 8);
+        }
+    }
+
+    // Emit the packet if it is (nearly) full; otherwise keep packing
+    // subsequent cycles into the same packet.
+    if (freeBytes() < kBatchMetaBytes + kEventWireHeaderBytes + 16)
+        emitPacket(out);
+}
+
+void
+BatchPacker::flush(std::vector<Transfer> &out)
+{
+    emitPacket(out);
+}
+
+std::vector<Event>
+BatchUnpacker::unpack(const Transfer &transfer)
+{
+    ByteReader r(transfer.bytes);
+    u16 meta_count = r.getU16();
+    r.skip(2);
+    u32 payload_len = r.getU32();
+    struct Meta
+    {
+        EventType type;
+        u8 core;
+        u16 count;
+    };
+    std::vector<Meta> metas(meta_count);
+    for (Meta &m : metas) {
+        m.type = static_cast<EventType>(r.getU8());
+        m.core = r.getU8();
+        m.count = r.getU16();
+    }
+    dth_assert(r.remaining() == payload_len,
+               "batch payload length mismatch: %zu vs %u", r.remaining(),
+               payload_len);
+    // Dynamic unpacking: each meta tells the parser which reconstruction
+    // function to run and how many entries to consume; offsets are the
+    // running sums of the preceding entries' lengths.
+    std::vector<Event> events;
+    for (const Meta &m : metas)
+        for (unsigned i = 0; i < m.count; ++i)
+            events.push_back(readEventBody(r, m.type, m.core));
+    dth_assert(r.atEnd(), "trailing bytes in batch packet");
+    return events;
+}
+
+} // namespace dth

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Packing schemes for the hardware-software interface:
+ *
+ *  - PerEventPacker: the unoptimized DiffTest baseline — one DPI-style
+ *    communication per verification event.
+ *  - FixedOffsetPacker: prior-work packing (IBI-check/SBS-check style) —
+ *    each event type present in a cycle occupies a fixed, full-capacity
+ *    region; invalid entries are transmitted as padding bubbles.
+ *  - BatchPacker: the paper's Batch — 3-level tight packing (type-level
+ *    mux-tree compaction, cycle-level offset computation by prefix
+ *    length sums, transmission-level packet filling with splits at
+ *    entry boundaries) plus a metadata stream for dynamic unpacking.
+ *
+ * Every packer turns a stream of CycleEvents into Transfers; matching
+ * unpackers reconstruct the event stream on the software side.
+ */
+
+#ifndef DTH_PACK_PACKER_H_
+#define DTH_PACK_PACKER_H_
+
+#include <array>
+#include <vector>
+
+#include "common/counters.h"
+#include "pack/wire.h"
+
+namespace dth {
+
+/** Interface: CycleEvents in, Transfers out. */
+class Packer
+{
+  public:
+    virtual ~Packer() = default;
+
+    /** Consume one cycle's events; append any completed transfers. */
+    virtual void packCycle(const CycleEvents &cycle,
+                           std::vector<Transfer> &out) = 0;
+
+    /** Emit any buffered partial packet. */
+    virtual void flush(std::vector<Transfer> &out) = 0;
+
+    PerfCounters &counters() { return counters_; }
+    const PerfCounters &counters() const { return counters_; }
+
+  protected:
+    PerfCounters counters_;
+};
+
+/** Software-side unpacker interface. */
+class Unpacker
+{
+  public:
+    virtual ~Unpacker() = default;
+
+    /** Parse one transfer into reconstructed events (in wire order). */
+    virtual std::vector<Event> unpack(const Transfer &transfer) = 0;
+};
+
+/** Baseline: one transfer per event. */
+class PerEventPacker : public Packer
+{
+  public:
+    void packCycle(const CycleEvents &cycle,
+                   std::vector<Transfer> &out) override;
+    void flush(std::vector<Transfer> &out) override {
+        (void)out;
+    }
+};
+
+/** Unpacker for PerEventPacker transfers. */
+class PerEventUnpacker : public Unpacker
+{
+  public:
+    std::vector<Event> unpack(const Transfer &transfer) override;
+};
+
+/** Prior-work fixed-offset packing with padding bubbles. */
+class FixedOffsetPacker : public Packer
+{
+  public:
+    /**
+     * @param enabled which event types the DUT monitors
+     * @param cores number of cores (regions are per core)
+     * @param packet_bytes transmission packet capacity
+     */
+    FixedOffsetPacker(const std::array<bool, kNumEventTypes> &enabled,
+                      unsigned cores, unsigned packet_bytes = 4096);
+
+    void packCycle(const CycleEvents &cycle,
+                   std::vector<Transfer> &out) override;
+    void flush(std::vector<Transfer> &out) override;
+
+  private:
+    void emitFrameBytes(const std::vector<u8> &frame,
+                        std::vector<Transfer> &out);
+
+    std::array<bool, kNumEventTypes> enabled_;
+    unsigned cores_;
+    unsigned packetBytes_;
+    std::vector<u8> pending_;
+    u64 lastFrameCycle_ = 0;
+};
+
+/** Unpacker for FixedOffsetPacker transfers. */
+class FixedOffsetUnpacker : public Unpacker
+{
+  public:
+    FixedOffsetUnpacker(const std::array<bool, kNumEventTypes> &enabled,
+                        unsigned cores);
+
+    std::vector<Event> unpack(const Transfer &transfer) override;
+
+  private:
+    std::array<bool, kNumEventTypes> enabled_;
+    unsigned cores_;
+    std::vector<u8> carry_; //!< partial frame carried across transfers
+};
+
+/** The paper's Batch: tight, metadata-guided packing. */
+class BatchPacker : public Packer
+{
+  public:
+    explicit BatchPacker(unsigned packet_bytes = 4096);
+
+    void packCycle(const CycleEvents &cycle,
+                   std::vector<Transfer> &out) override;
+    void flush(std::vector<Transfer> &out) override;
+
+    unsigned packetBytes() const { return packetBytes_; }
+
+  private:
+    struct Group
+    {
+        EventType type;
+        u8 core;
+        std::vector<const Event *> events;
+    };
+
+    void emitPacket(std::vector<Transfer> &out);
+    size_t freeBytes() const;
+
+    unsigned packetBytes_;
+    // Current packet under construction: meta entries + payload bytes.
+    std::vector<u8> metas_;
+    std::vector<u8> payload_;
+    u64 lastCycle_ = 0;
+};
+
+/** Meta-guided dynamic unpacker for Batch packets. */
+class BatchUnpacker : public Unpacker
+{
+  public:
+    std::vector<Event> unpack(const Transfer &transfer) override;
+};
+
+// Batch packet layout constants.
+inline constexpr size_t kBatchPacketHeaderBytes = 8; // metaCount, payloadLen
+inline constexpr size_t kBatchMetaBytes = 4; // typeId, core, count(u16)
+
+} // namespace dth
+
+#endif // DTH_PACK_PACKER_H_

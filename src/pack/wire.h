@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-wire encoding shared by all packing schemes: the Transfer (one
+ * hardware-software communication invocation) and the per-event wire
+ * header. The header carries the order tag (commit sequence number) so
+ * the software side can restore the checking order after Squash's
+ * order-decoupled transmission.
+ */
+
+#ifndef DTH_PACK_WIRE_H_
+#define DTH_PACK_WIRE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "event/event.h"
+
+namespace dth {
+
+/** One hardware-to-software communication invocation. */
+struct Transfer
+{
+    std::vector<u8> bytes;
+    /** Hardware cycle at which the transfer was issued. */
+    u64 issueCycle = 0;
+
+    size_t size() const { return bytes.size(); }
+};
+
+/** Per-event wire header: u32 order tag, u32 emission index, u8 slot. */
+inline constexpr size_t kEventWireHeaderBytes = 9;
+
+/** Wire cost of one event under tight packing (header + payload;
+ *  variable-length wire types carry an extra u16 length prefix). */
+inline size_t
+eventWireBytes(const Event &event)
+{
+    return kEventWireHeaderBytes + (isVariableLength(event.type) ? 2 : 0) +
+           event.payload.size();
+}
+
+inline void
+writeEventBody(ByteWriter &w, const Event &event)
+{
+    w.putU32(static_cast<u32>(event.commitSeq));
+    w.putU32(static_cast<u32>(event.emitSeq));
+    w.putU8(event.index);
+    if (isVariableLength(event.type))
+        w.putU16(static_cast<u16>(event.payload.size()));
+    w.putBytes(event.payload.data(), event.payload.size());
+}
+
+inline Event
+readEventBody(ByteReader &r, EventType type, u8 core)
+{
+    Event e;
+    e.type = type;
+    e.core = core;
+    e.commitSeq = r.getU32();
+    e.emitSeq = r.getU32();
+    e.index = r.getU8();
+    size_t len = isVariableLength(type) ? r.getU16()
+                                        : eventInfo(type).bytesPerEntry;
+    auto payload = r.getBytes(len);
+    e.payload.assign(payload.begin(), payload.end());
+    return e;
+}
+
+} // namespace dth
+
+#endif // DTH_PACK_WIRE_H_

@@ -1,0 +1,71 @@
+#include "replay/buffer.h"
+
+#include "common/logging.h"
+
+namespace dth::replay {
+
+ReplayBuffer::ReplayBuffer(unsigned cores, size_t capacity_events)
+    : capacity_(capacity_events)
+{
+    rings_.resize(cores);
+}
+
+void
+ReplayBuffer::record(const Event &event)
+{
+    dth_assert(event.core < rings_.size(), "event from unknown core %u",
+               event.core);
+    auto &ring = rings_[event.core];
+    if (ring.size() >= capacity_) {
+        ring.pop_front();
+        counters_.add("replay.evictions");
+    }
+    ring.push_back(event);
+    counters_.add("replay.recorded");
+}
+
+std::vector<Event>
+ReplayBuffer::request(unsigned core, u64 first_seq, u64 last_seq,
+                      bool *complete) const
+{
+    const auto &ring = rings_[core];
+    std::vector<Event> out;
+    bool saw_first = false;
+    for (const Event &e : ring) {
+        if (e.commitSeq < first_seq) {
+            continue;
+        }
+        if (e.commitSeq > last_seq)
+            continue; // token filtering: later events are irrelevant
+        if (e.commitSeq == first_seq)
+            saw_first = true;
+        out.push_back(e);
+    }
+    // The range is complete if nothing below first_seq was evicted: the
+    // oldest retained event must not be newer than the window start.
+    bool intact = ring.empty() || ring.front().commitSeq <= first_seq ||
+                  saw_first;
+    if (complete)
+        *complete = intact;
+    return out;
+}
+
+void
+ReplayBuffer::release(unsigned core, u64 seq)
+{
+    auto &ring = rings_[core];
+    while (!ring.empty() && ring.front().commitSeq <= seq)
+        ring.pop_front();
+}
+
+u64
+ReplayBuffer::bufferedBytes() const
+{
+    u64 bytes = 0;
+    for (const auto &ring : rings_)
+        for (const Event &e : ring)
+            bytes += e.wireBytes();
+    return bytes;
+}
+
+} // namespace dth::replay

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware-side replay buffer (paper §4.4 "Range Determination"): the
+ * original, unfused verification events are buffered before the
+ * acceleration unit. Tokens — here the commit sequence numbers carried
+ * by every event — let the software request retransmission of exactly
+ * the window around a failure, while filtering out unrelated events
+ * that arrived between the bug and the replay notification.
+ */
+
+#ifndef DTH_REPLAY_BUFFER_H_
+#define DTH_REPLAY_BUFFER_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/counters.h"
+#include "event/event.h"
+
+namespace dth::replay {
+
+/** Per-core ring buffer of original (pre-fusion) events. */
+class ReplayBuffer
+{
+  public:
+    /**
+     * @param cores number of DUT cores
+     * @param capacity_events retained events per core (ring)
+     */
+    explicit ReplayBuffer(unsigned cores, size_t capacity_events = 16384);
+
+    /** Record one original event (called before Squash processing). */
+    void record(const Event &event);
+
+    /**
+     * Retransmission: all buffered events of @p core with
+     * first_seq <= commitSeq <= last_seq, in original emission order.
+     * Sets @p complete to false if the range was partially evicted.
+     */
+    std::vector<Event> request(unsigned core, u64 first_seq, u64 last_seq,
+                               bool *complete) const;
+
+    /** Drop events of @p core at or below @p seq (verified clean). */
+    void release(unsigned core, u64 seq);
+
+    size_t buffered(unsigned core) const { return rings_[core].size(); }
+    u64 bufferedBytes() const;
+
+    PerfCounters &counters() { return counters_; }
+
+  private:
+    size_t capacity_;
+    std::vector<std::deque<Event>> rings_;
+    PerfCounters counters_;
+};
+
+} // namespace dth::replay
+
+#endif // DTH_REPLAY_BUFFER_H_

@@ -1,0 +1,117 @@
+#include "replay/undo_log.h"
+
+#include "common/logging.h"
+
+namespace dth::replay {
+
+void
+UndoLog::onXRegWrite(u8 rd, u64 old_val)
+{
+    if (!reverting_)
+        entries_.push_back({Kind::XReg, 0, rd, old_val, 0, 0});
+}
+
+void
+UndoLog::onFRegWrite(u8 frd, u64 old_val)
+{
+    if (!reverting_)
+        entries_.push_back({Kind::FReg, 0, frd, old_val, 0, 0});
+}
+
+void
+UndoLog::onVRegWrite(u8 vrd, const u64 *old_lanes)
+{
+    if (!reverting_)
+        entries_.push_back(
+            {Kind::VReg, 0, vrd, 0, old_lanes[0], old_lanes[1]});
+}
+
+void
+UndoLog::onCsrWrite(u16 addr, u64 old_val)
+{
+    if (!reverting_)
+        entries_.push_back({Kind::Csr, 0, addr, old_val, 0, 0});
+}
+
+void
+UndoLog::onMemWrite(u64 addr, unsigned nbytes, u64 old_val)
+{
+    if (!reverting_)
+        entries_.push_back(
+            {Kind::Mem, static_cast<u8>(nbytes), 0, addr, old_val, 0});
+}
+
+void
+UndoLog::onPcWrite(u64 old_pc)
+{
+    if (!reverting_)
+        entries_.push_back({Kind::Pc, 0, 0, old_pc, 0, 0});
+}
+
+void
+UndoLog::onReservationWrite(u64 old_addr, bool old_valid)
+{
+    if (!reverting_)
+        entries_.push_back({Kind::Reservation, 0,
+                            static_cast<u16>(old_valid ? 1 : 0), old_addr,
+                            0, 0});
+}
+
+void
+UndoLog::mark()
+{
+    // Discard the older retained window; the just-finished window stays.
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<long>(markPos_));
+    markPos_ = entries_.size();
+}
+
+void
+UndoLog::revertToMark()
+{
+    reverting_ = true;
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const Entry &e = *it;
+        switch (e.kind) {
+          case Kind::XReg:
+            core_.setXReg(e.id, e.a);
+            break;
+          case Kind::FReg:
+            core_.setFReg(e.id, e.a);
+            break;
+          case Kind::VReg:
+            core_.setVRegLane(e.id, 0, e.b);
+            core_.setVRegLane(e.id, 1, e.c);
+            break;
+          case Kind::Csr:
+            core_.writeCsr(e.id, e.a);
+            break;
+          case Kind::Mem:
+            core_.bus().ram().write(e.a, e.nbytes, e.b);
+            break;
+          case Kind::Pc:
+            core_.setPc(e.a);
+            break;
+          case Kind::Reservation:
+            // Reservation state is internal; restoring it exactly is not
+            // needed for replay because the SC outcome oracle overrides
+            // the local reservation check.
+            break;
+        }
+    }
+    // Restore seqNo (mirrored by minstret) after CSR rollback; a halt
+    // latched inside the rolled-back window is cleared as well.
+    core_.restoreSeqFromMinstret();
+    core_.clearHalted();
+    entries_.clear();
+    markPos_ = 0;
+    reverting_ = false;
+}
+
+u64
+UndoLog::bytesRetained() const
+{
+    return entries_.size() * sizeof(Entry);
+}
+
+} // namespace dth::replay

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compensation-based REF checkpointing (paper §4.4 "Revert Reference
+ * Model"): instead of snapshotting the whole REF at every checkpoint,
+ * record only the old values of state mutated since the last checkpoint
+ * and roll them back in reverse order on a mismatch.
+ */
+
+#ifndef DTH_REPLAY_UNDO_LOG_H_
+#define DTH_REPLAY_UNDO_LOG_H_
+
+#include <vector>
+
+#include "riscv/core.h"
+
+namespace dth::replay {
+
+/** Records REF mutations and can revert them to the last mark. */
+class UndoLog : public riscv::StateObserver
+{
+  public:
+    explicit UndoLog(riscv::Core &core) : core_(core) {}
+
+    // StateObserver: capture old values before each mutation.
+    void onXRegWrite(u8 rd, u64 old_val) override;
+    void onFRegWrite(u8 frd, u64 old_val) override;
+    void onVRegWrite(u8 vrd, const u64 *old_lanes) override;
+    void onCsrWrite(u16 addr, u64 old_val) override;
+    void onMemWrite(u64 addr, unsigned nbytes, u64 old_val) override;
+    void onPcWrite(u64 old_pc) override;
+    void onReservationWrite(u64 old_addr, bool old_valid) override;
+
+    /**
+     * Advance the checkpoint by one verified window. The log retains the
+     * last two windows: content checks belonging to window N can still
+     * fail after window N's boundary has been verified, so the rollback
+     * target is the start of the previous retained window.
+     */
+    void mark();
+
+    /** Roll the core back across both retained windows (to the older
+     *  checkpoint boundary). */
+    void revertToMark();
+
+    size_t entries() const { return entries_.size(); }
+    u64 bytesRetained() const;
+
+  private:
+    enum class Kind : u8 { XReg, FReg, VReg, Csr, Mem, Pc, Reservation };
+
+    struct Entry
+    {
+        Kind kind;
+        u8 nbytes; // for Mem
+        u16 id;    // reg index or CSR address
+        u64 a;     // address / old value
+        u64 b;     // old value / lane 0
+        u64 c;     // lane 1
+    };
+
+    riscv::Core &core_;
+    std::vector<Entry> entries_;
+    /** Entry count at the most recent mark (start of current window). */
+    size_t markPos_ = 0;
+    bool reverting_ = false;
+};
+
+} // namespace dth::replay
+
+#endif // DTH_REPLAY_UNDO_LOG_H_

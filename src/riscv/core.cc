@@ -1,0 +1,1048 @@
+#include "riscv/core.h"
+
+#include <bit>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace dth::riscv {
+
+bool
+ArchSnapshot::operator==(const ArchSnapshot &other) const
+{
+    auto csr_eq = [](const CsrFile &a, const CsrFile &b) {
+        return a.mstatus == b.mstatus && a.mie == b.mie &&
+               a.mipExternal == b.mipExternal && a.mtvec == b.mtvec &&
+               a.mscratch == b.mscratch && a.mepc == b.mepc &&
+               a.mcause == b.mcause && a.mtval == b.mtval &&
+               a.minstret == b.minstret && a.satp == b.satp &&
+               a.medeleg == b.medeleg && a.mideleg == b.mideleg &&
+               a.stvec == b.stvec && a.sscratch == b.sscratch &&
+               a.sepc == b.sepc && a.scause == b.scause &&
+               a.stval == b.stval && a.fcsr == b.fcsr &&
+               a.vstart == b.vstart && a.vxsat == b.vxsat &&
+               a.vxrm == b.vxrm && a.vl == b.vl && a.vtype == b.vtype &&
+               a.priv == b.priv;
+    };
+    return pc == other.pc && xregs == other.xregs && fregs == other.fregs &&
+           vregs == other.vregs && csr_eq(csrs, other.csrs);
+}
+
+Core::Core(Bus &bus, const CoreConfig &config)
+    : bus_(bus), config_(config), pc_(config.resetPc),
+      rng_(config.rngSeed)
+{
+    csrs_.mhartid = config.hartId;
+}
+
+void
+Core::reset()
+{
+    pc_ = config_.resetPc;
+    xregs_.fill(0);
+    fregs_.fill(0);
+    for (auto &v : vregs_)
+        v.fill(0);
+    csrs_ = CsrFile{};
+    csrs_.mhartid = config_.hartId;
+    reservationValid_ = false;
+    seqNo_ = 0;
+    halted_ = false;
+    haltCode_ = 0;
+    externalInterrupt_ = false;
+    forcedInterrupts_.clear();
+    mmioFills_.clear();
+    scOutcomes_.clear();
+}
+
+void
+Core::notifyPc()
+{
+    if (observer_)
+        observer_->onPcWrite(pc_);
+}
+
+void
+Core::setXReg(unsigned i, u64 v)
+{
+    if (i == 0)
+        return;
+    if (observer_)
+        observer_->onXRegWrite(static_cast<u8>(i), xregs_[i]);
+    xregs_[i] = v;
+}
+
+void
+Core::setFReg(unsigned i, u64 v)
+{
+    if (observer_)
+        observer_->onFRegWrite(static_cast<u8>(i), fregs_[i]);
+    fregs_[i] = v;
+}
+
+void
+Core::setVRegLane(unsigned r, unsigned lane, u64 v)
+{
+    if (observer_)
+        observer_->onVRegWrite(static_cast<u8>(r), vregs_[r].data());
+    vregs_[r][lane] = v;
+}
+
+void
+Core::setXRegTraced(u8 rd, u64 v, StepResult &r)
+{
+    if (rd != 0) {
+        if (observer_)
+            observer_->onXRegWrite(rd, xregs_[rd]);
+        xregs_[rd] = v;
+        r.rfWen = true;
+        r.rd = rd;
+        r.rdVal = v;
+    }
+}
+
+u64
+Core::effectiveMip() const
+{
+    u64 mip = csrs_.mipExternal;
+    if (clint_) {
+        if (clint_->timerPending())
+            mip |= kIpMtip;
+        if (clint_->softwarePending())
+            mip |= kIpMsip;
+    }
+    if (externalInterrupt_)
+        mip |= kIpMeip;
+    return mip;
+}
+
+u64
+Core::pendingInterrupt() const
+{
+    u64 pending = csrs_.mie & effectiveMip();
+    if (!pending)
+        return 0;
+    // M-level interrupts (not delegated): enabled below M, or in M when
+    // mstatus.MIE is set.
+    bool m_enabled =
+        csrs_.priv < kPrivM || (csrs_.mstatus & kMstatusMie);
+    u64 m_pending = pending & ~csrs_.mideleg;
+    if (m_enabled) {
+        if (m_pending & kIpMeip)
+            return kIntExternal;
+        if (m_pending & kIpMsip)
+            return kIntSoftware;
+        if (m_pending & kIpMtip)
+            return kIntTimer;
+    }
+    // Delegated (S-level) interrupts: enabled below S, or in S when
+    // sstatus.SIE is set; never taken while in M.
+    bool s_enabled = csrs_.priv < kPrivS ||
+                     (csrs_.priv == kPrivS &&
+                      (csrs_.mstatus & kMstatusSie));
+    u64 s_pending = pending & csrs_.mideleg;
+    if (csrs_.priv < kPrivM && s_enabled) {
+        if (s_pending & kIpSeip)
+            return kIntSExternal;
+        if (s_pending & kIpSsip)
+            return kIntSSoftware;
+        if (s_pending & kIpStip)
+            return kIntSTimer;
+    }
+    return 0;
+}
+
+void
+Core::setExternalInterrupt(bool asserted)
+{
+    externalInterrupt_ = asserted;
+}
+
+void
+Core::forceInterrupt(u64 cause)
+{
+    forcedInterrupts_.push_back(cause);
+}
+
+void
+Core::pushMmioFill(u64 addr, u64 data)
+{
+    mmioFills_.push_back({addr, data});
+}
+
+void
+Core::pushScOutcome(bool success)
+{
+    scOutcomes_.push_back(success);
+}
+
+void
+Core::setPriv(u64 priv)
+{
+    if (observer_)
+        observer_->onCsrWrite(kCsrPrivPseudo, csrs_.priv);
+    csrs_.priv = priv;
+}
+
+void
+Core::takeTrap(StepResult &r, u64 cause, u64 tval, bool interrupt)
+{
+    // Delegation: traps from S/U whose cause bit is set in
+    // medeleg/mideleg are handled in S-mode.
+    u64 deleg = interrupt ? csrs_.mideleg : csrs_.medeleg;
+    bool to_s = csrs_.priv <= kPrivS && cause < 64 &&
+                ((deleg >> cause) & 1);
+    if (to_s) {
+        writeCsrInternal(kCsrSepc, r.pc);
+        writeCsrInternal(kCsrScause,
+                         cause | (interrupt ? kInterruptFlag : 0));
+        writeCsrInternal(kCsrStval, tval);
+        u64 mstatus = csrs_.mstatus;
+        // SPIE <- SIE, SIE <- 0, SPP <- (priv == S).
+        mstatus = (mstatus & ~kMstatusSpie) |
+                  ((mstatus & kMstatusSie) ? kMstatusSpie : 0);
+        mstatus &= ~(kMstatusSie | kMstatusSpp);
+        if (csrs_.priv == kPrivS)
+            mstatus |= kMstatusSpp;
+        writeCsrInternal(kCsrMstatus, mstatus);
+        setPriv(kPrivS);
+        r.nextPc = csrs_.stvec & ~3ULL;
+    } else {
+        writeCsrInternal(kCsrMepc, r.pc);
+        writeCsrInternal(kCsrMcause,
+                         cause | (interrupt ? kInterruptFlag : 0));
+        writeCsrInternal(kCsrMtval, tval);
+        u64 mstatus = csrs_.mstatus;
+        // MPIE <- MIE, MIE <- 0, MPP <- priv.
+        mstatus = (mstatus & ~kMstatusMpie) |
+                  ((mstatus & kMstatusMie) ? kMstatusMpie : 0);
+        mstatus &= ~(kMstatusMie | kMstatusMppMask);
+        mstatus |= csrs_.priv << kMstatusMppShift;
+        writeCsrInternal(kCsrMstatus, mstatus);
+        setPriv(kPrivM);
+        r.nextPc = csrs_.mtvec & ~3ULL;
+    }
+    if (interrupt) {
+        r.interrupt = true;
+    } else {
+        r.exception = true;
+    }
+    r.cause = cause;
+    r.tval = tval;
+}
+
+u64
+Core::memLoad(u64 addr, unsigned nbytes, StepResult &r, bool sign_extend,
+              unsigned sext_bits)
+{
+    MemAccessInfo &m =
+        r.mem[std::min<size_t>(r.memCount, r.mem.size() - 1)];
+    m.valid = true;
+    m.store = false;
+    m.addr = addr;
+    m.sizeLog2 = static_cast<u8>(std::countr_zero(nbytes));
+    u64 value;
+    if (!bus_.isRam(addr)) {
+        m.mmio = true;
+        if (!mmioFills_.empty()) {
+            MmioFill fill = mmioFills_.front();
+            mmioFills_.pop_front();
+            if (fill.addr != addr) {
+                dth_warn("MMIO oracle addr mismatch: want %llx got %llx",
+                         (unsigned long long)fill.addr,
+                         (unsigned long long)addr);
+            }
+            value = fill.data & byteMask(nbytes);
+        } else {
+            BusAccess a = bus_.read(addr, nbytes);
+            value = a.fault ? 0 : a.value;
+        }
+    } else {
+        value = bus_.read(addr, nbytes).value;
+    }
+    if (sign_extend)
+        value = static_cast<u64>(sext(value, sext_bits));
+    m.data = value;
+    if (r.memCount < r.mem.size())
+        ++r.memCount;
+    return value;
+}
+
+void
+Core::memStore(u64 addr, unsigned nbytes, u64 value, StepResult &r)
+{
+    MemAccessInfo &m =
+        r.mem[std::min<size_t>(r.memCount, r.mem.size() - 1)];
+    m.valid = true;
+    m.store = true;
+    m.addr = addr;
+    m.sizeLog2 = static_cast<u8>(std::countr_zero(nbytes));
+    m.data = value & byteMask(nbytes);
+    if (!bus_.isRam(addr)) {
+        m.mmio = true;
+        bus_.write(addr, nbytes, value); // discarded if unmapped (REF role)
+    } else {
+        if (observer_) {
+            u64 old = bus_.ram().read(addr, nbytes);
+            observer_->onMemWrite(addr, nbytes, old);
+        }
+        bus_.write(addr, nbytes, value);
+    }
+    if (r.memCount < r.mem.size())
+        ++r.memCount;
+}
+
+void
+Core::observedMemWrite(u64 addr, unsigned nbytes, u64 value)
+{
+    if (!bus_.isRam(addr))
+        return;
+    if (observer_) {
+        u64 old = bus_.ram().read(addr, nbytes);
+        observer_->onMemWrite(addr, nbytes, old);
+    }
+    bus_.write(addr, nbytes, value);
+}
+
+u64
+Core::readCsr(u16 addr) const
+{
+    switch (addr) {
+      case kCsrMstatus: return csrs_.mstatus;
+      case kCsrMisa: return csrs_.misa;
+      case kCsrMie: return csrs_.mie;
+      case kCsrMip: return effectiveMip();
+      case kCsrMtvec: return csrs_.mtvec;
+      case kCsrMscratch: return csrs_.mscratch;
+      case kCsrMepc: return csrs_.mepc;
+      case kCsrMcause: return csrs_.mcause;
+      case kCsrMtval: return csrs_.mtval;
+      case kCsrMcycle: return csrs_.mcycle;
+      case kCsrMinstret: return csrs_.minstret;
+      case kCsrSatp: return csrs_.satp;
+      case kCsrMedeleg: return csrs_.medeleg;
+      case kCsrMideleg: return csrs_.mideleg;
+      case kCsrStvec: return csrs_.stvec;
+      case kCsrSscratch: return csrs_.sscratch;
+      case kCsrSepc: return csrs_.sepc;
+      case kCsrScause: return csrs_.scause;
+      case kCsrStval: return csrs_.stval;
+      case kCsrMhartid: return csrs_.mhartid;
+      case kCsrSstatus: return csrs_.mstatus & kSstatusMask;
+      case kCsrSie: return csrs_.mie & csrs_.mideleg;
+      case kCsrSip: return effectiveMip() & csrs_.mideleg;
+      case kCsrPrivPseudo: return csrs_.priv;
+      case kCsrFcsr: return csrs_.fcsr;
+      case kCsrFflags: return csrs_.fcsr & 0x1F;
+      case kCsrFrm: return (csrs_.fcsr >> 5) & 7;
+      case kCsrVstart: return csrs_.vstart;
+      case kCsrVxsat: return csrs_.vxsat;
+      case kCsrVxrm: return csrs_.vxrm;
+      case kCsrVcsr: return (csrs_.vxrm << 1) | csrs_.vxsat;
+      case kCsrVl: return csrs_.vl;
+      case kCsrVtype: return csrs_.vtype;
+      case kCsrVlenb: return kVlenBits / 8;
+      default: return 0;
+    }
+}
+
+void
+Core::writeCsrInternal(u16 addr, u64 value)
+{
+    if (observer_)
+        observer_->onCsrWrite(addr, readCsr(addr));
+    switch (addr) {
+      case kCsrMstatus: csrs_.mstatus = value; break;
+      case kCsrMie: csrs_.mie = value; break;
+      case kCsrMip: csrs_.mipExternal = value & kIpWritableMask; break;
+      case kCsrSstatus:
+        csrs_.mstatus = (csrs_.mstatus & ~kSstatusMask) |
+                        (value & kSstatusMask);
+        break;
+      case kCsrSie:
+        csrs_.mie = (csrs_.mie & ~csrs_.mideleg) |
+                    (value & csrs_.mideleg);
+        break;
+      case kCsrSip:
+        csrs_.mipExternal =
+            (csrs_.mipExternal & ~(csrs_.mideleg & kIpWritableMask)) |
+            (value & csrs_.mideleg & kIpWritableMask);
+        break;
+      case kCsrPrivPseudo: csrs_.priv = value & 3; break;
+      case kCsrMtvec: csrs_.mtvec = value; break;
+      case kCsrMscratch: csrs_.mscratch = value; break;
+      case kCsrMepc: csrs_.mepc = value; break;
+      case kCsrMcause: csrs_.mcause = value; break;
+      case kCsrMtval: csrs_.mtval = value; break;
+      case kCsrMcycle: csrs_.mcycle = value; break;
+      case kCsrMinstret: csrs_.minstret = value; break;
+      case kCsrSatp: csrs_.satp = value; break;
+      case kCsrMedeleg: csrs_.medeleg = value; break;
+      case kCsrMideleg: csrs_.mideleg = value; break;
+      case kCsrStvec: csrs_.stvec = value; break;
+      case kCsrSscratch: csrs_.sscratch = value; break;
+      case kCsrSepc: csrs_.sepc = value; break;
+      case kCsrScause: csrs_.scause = value; break;
+      case kCsrStval: csrs_.stval = value; break;
+      case kCsrFcsr: csrs_.fcsr = value & 0xFF; break;
+      case kCsrFflags:
+        csrs_.fcsr = (csrs_.fcsr & ~0x1FULL) | (value & 0x1F);
+        break;
+      case kCsrFrm:
+        csrs_.fcsr = (csrs_.fcsr & ~0xE0ULL) | ((value & 7) << 5);
+        break;
+      case kCsrVstart: csrs_.vstart = value; break;
+      case kCsrVxsat: csrs_.vxsat = value & 1; break;
+      case kCsrVxrm: csrs_.vxrm = value & 3; break;
+      case kCsrVl: csrs_.vl = value; break;
+      case kCsrVtype: csrs_.vtype = value; break;
+      default: break; // unimplemented CSRs read as zero, ignore writes
+    }
+}
+
+void
+Core::writeCsr(u16 addr, u64 value)
+{
+    writeCsrInternal(addr, value);
+}
+
+u64
+Core::csrForOp(const DecodedInstr &d, StepResult &r)
+{
+    u64 old = readCsr(d.csr);
+    u64 writeVal = old;
+    bool doWrite = false;
+    u64 src = (d.op >= Op::Csrrwi) ? static_cast<u64>(d.imm)
+                                   : xregs_[d.rs1];
+    switch (d.op) {
+      case Op::Csrrw:
+      case Op::Csrrwi:
+        writeVal = src;
+        doWrite = true;
+        break;
+      case Op::Csrrs:
+      case Op::Csrrsi:
+        writeVal = old | src;
+        doWrite = d.rs1 != 0;
+        break;
+      case Op::Csrrc:
+      case Op::Csrrci:
+        writeVal = old & ~src;
+        doWrite = d.rs1 != 0;
+        break;
+      default:
+        dth_panic("not a CSR op");
+    }
+    if (doWrite) {
+        writeCsrInternal(d.csr, writeVal);
+        r.csrWen = true;
+        r.csrAddr = d.csr;
+        r.csrVal = readCsr(d.csr);
+    }
+    return old;
+}
+
+u64
+Core::amoAccess(const DecodedInstr &d, StepResult &r)
+{
+    u64 addr = xregs_[d.rs1];
+    bool word = d.op >= Op::LrW && d.op <= Op::AmoMaxuW &&
+                (d.op == Op::LrW || d.op == Op::ScW ||
+                 (d.op >= Op::AmoSwapW && d.op <= Op::AmoMaxuW));
+    unsigned nbytes = word ? 4 : 8;
+    u64 src = xregs_[d.rs2];
+
+    if (d.op == Op::LrW || d.op == Op::LrD) {
+        u64 v = memLoad(addr, nbytes, r, word, 32);
+        if (observer_)
+            observer_->onReservationWrite(reservationAddr_,
+                                          reservationValid_);
+        reservationValid_ = true;
+        reservationAddr_ = addr;
+        setXRegTraced(d.rd, v, r);
+        r.mem[0].atomic = true;
+        return v;
+    }
+
+    if (d.op == Op::ScW || d.op == Op::ScD) {
+        bool success;
+        if (!scOutcomes_.empty()) {
+            success = scOutcomes_.front();
+            scOutcomes_.pop_front();
+        } else {
+            success = reservationValid_ && reservationAddr_ == addr;
+            if (success && config_.spuriousScFailRate > 0 &&
+                rng_.chance(config_.spuriousScFailRate)) {
+                success = false;
+            }
+        }
+        if (observer_)
+            observer_->onReservationWrite(reservationAddr_,
+                                          reservationValid_);
+        reservationValid_ = false;
+        if (success)
+            memStore(addr, nbytes, src, r);
+        setXRegTraced(d.rd, success ? 0 : 1, r);
+        r.scEvent = true;
+        r.scSuccess = success;
+        if (r.memCount > 0)
+            r.mem[0].atomic = true;
+        return 0;
+    }
+
+    // Read-modify-write AMOs.
+    u64 loaded = memLoad(addr, nbytes, r, word, 32);
+    r.mem[0].atomic = true;
+    r.mem[0].loadedValue = loaded;
+    u64 result = 0;
+    i64 ls = static_cast<i64>(loaded);
+    i64 ss = static_cast<i64>(word ? sext(src, 32) : src);
+    switch (d.op) {
+      case Op::AmoSwapW: case Op::AmoSwapD: result = src; break;
+      case Op::AmoAddW: case Op::AmoAddD: result = loaded + src; break;
+      case Op::AmoXorW: case Op::AmoXorD: result = loaded ^ src; break;
+      case Op::AmoAndW: case Op::AmoAndD: result = loaded & src; break;
+      case Op::AmoOrW: case Op::AmoOrD: result = loaded | src; break;
+      case Op::AmoMinW: case Op::AmoMinD:
+        result = ls < ss ? loaded : src;
+        break;
+      case Op::AmoMaxW: case Op::AmoMaxD:
+        result = ls > ss ? loaded : src;
+        break;
+      case Op::AmoMinuW: case Op::AmoMinuD:
+        result = (word ? (loaded & byteMask(4)) < (src & byteMask(4))
+                       : loaded < src)
+                     ? loaded
+                     : src;
+        break;
+      case Op::AmoMaxuW: case Op::AmoMaxuD:
+        result = (word ? (loaded & byteMask(4)) > (src & byteMask(4))
+                       : loaded > src)
+                     ? loaded
+                     : src;
+        break;
+      default:
+        dth_panic("not an AMO");
+    }
+    memStore(addr, nbytes, result, r);
+    r.mem[1].atomic = true;
+    setXRegTraced(d.rd, loaded, r);
+    return loaded;
+}
+
+StepResult
+Core::step()
+{
+    StepResult r;
+    r.pc = pc_;
+    if (halted_) {
+        r.halted = true;
+        r.haltCode = haltCode_;
+        return r;
+    }
+
+    // Pending interrupts are taken between instructions; they do not
+    // retire anything.
+    u64 icause = 0;
+    if (!forcedInterrupts_.empty()) {
+        icause = forcedInterrupts_.front();
+        forcedInterrupts_.pop_front();
+    } else if (config_.autoInterrupts) {
+        icause = pendingInterrupt();
+    }
+    if (icause) {
+        takeTrap(r, icause, 0, true);
+        notifyPc();
+        pc_ = r.nextPc;
+        return r;
+    }
+
+    u32 raw = static_cast<u32>(bus_.read(pc_, 4).value);
+    r.instr = raw;
+    DecodedInstr d = decode(raw);
+    r.op = d.op;
+    r.nextPc = pc_ + 4;
+
+    execute(d, r);
+
+    if (!r.interrupt) {
+        r.retired = true;
+        if (observer_)
+            observer_->onCsrWrite(kCsrMinstret, csrs_.minstret);
+        ++seqNo_;
+        csrs_.minstret = seqNo_;
+        r.seqNo = seqNo_;
+    }
+    notifyPc();
+    pc_ = r.nextPc;
+    return r;
+}
+
+StepResult
+Core::execute(const DecodedInstr &d, StepResult &r)
+{
+    u64 rs1 = xregs_[d.rs1];
+    u64 rs2 = xregs_[d.rs2];
+    i64 s1 = static_cast<i64>(rs1);
+    i64 s2 = static_cast<i64>(rs2);
+
+    switch (d.op) {
+      case Op::Lui: setXRegTraced(d.rd, static_cast<u64>(d.imm), r); break;
+      case Op::Auipc:
+        setXRegTraced(d.rd, r.pc + static_cast<u64>(d.imm), r);
+        break;
+      case Op::Jal:
+        setXRegTraced(d.rd, r.pc + 4, r);
+        r.nextPc = r.pc + static_cast<u64>(d.imm);
+        break;
+      case Op::Jalr: {
+        u64 target = (rs1 + static_cast<u64>(d.imm)) & ~1ULL;
+        setXRegTraced(d.rd, r.pc + 4, r);
+        r.nextPc = target;
+        break;
+      }
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu: {
+        bool taken = false;
+        switch (d.op) {
+          case Op::Beq: taken = rs1 == rs2; break;
+          case Op::Bne: taken = rs1 != rs2; break;
+          case Op::Blt: taken = s1 < s2; break;
+          case Op::Bge: taken = s1 >= s2; break;
+          case Op::Bltu: taken = rs1 < rs2; break;
+          case Op::Bgeu: taken = rs1 >= rs2; break;
+          default: break;
+        }
+        r.isBranch = true;
+        r.branchTaken = taken;
+        if (taken)
+            r.nextPc = r.pc + static_cast<u64>(d.imm);
+        break;
+      }
+      case Op::Lb:
+        setXRegTraced(d.rd,
+                      memLoad(rs1 + d.imm, 1, r, true, 8), r);
+        break;
+      case Op::Lh:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 2, r, true, 16), r);
+        break;
+      case Op::Lw:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 4, r, true, 32), r);
+        break;
+      case Op::Ld:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 8, r, false, 0), r);
+        break;
+      case Op::Lbu:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 1, r, false, 0), r);
+        break;
+      case Op::Lhu:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 2, r, false, 0), r);
+        break;
+      case Op::Lwu:
+        setXRegTraced(d.rd, memLoad(rs1 + d.imm, 4, r, false, 0), r);
+        break;
+      case Op::Sb: memStore(rs1 + d.imm, 1, rs2, r); break;
+      case Op::Sh: memStore(rs1 + d.imm, 2, rs2, r); break;
+      case Op::Sw: memStore(rs1 + d.imm, 4, rs2, r); break;
+      case Op::Sd: memStore(rs1 + d.imm, 8, rs2, r); break;
+      case Op::Addi: setXRegTraced(d.rd, rs1 + d.imm, r); break;
+      case Op::Slti:
+        setXRegTraced(d.rd, s1 < d.imm ? 1 : 0, r);
+        break;
+      case Op::Sltiu:
+        setXRegTraced(d.rd, rs1 < static_cast<u64>(d.imm) ? 1 : 0, r);
+        break;
+      case Op::Xori: setXRegTraced(d.rd, rs1 ^ d.imm, r); break;
+      case Op::Ori: setXRegTraced(d.rd, rs1 | d.imm, r); break;
+      case Op::Andi: setXRegTraced(d.rd, rs1 & d.imm, r); break;
+      case Op::Slli: setXRegTraced(d.rd, rs1 << (d.imm & 63), r); break;
+      case Op::Srli: setXRegTraced(d.rd, rs1 >> (d.imm & 63), r); break;
+      case Op::Srai:
+        setXRegTraced(d.rd, static_cast<u64>(s1 >> (d.imm & 63)), r);
+        break;
+      case Op::Addiw:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1 + d.imm, 32)), r);
+        break;
+      case Op::Slliw:
+        setXRegTraced(d.rd,
+                      static_cast<u64>(sext(rs1 << (d.imm & 31), 32)), r);
+        break;
+      case Op::Srliw:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>(sext((rs1 & byteMask(4)) >> (d.imm & 31), 32)),
+            r);
+        break;
+      case Op::Sraiw:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>(static_cast<i64>(sext(rs1, 32)) >>
+                             (d.imm & 31)),
+            r);
+        break;
+      case Op::Add: setXRegTraced(d.rd, rs1 + rs2, r); break;
+      case Op::Sub: setXRegTraced(d.rd, rs1 - rs2, r); break;
+      case Op::Sll: setXRegTraced(d.rd, rs1 << (rs2 & 63), r); break;
+      case Op::Slt: setXRegTraced(d.rd, s1 < s2 ? 1 : 0, r); break;
+      case Op::Sltu: setXRegTraced(d.rd, rs1 < rs2 ? 1 : 0, r); break;
+      case Op::Xor: setXRegTraced(d.rd, rs1 ^ rs2, r); break;
+      case Op::Srl: setXRegTraced(d.rd, rs1 >> (rs2 & 63), r); break;
+      case Op::Sra:
+        setXRegTraced(d.rd, static_cast<u64>(s1 >> (rs2 & 63)), r);
+        break;
+      case Op::Or: setXRegTraced(d.rd, rs1 | rs2, r); break;
+      case Op::And: setXRegTraced(d.rd, rs1 & rs2, r); break;
+      case Op::Addw:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1 + rs2, 32)), r);
+        break;
+      case Op::Subw:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1 - rs2, 32)), r);
+        break;
+      case Op::Sllw:
+        setXRegTraced(d.rd,
+                      static_cast<u64>(sext(rs1 << (rs2 & 31), 32)), r);
+        break;
+      case Op::Srlw:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>(sext((rs1 & byteMask(4)) >> (rs2 & 31), 32)),
+            r);
+        break;
+      case Op::Sraw:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>(static_cast<i64>(sext(rs1, 32)) >>
+                             (rs2 & 31)),
+            r);
+        break;
+      case Op::Fence:
+        break;
+      case Op::Mul: setXRegTraced(d.rd, rs1 * rs2, r); break;
+      case Op::Mulh:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>((static_cast<__int128>(s1) * s2) >> 64), r);
+        break;
+      case Op::Mulhsu:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>(
+                (static_cast<__int128>(s1) *
+                 static_cast<unsigned __int128>(rs2)) >> 64),
+            r);
+        break;
+      case Op::Mulhu:
+        setXRegTraced(
+            d.rd,
+            static_cast<u64>((static_cast<unsigned __int128>(rs1) * rs2) >>
+                             64),
+            r);
+        break;
+      case Op::Div:
+        if (rs2 == 0)
+            setXRegTraced(d.rd, ~0ULL, r);
+        else if (s1 == INT64_MIN && s2 == -1)
+            setXRegTraced(d.rd, static_cast<u64>(INT64_MIN), r);
+        else
+            setXRegTraced(d.rd, static_cast<u64>(s1 / s2), r);
+        break;
+      case Op::Divu:
+        setXRegTraced(d.rd, rs2 == 0 ? ~0ULL : rs1 / rs2, r);
+        break;
+      case Op::Rem:
+        if (rs2 == 0)
+            setXRegTraced(d.rd, rs1, r);
+        else if (s1 == INT64_MIN && s2 == -1)
+            setXRegTraced(d.rd, 0, r);
+        else
+            setXRegTraced(d.rd, static_cast<u64>(s1 % s2), r);
+        break;
+      case Op::Remu:
+        setXRegTraced(d.rd, rs2 == 0 ? rs1 : rs1 % rs2, r);
+        break;
+      case Op::Mulw:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1 * rs2, 32)), r);
+        break;
+      case Op::Divw: {
+        i64 a = sext(rs1, 32), b = sext(rs2, 32);
+        u64 v;
+        if (b == 0)
+            v = ~0ULL;
+        else if (a == INT32_MIN && b == -1)
+            v = static_cast<u64>(sext(static_cast<u64>(INT32_MIN), 32));
+        else
+            v = static_cast<u64>(sext(static_cast<u64>(a / b), 32));
+        setXRegTraced(d.rd, v, r);
+        break;
+      }
+      case Op::Divuw: {
+        u64 a = rs1 & byteMask(4), b = rs2 & byteMask(4);
+        setXRegTraced(
+            d.rd,
+            b == 0 ? ~0ULL : static_cast<u64>(sext(a / b, 32)), r);
+        break;
+      }
+      case Op::Remw: {
+        i64 a = sext(rs1, 32), b = sext(rs2, 32);
+        u64 v;
+        if (b == 0)
+            v = static_cast<u64>(sext(rs1, 32));
+        else if (a == INT32_MIN && b == -1)
+            v = 0;
+        else
+            v = static_cast<u64>(sext(static_cast<u64>(a % b), 32));
+        setXRegTraced(d.rd, v, r);
+        break;
+      }
+      case Op::Remuw: {
+        u64 a = rs1 & byteMask(4), b = rs2 & byteMask(4);
+        setXRegTraced(
+            d.rd,
+            b == 0 ? static_cast<u64>(sext(a, 32))
+                   : static_cast<u64>(sext(a % b, 32)),
+            r);
+        break;
+      }
+      // Zba/Zbb bit manipulation.
+      case Op::Sh1add: setXRegTraced(d.rd, rs2 + (rs1 << 1), r); break;
+      case Op::Sh2add: setXRegTraced(d.rd, rs2 + (rs1 << 2), r); break;
+      case Op::Sh3add: setXRegTraced(d.rd, rs2 + (rs1 << 3), r); break;
+      case Op::AddUw:
+        setXRegTraced(d.rd, rs2 + (rs1 & byteMask(4)), r);
+        break;
+      case Op::Andn: setXRegTraced(d.rd, rs1 & ~rs2, r); break;
+      case Op::Orn: setXRegTraced(d.rd, rs1 | ~rs2, r); break;
+      case Op::Xnor: setXRegTraced(d.rd, ~(rs1 ^ rs2), r); break;
+      case Op::Clz:
+        setXRegTraced(d.rd, static_cast<u64>(std::countl_zero(rs1)), r);
+        break;
+      case Op::Ctz:
+        setXRegTraced(d.rd, static_cast<u64>(std::countr_zero(rs1)), r);
+        break;
+      case Op::Cpop:
+        setXRegTraced(d.rd, static_cast<u64>(std::popcount(rs1)), r);
+        break;
+      case Op::Min:
+        setXRegTraced(d.rd, s1 < s2 ? rs1 : rs2, r);
+        break;
+      case Op::Minu:
+        setXRegTraced(d.rd, rs1 < rs2 ? rs1 : rs2, r);
+        break;
+      case Op::Max:
+        setXRegTraced(d.rd, s1 > s2 ? rs1 : rs2, r);
+        break;
+      case Op::Maxu:
+        setXRegTraced(d.rd, rs1 > rs2 ? rs1 : rs2, r);
+        break;
+      case Op::SextB:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1, 8)), r);
+        break;
+      case Op::SextH:
+        setXRegTraced(d.rd, static_cast<u64>(sext(rs1, 16)), r);
+        break;
+      case Op::ZextH:
+        setXRegTraced(d.rd, rs1 & byteMask(2), r);
+        break;
+      case Op::Rol:
+        setXRegTraced(d.rd, std::rotl(rs1, static_cast<int>(rs2 & 63)),
+                      r);
+        break;
+      case Op::Ror:
+        setXRegTraced(d.rd, std::rotr(rs1, static_cast<int>(rs2 & 63)),
+                      r);
+        break;
+      case Op::Rori:
+        setXRegTraced(d.rd, std::rotr(rs1, static_cast<int>(d.imm & 63)),
+                      r);
+        break;
+      case Op::Rev8:
+        setXRegTraced(d.rd, __builtin_bswap64(rs1), r);
+        break;
+      case Op::OrcB: {
+        u64 out = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            if ((rs1 >> (8 * i)) & 0xFF)
+                out |= 0xFFULL << (8 * i);
+        }
+        setXRegTraced(d.rd, out, r);
+        break;
+      }
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci: {
+        u64 old = csrForOp(d, r);
+        setXRegTraced(d.rd, old, r);
+        break;
+      }
+      case Op::Ecall: {
+        u64 cause = csrs_.priv == kPrivM
+                        ? kCauseEcallM
+                        : (csrs_.priv == kPrivS ? kCauseEcallS
+                                                : kCauseEcallU);
+        takeTrap(r, cause, 0, false);
+        break;
+      }
+      case Op::Ebreak:
+        // DiffTest "trap" convention: ebreak halts the workload with the
+        // exit code in a0 (0 = GOOD TRAP).
+        halted_ = true;
+        haltCode_ = xregs_[10];
+        r.halted = true;
+        r.haltCode = haltCode_;
+        break;
+      case Op::Mret: {
+        u64 mstatus = csrs_.mstatus;
+        bool mpie = mstatus & kMstatusMpie;
+        u64 mpp = (mstatus & kMstatusMppMask) >> kMstatusMppShift;
+        mstatus = (mstatus & ~kMstatusMie) | (mpie ? kMstatusMie : 0);
+        mstatus |= kMstatusMpie;
+        mstatus &= ~kMstatusMppMask; // MPP <- U
+        writeCsrInternal(kCsrMstatus, mstatus);
+        setPriv(mpp == 2 ? kPrivM : mpp); // 2 is reserved
+        r.nextPc = csrs_.mepc;
+        break;
+      }
+      case Op::Sret: {
+        u64 mstatus = csrs_.mstatus;
+        bool spie = mstatus & kMstatusSpie;
+        u64 spp = (mstatus & kMstatusSpp) ? kPrivS : kPrivU;
+        mstatus = (mstatus & ~kMstatusSie) | (spie ? kMstatusSie : 0);
+        mstatus |= kMstatusSpie;
+        mstatus &= ~kMstatusSpp; // SPP <- U
+        writeCsrInternal(kCsrMstatus, mstatus);
+        setPriv(spp);
+        r.nextPc = csrs_.sepc;
+        break;
+      }
+      case Op::Wfi:
+        break;
+      case Op::LrW: case Op::LrD: case Op::ScW: case Op::ScD:
+      case Op::AmoSwapW: case Op::AmoAddW: case Op::AmoXorW:
+      case Op::AmoAndW: case Op::AmoOrW: case Op::AmoMinW:
+      case Op::AmoMaxW: case Op::AmoMinuW: case Op::AmoMaxuW:
+      case Op::AmoSwapD: case Op::AmoAddD: case Op::AmoXorD:
+      case Op::AmoAndD: case Op::AmoOrD: case Op::AmoMinD:
+      case Op::AmoMaxD: case Op::AmoMinuD: case Op::AmoMaxuD:
+        amoAccess(d, r);
+        break;
+      case Op::Fld: {
+        u64 v = memLoad(rs1 + d.imm, 8, r, false, 0);
+        setFReg(d.rd, v);
+        r.fpWen = true;
+        r.frd = d.rd;
+        r.frdVal = v;
+        break;
+      }
+      case Op::Fsd:
+        memStore(rs1 + d.imm, 8, fregs_[d.rs2], r);
+        break;
+      case Op::FaddD: case Op::FsubD: case Op::FmulD: {
+        double a = std::bit_cast<double>(fregs_[d.rs1]);
+        double b = std::bit_cast<double>(fregs_[d.rs2]);
+        double out = d.op == Op::FaddD ? a + b
+                     : d.op == Op::FsubD ? a - b
+                                         : a * b;
+        u64 v = std::bit_cast<u64>(out);
+        setFReg(d.rd, v);
+        r.fpWen = true;
+        r.frd = d.rd;
+        r.frdVal = v;
+        break;
+      }
+      case Op::FmvXD:
+        setXRegTraced(d.rd, fregs_[d.rs1], r);
+        break;
+      case Op::FmvDX:
+        setFReg(d.rd, rs1);
+        r.fpWen = true;
+        r.frd = d.rd;
+        r.frdVal = rs1;
+        break;
+      case Op::Vsetvli: {
+        u64 vlmax = kVLanes64; // SEW=64, LMUL=1
+        u64 avl;
+        if (d.rs1 != 0)
+            avl = rs1;
+        else if (d.rd != 0)
+            avl = vlmax;
+        else
+            avl = csrs_.vl;
+        u64 vl = std::min(avl, vlmax);
+        writeCsrInternal(kCsrVtype, static_cast<u64>(d.imm));
+        writeCsrInternal(kCsrVl, vl);
+        writeCsrInternal(kCsrVstart, 0);
+        setXRegTraced(d.rd, vl, r);
+        r.isVecConfig = true;
+        break;
+      }
+      case Op::VaddVV: case Op::VxorVV: {
+        // vd = vs2 op vs1 for the first vl 64-bit elements.
+        std::array<u64, kVLanes64> out = vregs_[d.rd];
+        for (unsigned i = 0; i < csrs_.vl && i < kVLanes64; ++i) {
+            u64 a = vregs_[d.rs2][i];
+            u64 b = vregs_[d.rs1][i];
+            out[i] = d.op == Op::VaddVV ? a + b : (a ^ b);
+        }
+        if (observer_)
+            observer_->onVRegWrite(d.rd, vregs_[d.rd].data());
+        vregs_[d.rd] = out;
+        r.vecWen = true;
+        r.vrd = d.rd;
+        r.vecVal = out;
+        break;
+      }
+      case Op::Vle64: {
+        std::array<u64, kVLanes64> out = vregs_[d.rd];
+        for (unsigned i = 0; i < csrs_.vl && i < kVLanes64; ++i)
+            out[i] = memLoad(rs1 + 8 * i, 8, r, false, 0);
+        if (observer_)
+            observer_->onVRegWrite(d.rd, vregs_[d.rd].data());
+        vregs_[d.rd] = out;
+        r.vecWen = true;
+        r.vrd = d.rd;
+        r.vecVal = out;
+        break;
+      }
+      case Op::Vse64:
+        for (unsigned i = 0; i < csrs_.vl && i < kVLanes64; ++i)
+            memStore(rs1 + 8 * i, 8, vregs_[d.rd][i], r);
+        break;
+      case Op::Illegal:
+        takeTrap(r, kCauseIllegalInstr, d.raw, false);
+        break;
+    }
+    return r;
+}
+
+ArchSnapshot
+Core::snapshot() const
+{
+    ArchSnapshot s;
+    s.pc = pc_;
+    s.xregs = xregs_;
+    s.fregs = fregs_;
+    s.vregs = vregs_;
+    s.csrs = csrs_;
+    return s;
+}
+
+void
+Core::restore(const ArchSnapshot &snap)
+{
+    pc_ = snap.pc;
+    xregs_ = snap.xregs;
+    fregs_ = snap.fregs;
+    vregs_ = snap.vregs;
+    csrs_ = snap.csrs;
+    seqNo_ = snap.csrs.minstret;
+}
+
+Soc::Soc(const CoreConfig &config, u64 ram_size)
+    : bus(kRamBase, ram_size), uart(config.rngSeed ^ 0x5A5A),
+      core(bus, config)
+{
+    bus.mapDevice(&uart, kUartBase, kUartSize);
+    bus.mapDevice(&clint, kClintBase, kClintSize);
+    core.attachClint(&clint);
+}
+
+} // namespace dth::riscv

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * The RISC-V core: architectural state plus an instruction-at-a-time
+ * step() executor. One instance serves as the golden reference model
+ * (REF) on the software side; another, wrapped by the DUT model, is the
+ * architectural backbone of the emulated processor.
+ *
+ * Three co-simulation hooks distinguish the two roles:
+ *  - a StateObserver receives old values before every architectural
+ *    mutation (Replay's compensation-log checkpointing, §4.4),
+ *  - NDE oracles (MMIO values, SC outcomes, forced interrupts) let the
+ *    checker synchronize DUT-specific non-determinism into the REF, and
+ *  - autoInterrupts/spurious-SC settings give the DUT-side core its
+ *    device-driven, microarchitecturally non-deterministic behaviour.
+ */
+
+#ifndef DTH_RISCV_CORE_H_
+#define DTH_RISCV_CORE_H_
+
+#include <array>
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+#include "riscv/devices.h"
+#include "riscv/instr.h"
+#include "riscv/mem.h"
+
+namespace dth::riscv {
+
+/** Receives old values before each architectural mutation. */
+class StateObserver
+{
+  public:
+    virtual ~StateObserver() = default;
+    virtual void onXRegWrite(u8 rd, u64 old_val) = 0;
+    virtual void onFRegWrite(u8 frd, u64 old_val) = 0;
+    virtual void onVRegWrite(u8 vrd, const u64 *old_lanes) = 0;
+    virtual void onCsrWrite(u16 addr, u64 old_val) = 0;
+    virtual void onMemWrite(u64 addr, unsigned nbytes, u64 old_val) = 0;
+    virtual void onPcWrite(u64 old_pc) = 0;
+    virtual void onReservationWrite(u64 old_addr, bool old_valid) = 0;
+};
+
+/** Architectural CSR state (flat, machine-mode subset). */
+struct CsrFile
+{
+    u64 mstatus = kMstatusMppMask; // boot in M-mode
+    u64 misa = (1ULL << 63) | 0x141105; // RV64IMAFDV-ish
+    u64 mie = 0;
+    u64 mipExternal = 0; //!< software-controlled external/soft bits
+    u64 mtvec = 0;
+    u64 mscratch = 0;
+    u64 mepc = 0;
+    u64 mcause = 0;
+    u64 mtval = 0;
+    u64 mcycle = 0;
+    u64 minstret = 0;
+    u64 satp = 0;
+    u64 medeleg = 0;
+    u64 mideleg = 0;
+    u64 stvec = 0;
+    u64 sscratch = 0;
+    u64 sepc = 0;
+    u64 scause = 0;
+    u64 stval = 0;
+    u64 mhartid = 0;
+    u64 fcsr = 0;
+    u64 vstart = 0;
+    u64 vxsat = 0;
+    u64 vxrm = 0;
+    u64 vl = 0;
+    u64 vtype = 0;
+    u64 priv = 3;
+};
+
+/** One memory access performed by a step. */
+struct MemAccessInfo
+{
+    bool valid = false;
+    bool store = false;
+    bool mmio = false;
+    bool atomic = false;
+    u64 addr = 0;
+    u8 sizeLog2 = 0;
+    u64 data = 0;        //!< value loaded or stored
+    u64 loadedValue = 0; //!< for AMOs: the value read before the update
+};
+
+/** Everything that happened during one step(), for event generation. */
+struct StepResult
+{
+    bool retired = false; //!< an instruction committed (seqNo advanced)
+    u64 pc = 0;
+    u64 nextPc = 0;
+    u32 instr = 0;
+    u64 seqNo = 0; //!< global retired-instruction index (after retiring)
+    Op op = Op::Illegal;
+
+    bool rfWen = false;
+    u8 rd = 0;
+    u64 rdVal = 0;
+    bool fpWen = false;
+    u8 frd = 0;
+    u64 frdVal = 0;
+    bool vecWen = false;
+    u8 vrd = 0;
+    std::array<u64, kVLanes64> vecVal{};
+
+    bool csrWen = false;
+    u16 csrAddr = 0;
+    u64 csrVal = 0;
+    bool isVecConfig = false;
+
+    std::array<MemAccessInfo, 2> mem{};
+    u8 memCount = 0;
+
+    bool isBranch = false;
+    bool branchTaken = false;
+
+    bool exception = false;
+    bool interrupt = false;
+    u64 cause = 0;
+    u64 tval = 0;
+
+    bool scEvent = false;
+    bool scSuccess = false;
+
+    bool halted = false;
+    u64 haltCode = 0;
+};
+
+/** Snapshot of comparable architectural state (tests, snapshot baseline). */
+struct ArchSnapshot
+{
+    u64 pc = 0;
+    std::array<u64, 32> xregs{};
+    std::array<u64, 32> fregs{};
+    std::array<std::array<u64, kVLanes64>, kNumVregs> vregs{};
+    CsrFile csrs;
+
+    bool operator==(const ArchSnapshot &other) const;
+};
+
+/** Core configuration. */
+struct CoreConfig
+{
+    u64 resetPc = kRamBase;
+    /** DUT role: interrupts fire from the CLINT/external line. */
+    bool autoInterrupts = false;
+    /** DUT role: probability an SC fails despite a valid reservation. */
+    double spuriousScFailRate = 0.0;
+    u64 rngSeed = 0x5EED;
+    u64 hartId = 0;
+};
+
+/** The RISC-V core. */
+class Core
+{
+  public:
+    Core(Bus &bus, const CoreConfig &config = {});
+
+    /** Execute one instruction (or take one pending interrupt). */
+    StepResult step();
+
+    /** Reset architectural state (memory is left untouched). */
+    void reset();
+
+    // ---- Architectural state access ------------------------------------
+    u64 pc() const { return pc_; }
+    void setPc(u64 pc) { notifyPc(); pc_ = pc; }
+    u64 xreg(unsigned i) const { return xregs_[i]; }
+    void setXReg(unsigned i, u64 v);
+    u64 freg(unsigned i) const { return fregs_[i]; }
+    void setFReg(unsigned i, u64 v);
+    u64 vregLane(unsigned r, unsigned lane) const { return vregs_[r][lane]; }
+    void setVRegLane(unsigned r, unsigned lane, u64 v);
+    const CsrFile &csrs() const { return csrs_; }
+    u64 readCsr(u16 addr) const;
+    void writeCsr(u16 addr, u64 value);
+    u64 seqNo() const { return seqNo_; }
+    bool halted() const { return halted_; }
+    u64 haltCode() const { return haltCode_; }
+    Bus &bus() { return bus_; }
+
+    ArchSnapshot snapshot() const;
+    void restore(const ArchSnapshot &snap);
+
+    /** Re-derive seqNo from minstret after a compensation-log rollback. */
+    void restoreSeqFromMinstret() { seqNo_ = csrs_.minstret; }
+
+    /** Clear a halt latched inside a rolled-back window (Replay). */
+    void clearHalted() { halted_ = false; haltCode_ = 0; }
+
+    // ---- Co-simulation hooks -------------------------------------------
+    /** Attach/detach the compensation-log observer (Replay). */
+    void setObserver(StateObserver *observer) { observer_ = observer; }
+
+    /** REF role: next MMIO load at @p addr must return @p data. */
+    void pushMmioFill(u64 addr, u64 data);
+    /** REF role: outcome of the next SC instruction. */
+    void pushScOutcome(bool success);
+    /** REF role: take this interrupt before executing the next step. */
+    void forceInterrupt(u64 cause);
+    /** True if an MMIO-fill oracle entry is queued. */
+    bool hasMmioFill() const { return !mmioFills_.empty(); }
+
+    /** Drop all queued NDE synchronization (Replay rollback: the
+     *  retransmitted originals re-supply the window's oracles). */
+    void
+    clearOracles()
+    {
+        mmioFills_.clear();
+        scOutcomes_.clear();
+        forcedInterrupts_.clear();
+    }
+
+    /** DUT role: wire the CLINT whose mtip feeds the interrupt logic. */
+    void attachClint(Clint *clint) { clint_ = clint; }
+    /** DUT role: assert/deassert the external interrupt line. */
+    void setExternalInterrupt(bool asserted);
+
+    /** Direct memory-write that flows through the observer (checker sync
+     *  of DUT store data into REF memory for skipped MMIO regions). */
+    void observedMemWrite(u64 addr, unsigned nbytes, u64 value);
+
+  private:
+    struct MmioFill
+    {
+        u64 addr;
+        u64 data;
+    };
+
+    StepResult execute(const DecodedInstr &d, StepResult &r);
+    void takeTrap(StepResult &r, u64 cause, u64 tval, bool interrupt);
+    void setPriv(u64 priv);
+    u64 pendingInterrupt() const;
+    u64 effectiveMip() const;
+
+    u64 memLoad(u64 addr, unsigned nbytes, StepResult &r, bool sext_to,
+                unsigned sext_bits);
+    void memStore(u64 addr, unsigned nbytes, u64 value, StepResult &r);
+    u64 amoAccess(const DecodedInstr &d, StepResult &r);
+
+    void writeCsrInternal(u16 addr, u64 value);
+    u64 csrForOp(const DecodedInstr &d, StepResult &r);
+
+    void notifyPc();
+    void setXRegTraced(u8 rd, u64 v, StepResult &r);
+
+    Bus &bus_;
+    CoreConfig config_;
+    Clint *clint_ = nullptr;
+    StateObserver *observer_ = nullptr;
+
+    u64 pc_;
+    std::array<u64, 32> xregs_{};
+    std::array<u64, 32> fregs_{};
+    std::array<std::array<u64, kVLanes64>, kNumVregs> vregs_{};
+    CsrFile csrs_;
+
+    bool reservationValid_ = false;
+    u64 reservationAddr_ = 0;
+
+    u64 seqNo_ = 0;
+    bool halted_ = false;
+    u64 haltCode_ = 0;
+
+    bool externalInterrupt_ = false;
+    std::deque<u64> forcedInterrupts_;
+    std::deque<MmioFill> mmioFills_;
+    std::deque<bool> scOutcomes_;
+    Rng rng_;
+};
+
+/** Bundles a bus, devices and a core into a small SoC (DUT side). */
+struct Soc
+{
+    explicit Soc(const CoreConfig &config = {}, u64 ram_size =
+                 kDefaultRamSize);
+
+    Bus bus;
+    Uart uart;
+    Clint clint;
+    Core core;
+};
+
+} // namespace dth::riscv
+
+#endif // DTH_RISCV_CORE_H_

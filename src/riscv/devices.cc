@@ -1,0 +1,69 @@
+#include "riscv/devices.h"
+
+namespace dth::riscv {
+
+u64
+Uart::read(u64 offset, unsigned nbytes)
+{
+    (void)nbytes;
+    switch (offset) {
+      case kUartData:
+        return 0;
+      case kUartStatus:
+        // Line status: TX-empty bit flickers with device-local jitter;
+        // a software REF cannot predict it -> NDE.
+        return 0x60 | (rng_.chance(0.25) ? 0x01 : 0x00);
+      case kUartInput:
+        // RX data: device-local, unpredictable to the REF.
+        return rng_.nextBelow(128);
+      default:
+        return 0;
+    }
+}
+
+void
+Uart::write(u64 offset, unsigned nbytes, u64 value)
+{
+    (void)nbytes;
+    if (offset == kUartData) {
+        output_.push_back(static_cast<char>(value & 0xFF));
+        ++bytesWritten_;
+    }
+}
+
+u64
+Clint::read(u64 offset, unsigned nbytes)
+{
+    (void)nbytes;
+    switch (offset) {
+      case kClintMsip:
+        return msip_;
+      case kClintMtimecmp:
+        return mtimecmp_;
+      case kClintMtime:
+        return mtime_;
+      default:
+        return 0;
+    }
+}
+
+void
+Clint::write(u64 offset, unsigned nbytes, u64 value)
+{
+    (void)nbytes;
+    switch (offset) {
+      case kClintMsip:
+        msip_ = value & 1;
+        break;
+      case kClintMtimecmp:
+        mtimecmp_ = value;
+        break;
+      case kClintMtime:
+        mtime_ = value;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace dth::riscv

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * MMIO devices: a 16550-flavoured UART and a CLINT (machine timer +
+ * software interrupt). The UART status register deliberately depends on
+ * device-local state the REF cannot reproduce — it is the canonical
+ * source of MMIO non-determinism in the co-simulation.
+ */
+
+#ifndef DTH_RISCV_DEVICES_H_
+#define DTH_RISCV_DEVICES_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "riscv/mem.h"
+
+namespace dth::riscv {
+
+/** Minimal UART: output capture, status register with jittered readiness. */
+class Uart : public Device
+{
+  public:
+    explicit Uart(u64 seed = 1) : rng_(seed) {}
+
+    const char *name() const override { return "uart"; }
+
+    u64 read(u64 offset, unsigned nbytes) override;
+    void write(u64 offset, unsigned nbytes, u64 value) override;
+
+    const std::string &output() const { return output_; }
+    u64 bytesWritten() const { return bytesWritten_; }
+
+  private:
+    std::string output_;
+    u64 bytesWritten_ = 0;
+    Rng rng_; //!< device-local jitter: the DUT-visible non-determinism
+};
+
+/** CLINT: mtime/mtimecmp/msip; raises the machine timer interrupt. */
+class Clint : public Device
+{
+  public:
+    Clint() = default;
+
+    const char *name() const override { return "clint"; }
+
+    u64 read(u64 offset, unsigned nbytes) override;
+    void write(u64 offset, unsigned nbytes, u64 value) override;
+
+    /** Advance mtime by @p ticks (called once per DUT cycle). */
+    void tick(u64 ticks = 1) { mtime_ += ticks; }
+
+    bool timerPending() const { return mtime_ >= mtimecmp_; }
+    bool softwarePending() const { return msip_ != 0; }
+
+    u64 mtime() const { return mtime_; }
+    void setMtimecmp(u64 v) { mtimecmp_ = v; }
+
+  private:
+    u64 mtime_ = 0;
+    u64 mtimecmp_ = ~0ULL;
+    u64 msip_ = 0;
+};
+
+} // namespace dth::riscv
+
+#endif // DTH_RISCV_DEVICES_H_

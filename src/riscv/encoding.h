@@ -1,0 +1,145 @@
+/**
+ * @file
+ * RISC-V encoding constants: opcode fields, CSR addresses, cause codes,
+ * and the memory map shared by the REF and the DUT model.
+ */
+
+#ifndef DTH_RISCV_ENCODING_H_
+#define DTH_RISCV_ENCODING_H_
+
+#include "common/types.h"
+
+namespace dth::riscv {
+
+// Major opcodes (bits [6:0]).
+inline constexpr u32 kOpLui = 0x37;
+inline constexpr u32 kOpAuipc = 0x17;
+inline constexpr u32 kOpJal = 0x6F;
+inline constexpr u32 kOpJalr = 0x67;
+inline constexpr u32 kOpBranch = 0x63;
+inline constexpr u32 kOpLoad = 0x03;
+inline constexpr u32 kOpStore = 0x23;
+inline constexpr u32 kOpImm = 0x13;
+inline constexpr u32 kOpImm32 = 0x1B;
+inline constexpr u32 kOpReg = 0x33;
+inline constexpr u32 kOpReg32 = 0x3B;
+inline constexpr u32 kOpMiscMem = 0x0F;
+inline constexpr u32 kOpSystem = 0x73;
+inline constexpr u32 kOpAmo = 0x2F;
+inline constexpr u32 kOpLoadFp = 0x07;  //!< also vector loads
+inline constexpr u32 kOpStoreFp = 0x27; //!< also vector stores
+inline constexpr u32 kOpFp = 0x53;
+inline constexpr u32 kOpVector = 0x57;
+
+// CSR addresses (machine mode subset + F/V extension CSRs).
+inline constexpr u16 kCsrFflags = 0x001;
+inline constexpr u16 kCsrFrm = 0x002;
+inline constexpr u16 kCsrFcsr = 0x003;
+inline constexpr u16 kCsrVstart = 0x008;
+inline constexpr u16 kCsrVxsat = 0x009;
+inline constexpr u16 kCsrVxrm = 0x00A;
+inline constexpr u16 kCsrVcsr = 0x00F;
+inline constexpr u16 kCsrSstatus = 0x100;
+inline constexpr u16 kCsrSie = 0x104;
+inline constexpr u16 kCsrSip = 0x144;
+inline constexpr u16 kCsrSatp = 0x180;
+inline constexpr u16 kCsrMstatus = 0x300;
+inline constexpr u16 kCsrMisa = 0x301;
+inline constexpr u16 kCsrMedeleg = 0x302;
+inline constexpr u16 kCsrMideleg = 0x303;
+inline constexpr u16 kCsrMie = 0x304;
+inline constexpr u16 kCsrMtvec = 0x305;
+inline constexpr u16 kCsrMscratch = 0x340;
+inline constexpr u16 kCsrMepc = 0x341;
+inline constexpr u16 kCsrMcause = 0x342;
+inline constexpr u16 kCsrMtval = 0x343;
+inline constexpr u16 kCsrMip = 0x344;
+inline constexpr u16 kCsrStvec = 0x105;
+inline constexpr u16 kCsrSscratch = 0x140;
+inline constexpr u16 kCsrSepc = 0x141;
+inline constexpr u16 kCsrScause = 0x142;
+inline constexpr u16 kCsrStval = 0x143;
+inline constexpr u16 kCsrMcycle = 0xB00;
+inline constexpr u16 kCsrMinstret = 0xB02;
+inline constexpr u16 kCsrMhartid = 0xF14;
+inline constexpr u16 kCsrVl = 0xC20;
+inline constexpr u16 kCsrVtype = 0xC21;
+inline constexpr u16 kCsrVlenb = 0xC22;
+/** Internal pseudo-CSR: the privilege level, so the compensation log
+ *  can record and restore privilege transitions uniformly. */
+inline constexpr u16 kCsrPrivPseudo = 0xFFF;
+
+// mstatus bits.
+inline constexpr u64 kMstatusSie = 1ULL << 1;
+inline constexpr u64 kMstatusMie = 1ULL << 3;
+inline constexpr u64 kMstatusSpie = 1ULL << 5;
+inline constexpr u64 kMstatusMpie = 1ULL << 7;
+inline constexpr u64 kMstatusSpp = 1ULL << 8;
+inline constexpr u64 kMstatusMppShift = 11;
+inline constexpr u64 kMstatusMppMask = 3ULL << 11;
+/** sstatus is a masked view of mstatus. */
+inline constexpr u64 kSstatusMask =
+    kMstatusSie | kMstatusSpie | kMstatusSpp;
+
+// Privilege levels.
+inline constexpr u64 kPrivU = 0;
+inline constexpr u64 kPrivS = 1;
+inline constexpr u64 kPrivM = 3;
+
+// mip/mie bits.
+inline constexpr u64 kIpSsip = 1ULL << 1;
+inline constexpr u64 kIpMsip = 1ULL << 3;
+inline constexpr u64 kIpStip = 1ULL << 5;
+inline constexpr u64 kIpMtip = 1ULL << 7;
+inline constexpr u64 kIpSeip = 1ULL << 9;
+inline constexpr u64 kIpMeip = 1ULL << 11;
+/** Bits software may set directly in mip/sip. */
+inline constexpr u64 kIpWritableMask =
+    kIpSsip | kIpMsip | kIpStip | kIpSeip | kIpMeip;
+
+// Exception cause codes.
+inline constexpr u64 kCauseIllegalInstr = 2;
+inline constexpr u64 kCauseBreakpoint = 3;
+inline constexpr u64 kCauseLoadMisaligned = 4;
+inline constexpr u64 kCauseLoadFault = 5;
+inline constexpr u64 kCauseStoreMisaligned = 6;
+inline constexpr u64 kCauseStoreFault = 7;
+inline constexpr u64 kCauseEcallU = 8;
+inline constexpr u64 kCauseEcallS = 9;
+inline constexpr u64 kCauseEcallM = 11;
+
+// Interrupt cause codes (without the top bit).
+inline constexpr u64 kIntSSoftware = 1;
+inline constexpr u64 kIntSoftware = 3;
+inline constexpr u64 kIntSTimer = 5;
+inline constexpr u64 kIntTimer = 7;
+inline constexpr u64 kIntSExternal = 9;
+inline constexpr u64 kIntExternal = 11;
+inline constexpr u64 kInterruptFlag = 1ULL << 63;
+
+// Memory map (shared by REF and DUT).
+inline constexpr u64 kRamBase = 0x80000000ULL;
+inline constexpr u64 kDefaultRamSize = 64ULL << 20;
+inline constexpr u64 kClintBase = 0x02000000ULL;
+inline constexpr u64 kClintSize = 0x10000ULL;
+inline constexpr u64 kUartBase = 0x10000000ULL;
+inline constexpr u64 kUartSize = 0x1000ULL;
+
+// CLINT register offsets.
+inline constexpr u64 kClintMsip = 0x0;
+inline constexpr u64 kClintMtimecmp = 0x4000;
+inline constexpr u64 kClintMtime = 0xBFF8;
+
+// UART register offsets (16550-flavoured subset).
+inline constexpr u64 kUartData = 0x0;
+inline constexpr u64 kUartStatus = 0x5;
+inline constexpr u64 kUartInput = 0x8;
+
+/** Vector configuration: VLEN=128, SEW=64, LMUL=1 only. */
+inline constexpr unsigned kVlenBits = 128;
+inline constexpr unsigned kVLanes64 = kVlenBits / 64;
+inline constexpr unsigned kNumVregs = 32;
+
+} // namespace dth::riscv
+
+#endif // DTH_RISCV_ENCODING_H_

@@ -1,0 +1,654 @@
+#include "riscv/instr.h"
+
+#include "common/bits.h"
+#include "riscv/encoding.h"
+
+namespace dth::riscv {
+
+namespace {
+
+i64
+immI(u32 raw)
+{
+    return sext(bits(raw, 31, 20), 12);
+}
+
+i64
+immS(u32 raw)
+{
+    return sext((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+}
+
+i64
+immB(u32 raw)
+{
+    u64 v = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+            (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+    return sext(v, 13);
+}
+
+i64
+immU(u32 raw)
+{
+    return sext(raw & 0xFFFFF000u, 32);
+}
+
+i64
+immJ(u32 raw)
+{
+    u64 v = (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+            (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1);
+    return sext(v, 21);
+}
+
+Op
+decodeBranch(u32 f3)
+{
+    switch (f3) {
+      case 0: return Op::Beq;
+      case 1: return Op::Bne;
+      case 4: return Op::Blt;
+      case 5: return Op::Bge;
+      case 6: return Op::Bltu;
+      case 7: return Op::Bgeu;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeLoad(u32 f3)
+{
+    switch (f3) {
+      case 0: return Op::Lb;
+      case 1: return Op::Lh;
+      case 2: return Op::Lw;
+      case 3: return Op::Ld;
+      case 4: return Op::Lbu;
+      case 5: return Op::Lhu;
+      case 6: return Op::Lwu;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeStore(u32 f3)
+{
+    switch (f3) {
+      case 0: return Op::Sb;
+      case 1: return Op::Sh;
+      case 2: return Op::Sw;
+      case 3: return Op::Sd;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeOpImm(u32 raw, u32 f3)
+{
+    u32 f6 = bits(raw, 31, 26);
+    u32 imm12 = bits(raw, 31, 20);
+    switch (f3) {
+      case 0: return Op::Addi;
+      case 2: return Op::Slti;
+      case 3: return Op::Sltiu;
+      case 4: return Op::Xori;
+      case 6: return Op::Ori;
+      case 7: return Op::Andi;
+      case 1:
+        if (f6 == 0)
+            return Op::Slli;
+        if (f6 == 0x18) { // Zbb unary family
+            switch (bits(raw, 24, 20)) {
+              case 0: return Op::Clz;
+              case 1: return Op::Ctz;
+              case 2: return Op::Cpop;
+              case 4: return Op::SextB;
+              case 5: return Op::SextH;
+              default: return Op::Illegal;
+            }
+        }
+        return Op::Illegal;
+      case 5:
+        if (f6 == 0)
+            return Op::Srli;
+        if (f6 == 0x10)
+            return Op::Srai;
+        if (imm12 == 0x6B8)
+            return Op::Rev8;
+        if (imm12 == 0x287)
+            return Op::OrcB;
+        if (f6 == 0x18)
+            return Op::Rori;
+        return Op::Illegal;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeOpImm32(u32 raw, u32 f3)
+{
+    u32 f7 = bits(raw, 31, 25);
+    switch (f3) {
+      case 0: return Op::Addiw;
+      case 1: return f7 == 0 ? Op::Slliw : Op::Illegal;
+      case 5:
+        if (f7 == 0)
+            return Op::Srliw;
+        if (f7 == 0x20)
+            return Op::Sraiw;
+        return Op::Illegal;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeOpReg(u32 f3, u32 f7)
+{
+    if (f7 == 1) {
+        switch (f3) {
+          case 0: return Op::Mul;
+          case 1: return Op::Mulh;
+          case 2: return Op::Mulhsu;
+          case 3: return Op::Mulhu;
+          case 4: return Op::Div;
+          case 5: return Op::Divu;
+          case 6: return Op::Rem;
+          case 7: return Op::Remu;
+        }
+    }
+    // Zba shNadd and Zbb logic/minmax/rotate share the OP opcode.
+    if (f7 == 0x10) {
+        switch (f3) {
+          case 2: return Op::Sh1add;
+          case 4: return Op::Sh2add;
+          case 6: return Op::Sh3add;
+          default: return Op::Illegal;
+        }
+    }
+    if (f7 == 0x05) {
+        switch (f3) {
+          case 4: return Op::Min;
+          case 5: return Op::Minu;
+          case 6: return Op::Max;
+          case 7: return Op::Maxu;
+          default: return Op::Illegal;
+        }
+    }
+    if (f7 == 0x30) {
+        switch (f3) {
+          case 1: return Op::Rol;
+          case 5: return Op::Ror;
+          default: return Op::Illegal;
+        }
+    }
+    switch (f3) {
+      case 0:
+        if (f7 == 0)
+            return Op::Add;
+        if (f7 == 0x20)
+            return Op::Sub;
+        return Op::Illegal;
+      case 1: return f7 == 0 ? Op::Sll : Op::Illegal;
+      case 2: return f7 == 0 ? Op::Slt : Op::Illegal;
+      case 3: return f7 == 0 ? Op::Sltu : Op::Illegal;
+      case 4:
+        if (f7 == 0)
+            return Op::Xor;
+        if (f7 == 0x20)
+            return Op::Xnor;
+        return Op::Illegal;
+      case 5:
+        if (f7 == 0)
+            return Op::Srl;
+        if (f7 == 0x20)
+            return Op::Sra;
+        return Op::Illegal;
+      case 6:
+        if (f7 == 0)
+            return Op::Or;
+        if (f7 == 0x20)
+            return Op::Orn;
+        return Op::Illegal;
+      case 7:
+        if (f7 == 0)
+            return Op::And;
+        if (f7 == 0x20)
+            return Op::Andn;
+        return Op::Illegal;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeOpReg32(u32 f3, u32 f7)
+{
+    if (f7 == 1) {
+        switch (f3) {
+          case 0: return Op::Mulw;
+          case 4: return Op::Divw;
+          case 5: return Op::Divuw;
+          case 6: return Op::Remw;
+          case 7: return Op::Remuw;
+          default: return Op::Illegal;
+        }
+    }
+    if (f7 == 0x04) { // Zba add.uw / Zbb zext.h
+        if (f3 == 0)
+            return Op::AddUw;
+        if (f3 == 4)
+            return Op::ZextH;
+        return Op::Illegal;
+    }
+    switch (f3) {
+      case 0:
+        if (f7 == 0)
+            return Op::Addw;
+        if (f7 == 0x20)
+            return Op::Subw;
+        return Op::Illegal;
+      case 1: return f7 == 0 ? Op::Sllw : Op::Illegal;
+      case 5:
+        if (f7 == 0)
+            return Op::Srlw;
+        if (f7 == 0x20)
+            return Op::Sraw;
+        return Op::Illegal;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeAmo(u32 f3, u32 f5)
+{
+    bool w = f3 == 2;
+    bool d = f3 == 3;
+    if (!w && !d)
+        return Op::Illegal;
+    switch (f5) {
+      case 0x02: return w ? Op::LrW : Op::LrD;
+      case 0x03: return w ? Op::ScW : Op::ScD;
+      case 0x01: return w ? Op::AmoSwapW : Op::AmoSwapD;
+      case 0x00: return w ? Op::AmoAddW : Op::AmoAddD;
+      case 0x04: return w ? Op::AmoXorW : Op::AmoXorD;
+      case 0x0C: return w ? Op::AmoAndW : Op::AmoAndD;
+      case 0x08: return w ? Op::AmoOrW : Op::AmoOrD;
+      case 0x10: return w ? Op::AmoMinW : Op::AmoMinD;
+      case 0x14: return w ? Op::AmoMaxW : Op::AmoMaxD;
+      case 0x18: return w ? Op::AmoMinuW : Op::AmoMinuD;
+      case 0x1C: return w ? Op::AmoMaxuW : Op::AmoMaxuD;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeSystem(u32 raw, u32 f3)
+{
+    if (f3 == 0) {
+        switch (bits(raw, 31, 20)) {
+          case 0x000: return Op::Ecall;
+          case 0x001: return Op::Ebreak;
+          case 0x302: return Op::Mret;
+          case 0x102: return Op::Sret;
+          case 0x105: return Op::Wfi;
+          default: return Op::Illegal;
+        }
+    }
+    switch (f3) {
+      case 1: return Op::Csrrw;
+      case 2: return Op::Csrrs;
+      case 3: return Op::Csrrc;
+      case 5: return Op::Csrrwi;
+      case 6: return Op::Csrrsi;
+      case 7: return Op::Csrrci;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeFp(u32 f7)
+{
+    switch (f7) {
+      case 0x01: return Op::FaddD;
+      case 0x05: return Op::FsubD;
+      case 0x09: return Op::FmulD;
+      case 0x71: return Op::FmvXD;
+      case 0x79: return Op::FmvDX;
+      default: return Op::Illegal;
+    }
+}
+
+Op
+decodeVector(u32 raw, u32 f3)
+{
+    if (f3 == 7)
+        return bit(raw, 31) == 0 ? Op::Vsetvli : Op::Illegal;
+    if (f3 == 0) { // OPIVV
+        switch (bits(raw, 31, 26)) {
+          case 0x00: return Op::VaddVV;
+          case 0x0B: return Op::VxorVV;
+          default: return Op::Illegal;
+        }
+    }
+    return Op::Illegal;
+}
+
+} // namespace
+
+DecodedInstr
+decode(u32 raw)
+{
+    DecodedInstr d;
+    d.raw = raw;
+    d.rd = bits(raw, 11, 7);
+    d.rs1 = bits(raw, 19, 15);
+    d.rs2 = bits(raw, 24, 20);
+    u32 opcode = bits(raw, 6, 0);
+    u32 f3 = bits(raw, 14, 12);
+    u32 f7 = bits(raw, 31, 25);
+
+    switch (opcode) {
+      case kOpLui:
+        d.op = Op::Lui;
+        d.imm = immU(raw);
+        break;
+      case kOpAuipc:
+        d.op = Op::Auipc;
+        d.imm = immU(raw);
+        break;
+      case kOpJal:
+        d.op = Op::Jal;
+        d.imm = immJ(raw);
+        break;
+      case kOpJalr:
+        d.op = f3 == 0 ? Op::Jalr : Op::Illegal;
+        d.imm = immI(raw);
+        break;
+      case kOpBranch:
+        d.op = decodeBranch(f3);
+        d.imm = immB(raw);
+        break;
+      case kOpLoad:
+        d.op = decodeLoad(f3);
+        d.imm = immI(raw);
+        break;
+      case kOpStore:
+        d.op = decodeStore(f3);
+        d.imm = immS(raw);
+        break;
+      case kOpImm:
+        d.op = decodeOpImm(raw, f3);
+        d.imm = (d.op == Op::Slli || d.op == Op::Srli ||
+                 d.op == Op::Srai || d.op == Op::Rori)
+                    ? static_cast<i64>(bits(raw, 25, 20))
+                    : immI(raw);
+        break;
+      case kOpImm32:
+        d.op = decodeOpImm32(raw, f3);
+        d.imm = (d.op == Op::Addiw) ? immI(raw)
+                                    : static_cast<i64>(bits(raw, 24, 20));
+        break;
+      case kOpReg:
+        d.op = decodeOpReg(f3, f7);
+        break;
+      case kOpReg32:
+        d.op = decodeOpReg32(f3, f7);
+        break;
+      case kOpMiscMem:
+        d.op = Op::Fence;
+        break;
+      case kOpSystem:
+        d.op = decodeSystem(raw, f3);
+        d.csr = static_cast<u16>(bits(raw, 31, 20));
+        d.imm = static_cast<i64>(d.rs1); // zimm for CSRxxI forms
+        break;
+      case kOpAmo:
+        d.op = decodeAmo(f3, bits(raw, 31, 27));
+        break;
+      case kOpLoadFp:
+        if (f3 == 3) {
+            d.op = Op::Fld;
+            d.imm = immI(raw);
+        } else if (f3 == 7 && bits(raw, 28, 26) == 0) {
+            d.op = Op::Vle64;
+        } else {
+            d.op = Op::Illegal;
+        }
+        break;
+      case kOpStoreFp:
+        if (f3 == 3) {
+            d.op = Op::Fsd;
+            d.imm = immS(raw);
+        } else if (f3 == 7 && bits(raw, 28, 26) == 0) {
+            d.op = Op::Vse64;
+        } else {
+            d.op = Op::Illegal;
+        }
+        break;
+      case kOpFp:
+        d.op = decodeFp(f7);
+        break;
+      case kOpVector:
+        d.op = decodeVector(raw, f3);
+        if (d.op == Op::Vsetvli)
+            d.imm = static_cast<i64>(bits(raw, 30, 20)); // vtypei
+        break;
+      default:
+        d.op = Op::Illegal;
+        break;
+    }
+    return d;
+}
+
+bool
+DecodedInstr::isLoad() const
+{
+    switch (op) {
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu:
+      case Op::Fld: case Op::Vle64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInstr::isStore() const
+{
+    switch (op) {
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
+      case Op::Fsd: case Op::Vse64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInstr::isAmo() const
+{
+    return op >= Op::LrW && op <= Op::AmoMaxuD;
+}
+
+bool
+DecodedInstr::isBranch() const
+{
+    return op >= Op::Beq && op <= Op::Bgeu;
+}
+
+bool
+DecodedInstr::isJump() const
+{
+    return op == Op::Jal || op == Op::Jalr;
+}
+
+bool
+DecodedInstr::isCsrOp() const
+{
+    return op >= Op::Csrrw && op <= Op::Csrrci;
+}
+
+bool
+DecodedInstr::isVector() const
+{
+    switch (op) {
+      case Op::Vsetvli: case Op::VaddVV: case Op::VxorVV:
+      case Op::Vle64: case Op::Vse64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInstr::isFp() const
+{
+    switch (op) {
+      case Op::Fld: case Op::Fsd: case Op::FaddD: case Op::FsubD:
+      case Op::FmulD: case Op::FmvXD: case Op::FmvDX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Illegal: return "illegal";
+      case Op::Lui: return "lui";
+      case Op::Auipc: return "auipc";
+      case Op::Jal: return "jal";
+      case Op::Jalr: return "jalr";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Bltu: return "bltu";
+      case Op::Bgeu: return "bgeu";
+      case Op::Lb: return "lb";
+      case Op::Lh: return "lh";
+      case Op::Lw: return "lw";
+      case Op::Ld: return "ld";
+      case Op::Lbu: return "lbu";
+      case Op::Lhu: return "lhu";
+      case Op::Lwu: return "lwu";
+      case Op::Sb: return "sb";
+      case Op::Sh: return "sh";
+      case Op::Sw: return "sw";
+      case Op::Sd: return "sd";
+      case Op::Addi: return "addi";
+      case Op::Slti: return "slti";
+      case Op::Sltiu: return "sltiu";
+      case Op::Xori: return "xori";
+      case Op::Ori: return "ori";
+      case Op::Andi: return "andi";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Addiw: return "addiw";
+      case Op::Slliw: return "slliw";
+      case Op::Srliw: return "srliw";
+      case Op::Sraiw: return "sraiw";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Sll: return "sll";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Xor: return "xor";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Or: return "or";
+      case Op::And: return "and";
+      case Op::Addw: return "addw";
+      case Op::Subw: return "subw";
+      case Op::Sllw: return "sllw";
+      case Op::Srlw: return "srlw";
+      case Op::Sraw: return "sraw";
+      case Op::Fence: return "fence";
+      case Op::Mul: return "mul";
+      case Op::Mulh: return "mulh";
+      case Op::Mulhsu: return "mulhsu";
+      case Op::Mulhu: return "mulhu";
+      case Op::Div: return "div";
+      case Op::Divu: return "divu";
+      case Op::Rem: return "rem";
+      case Op::Remu: return "remu";
+      case Op::Mulw: return "mulw";
+      case Op::Divw: return "divw";
+      case Op::Divuw: return "divuw";
+      case Op::Remw: return "remw";
+      case Op::Remuw: return "remuw";
+      case Op::Sh1add: return "sh1add";
+      case Op::Sh2add: return "sh2add";
+      case Op::Sh3add: return "sh3add";
+      case Op::AddUw: return "add.uw";
+      case Op::Andn: return "andn";
+      case Op::Orn: return "orn";
+      case Op::Xnor: return "xnor";
+      case Op::Clz: return "clz";
+      case Op::Ctz: return "ctz";
+      case Op::Cpop: return "cpop";
+      case Op::Min: return "min";
+      case Op::Minu: return "minu";
+      case Op::Max: return "max";
+      case Op::Maxu: return "maxu";
+      case Op::SextB: return "sext.b";
+      case Op::SextH: return "sext.h";
+      case Op::ZextH: return "zext.h";
+      case Op::Rol: return "rol";
+      case Op::Ror: return "ror";
+      case Op::Rori: return "rori";
+      case Op::Rev8: return "rev8";
+      case Op::OrcB: return "orc.b";
+      case Op::Csrrw: return "csrrw";
+      case Op::Csrrs: return "csrrs";
+      case Op::Csrrc: return "csrrc";
+      case Op::Csrrwi: return "csrrwi";
+      case Op::Csrrsi: return "csrrsi";
+      case Op::Csrrci: return "csrrci";
+      case Op::Ecall: return "ecall";
+      case Op::Ebreak: return "ebreak";
+      case Op::Mret: return "mret";
+      case Op::Sret: return "sret";
+      case Op::Wfi: return "wfi";
+      case Op::LrW: return "lr.w";
+      case Op::LrD: return "lr.d";
+      case Op::ScW: return "sc.w";
+      case Op::ScD: return "sc.d";
+      case Op::AmoSwapW: return "amoswap.w";
+      case Op::AmoAddW: return "amoadd.w";
+      case Op::AmoXorW: return "amoxor.w";
+      case Op::AmoAndW: return "amoand.w";
+      case Op::AmoOrW: return "amoor.w";
+      case Op::AmoMinW: return "amomin.w";
+      case Op::AmoMaxW: return "amomax.w";
+      case Op::AmoMinuW: return "amominu.w";
+      case Op::AmoMaxuW: return "amomaxu.w";
+      case Op::AmoSwapD: return "amoswap.d";
+      case Op::AmoAddD: return "amoadd.d";
+      case Op::AmoXorD: return "amoxor.d";
+      case Op::AmoAndD: return "amoand.d";
+      case Op::AmoOrD: return "amoor.d";
+      case Op::AmoMinD: return "amomin.d";
+      case Op::AmoMaxD: return "amomax.d";
+      case Op::AmoMinuD: return "amominu.d";
+      case Op::AmoMaxuD: return "amomaxu.d";
+      case Op::Fld: return "fld";
+      case Op::Fsd: return "fsd";
+      case Op::FaddD: return "fadd.d";
+      case Op::FsubD: return "fsub.d";
+      case Op::FmulD: return "fmul.d";
+      case Op::FmvXD: return "fmv.x.d";
+      case Op::FmvDX: return "fmv.d.x";
+      case Op::Vsetvli: return "vsetvli";
+      case Op::VaddVV: return "vadd.vv";
+      case Op::VxorVV: return "vxor.vv";
+      case Op::Vle64: return "vle64.v";
+      case Op::Vse64: return "vse64.v";
+    }
+    return "?";
+}
+
+} // namespace dth::riscv

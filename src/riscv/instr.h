@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction decoder: raw 32-bit encodings to a flat operation enum plus
+ * extracted operands. Covers RV64IM, Zicsr, A (LR/SC + AMOs), a minimal
+ * D subset, and a minimal V subset (vsetvli, vadd/vxor.vv, vle64/vse64).
+ */
+
+#ifndef DTH_RISCV_INSTR_H_
+#define DTH_RISCV_INSTR_H_
+
+#include "common/types.h"
+
+namespace dth::riscv {
+
+/** Flat operation enum; one value per executable operation. */
+enum class Op : u8 {
+    Illegal,
+    // RV64I
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Ld, Lbu, Lhu, Lwu,
+    Sb, Sh, Sw, Sd,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Addiw, Slliw, Srliw, Sraiw,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Addw, Subw, Sllw, Srlw, Sraw,
+    Fence,
+    // RV64M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Mulw, Divw, Divuw, Remw, Remuw,
+    // Zba/Zbb bit-manipulation subset (XiangShan implements B)
+    Sh1add, Sh2add, Sh3add, AddUw,
+    Andn, Orn, Xnor, Clz, Ctz, Cpop, Min, Minu, Max, Maxu,
+    SextB, SextH, ZextH, Rol, Ror, Rori, Rev8, OrcB,
+    // Zicsr + privileged
+    Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+    Ecall, Ebreak, Mret, Sret, Wfi,
+    // RV64A
+    LrW, LrD, ScW, ScD,
+    AmoSwapW, AmoAddW, AmoXorW, AmoAndW, AmoOrW,
+    AmoMinW, AmoMaxW, AmoMinuW, AmoMaxuW,
+    AmoSwapD, AmoAddD, AmoXorD, AmoAndD, AmoOrD,
+    AmoMinD, AmoMaxD, AmoMinuD, AmoMaxuD,
+    // D subset
+    Fld, Fsd, FaddD, FsubD, FmulD, FmvXD, FmvDX,
+    // V subset
+    Vsetvli, VaddVV, VxorVV, Vle64, Vse64,
+};
+
+/** Decoded instruction: operation plus extracted fields. */
+struct DecodedInstr
+{
+    Op op = Op::Illegal;
+    u32 raw = 0;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    i64 imm = 0;
+    u16 csr = 0;
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isAmo() const;
+    bool isBranch() const;
+    bool isJump() const;
+    bool isCsrOp() const;
+    bool isVector() const;
+    bool isFp() const;
+};
+
+/** Decode one 32-bit instruction word. Never traps; returns Op::Illegal. */
+DecodedInstr decode(u32 raw);
+
+/** Printable mnemonic for an operation. */
+const char *opName(Op op);
+
+} // namespace dth::riscv
+
+#endif // DTH_RISCV_INSTR_H_

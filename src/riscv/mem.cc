@@ -1,0 +1,138 @@
+#include "riscv/mem.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dth::riscv {
+
+PhysMem::Page &
+PhysMem::page(u64 addr)
+{
+    u64 key = addr / kPageBytes;
+    auto &slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const PhysMem::Page *
+PhysMem::pageIfPresent(u64 addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+u64
+PhysMem::read(u64 addr, unsigned nbytes) const
+{
+    dth_assert(nbytes <= 8, "bad access size %u", nbytes);
+    u64 value = 0;
+    for (unsigned i = 0; i < nbytes; ++i) {
+        u64 a = addr + i;
+        const Page *p = pageIfPresent(a);
+        u8 byte = p ? (*p)[a % kPageBytes] : 0;
+        value |= static_cast<u64>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+PhysMem::write(u64 addr, unsigned nbytes, u64 value)
+{
+    dth_assert(nbytes <= 8, "bad access size %u", nbytes);
+    for (unsigned i = 0; i < nbytes; ++i) {
+        u64 a = addr + i;
+        page(a)[a % kPageBytes] = static_cast<u8>(value >> (8 * i));
+    }
+}
+
+void
+PhysMem::writeMasked(u64 addr, u64 value, u64 byte_mask8)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        if (byte_mask8 & (1ULL << i)) {
+            u64 a = addr + i;
+            page(a)[a % kPageBytes] = static_cast<u8>(value >> (8 * i));
+        }
+    }
+}
+
+void
+PhysMem::load(u64 addr, const u8 *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        u64 a = addr + i;
+        page(a)[a % kPageBytes] = data[i];
+    }
+}
+
+Bus::Bus(u64 ram_base, u64 ram_size) : ramBase_(ram_base), ramSize_(ram_size)
+{}
+
+void
+Bus::mapDevice(Device *device, u64 base, u64 size)
+{
+    dth_assert(device != nullptr, "null device");
+    devices_.push_back({base, size, device});
+}
+
+const Bus::Mapping *
+Bus::findDevice(u64 addr) const
+{
+    for (const Mapping &m : devices_) {
+        if (addr >= m.base && addr < m.base + m.size)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+Bus::isRam(u64 addr) const
+{
+    return addr >= ramBase_ && addr < ramBase_ + ramSize_;
+}
+
+bool
+Bus::isMmio(u64 addr) const
+{
+    return findDevice(addr) != nullptr;
+}
+
+BusAccess
+Bus::read(u64 addr, unsigned nbytes)
+{
+    BusAccess result;
+    if (isRam(addr)) {
+        result.value = ram_.read(addr, nbytes);
+        return result;
+    }
+    if (const Mapping *m = findDevice(addr)) {
+        result.value = m->device->read(addr - m->base, nbytes);
+        result.mmio = true;
+        return result;
+    }
+    result.fault = true;
+    return result;
+}
+
+BusAccess
+Bus::write(u64 addr, unsigned nbytes, u64 value)
+{
+    BusAccess result;
+    if (isRam(addr)) {
+        ram_.write(addr, nbytes, value);
+        return result;
+    }
+    if (const Mapping *m = findDevice(addr)) {
+        m->device->write(addr - m->base, nbytes, value);
+        result.mmio = true;
+        return result;
+    }
+    result.fault = true;
+    return result;
+}
+
+} // namespace dth::riscv

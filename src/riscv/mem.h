@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Physical memory and the system bus. Memory is sparse (4 KiB pages
+ * allocated on demand); the bus routes accesses either to RAM or to an
+ * MMIO device and reports whether an access was MMIO — the property that
+ * makes it a non-deterministic event for co-simulation.
+ */
+
+#ifndef DTH_RISCV_MEM_H_
+#define DTH_RISCV_MEM_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "riscv/encoding.h"
+
+namespace dth::riscv {
+
+/** Sparse byte-addressable physical memory. */
+class PhysMem
+{
+  public:
+    static constexpr u64 kPageBytes = 4096;
+
+    /** Read @p nbytes (1/2/4/8) little-endian from @p addr. */
+    u64 read(u64 addr, unsigned nbytes) const;
+
+    /** Write the low @p nbytes of @p value to @p addr. */
+    void write(u64 addr, unsigned nbytes, u64 value);
+
+    /** Write a masked 64-bit word: only bytes with mask bit set. */
+    void writeMasked(u64 addr, u64 value, u64 byte_mask8);
+
+    /** Bulk copy-in (program loading). */
+    void load(u64 addr, const u8 *data, size_t n);
+
+    /** Number of pages currently allocated. */
+    size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<u8, kPageBytes>;
+
+    Page &page(u64 addr);
+    const Page *pageIfPresent(u64 addr) const;
+
+    mutable std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+/** An MMIO device mapped into the physical address space. */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+    virtual const char *name() const = 0;
+    /** Read @p nbytes at device-relative @p offset. */
+    virtual u64 read(u64 offset, unsigned nbytes) = 0;
+    /** Write @p value at device-relative @p offset. */
+    virtual void write(u64 offset, unsigned nbytes, u64 value) = 0;
+};
+
+/** Result of a bus access. */
+struct BusAccess
+{
+    u64 value = 0;
+    bool mmio = false;
+    bool fault = false;
+};
+
+/** Routes accesses to RAM or MMIO devices. */
+class Bus
+{
+  public:
+    explicit Bus(u64 ram_base = kRamBase, u64 ram_size = kDefaultRamSize);
+
+    /** Map @p device at [base, base+size). Not owned. */
+    void mapDevice(Device *device, u64 base, u64 size);
+
+    BusAccess read(u64 addr, unsigned nbytes);
+    BusAccess write(u64 addr, unsigned nbytes, u64 value);
+
+    bool isMmio(u64 addr) const;
+    bool isRam(u64 addr) const;
+
+    PhysMem &ram() { return ram_; }
+    const PhysMem &ram() const { return ram_; }
+
+    u64 ramBase() const { return ramBase_; }
+    u64 ramSize() const { return ramSize_; }
+
+  private:
+    struct Mapping
+    {
+        u64 base;
+        u64 size;
+        Device *device;
+    };
+
+    const Mapping *findDevice(u64 addr) const;
+
+    u64 ramBase_;
+    u64 ramSize_;
+    PhysMem ram_;
+    std::vector<Mapping> devices_;
+};
+
+} // namespace dth::riscv
+
+#endif // DTH_RISCV_MEM_H_

@@ -1,0 +1,119 @@
+#include "squash/fused_views.h"
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace dth {
+
+namespace {
+
+u64
+mix(u64 x)
+{
+    // splitmix64 finalizer: cheap, good diffusion for digest terms.
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::vector<u8>
+diffSnapshot(EventType base_type, std::span<const u8> prev,
+             std::span<const u8> cur)
+{
+    dth_assert(prev.size() == cur.size() && cur.size() % 8 == 0,
+               "diff operands must be equal 8-byte-multiple sizes");
+    size_t words = cur.size() / 8;
+    size_t bitmap_bytes = (words + 7) / 8;
+
+    ByteWriter w;
+    w.putU8(static_cast<u8>(base_type));
+    w.putU8(0);
+    w.putU16(static_cast<u16>(words));
+    std::vector<u8> bitmap(bitmap_bytes, 0);
+    std::vector<u64> changed;
+    for (size_t i = 0; i < words; ++i) {
+        u64 p = loadU64(prev, i * 8);
+        u64 c = loadU64(cur, i * 8);
+        if (p != c) {
+            bitmap[i / 8] |= static_cast<u8>(1u << (i % 8));
+            changed.push_back(c);
+        }
+    }
+    w.putU32(static_cast<u32>(changed.size()));
+    w.putBytes(bitmap.data(), bitmap.size());
+    for (u64 v : changed)
+        w.putU64(v);
+    return w.take();
+}
+
+EventType
+diffBaseType(std::span<const u8> diff_payload)
+{
+    dth_assert(!diff_payload.empty(), "empty diff payload");
+    return static_cast<EventType>(diff_payload[0]);
+}
+
+std::vector<u8>
+completeSnapshot(std::span<const u8> prev, std::span<const u8> diff_payload,
+                 EventType *base_type_out)
+{
+    ByteReader r(diff_payload);
+    auto base_type = static_cast<EventType>(r.getU8());
+    r.skip(1);
+    u16 words = r.getU16();
+    u32 changed_count = r.getU32();
+    dth_assert(prev.size() == size_t(words) * 8,
+               "snapshot size mismatch: have %zu want %u", prev.size(),
+               words * 8);
+    auto bitmap = r.getBytes((words + 7) / 8);
+    std::vector<u8> out(prev.begin(), prev.end());
+    u32 consumed = 0;
+    for (size_t i = 0; i < words; ++i) {
+        if (bitmap[i / 8] & (1u << (i % 8))) {
+            storeU64(out, i * 8, r.getU64());
+            ++consumed;
+        }
+    }
+    dth_assert(consumed == changed_count, "diff word count mismatch");
+    dth_assert(r.atEnd(), "trailing bytes in diff payload");
+    if (base_type_out)
+        *base_type_out = base_type;
+    return out;
+}
+
+u64
+commitDigestTerm(u64 pc, u64 instr, u64 rd_val)
+{
+    return mix(pc * 3 + instr * 5 + rd_val * 7 + 0x01);
+}
+
+u64
+loadDigestTerm(u64 addr, u64 data, u64 seq)
+{
+    return mix(addr * 3 + data * 5 + seq * 7 + 0x02);
+}
+
+u64
+storeDigestTerm(u64 addr, u64 data, u64 mask)
+{
+    return mix(addr * 3 + data * 5 + mask * 7 + 0x03);
+}
+
+u64
+branchDigestTerm(u64 pc, u64 taken, u64 target)
+{
+    return mix(pc * 3 + taken * 5 + target * 7 + 0x04);
+}
+
+u64
+vecDigestTerm(u64 vrd, u64 lane0, u64 lane1)
+{
+    return mix(vrd * 3 + lane0 * 5 + lane1 * 7 + 0x05);
+}
+
+} // namespace dth

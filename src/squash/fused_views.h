@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Payload views and helpers for the Squash wire-level pseudo-types:
+ * FusedCommit (a fused window of instruction commits), DiffState (a
+ * differenced register-state snapshot) and FusedDigest (an order-
+ * insensitive digest of a fused window of same-type events).
+ */
+
+#ifndef DTH_SQUASH_FUSED_VIEWS_H_
+#define DTH_SQUASH_FUSED_VIEWS_H_
+
+#include <vector>
+
+#include "event/payloads.h"
+
+namespace dth {
+
+#define DTH_SQ_FIELD(name, offset)                                         \
+    u64 name() const { return word(offset); }                              \
+    void set_##name(u64 v) { setWord(offset, v); }
+
+/** FusedCommit (48 B): the collective effect of `count` commits. */
+class FusedCommitView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_SQ_FIELD(firstSeq, 0)
+    DTH_SQ_FIELD(count, 8)
+    DTH_SQ_FIELD(lastPc, 16)
+    DTH_SQ_FIELD(nextPc, 24)
+    DTH_SQ_FIELD(digest, 32)
+    DTH_SQ_FIELD(flags, 40)
+
+    u64 lastSeq() const { return firstSeq() + count() - 1; }
+};
+
+/** FusedDigest (32 B): digest over a window of one fusible type. */
+class FusedDigestView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_SQ_FIELD(digest, 0)
+    DTH_SQ_FIELD(firstSeq, 8)
+    DTH_SQ_FIELD(lastSeq, 16)
+
+    u8 baseType() const { return byte(24); }
+    void set_baseType(u8 v) { setByte(24, v); }
+
+    u16
+    count() const
+    {
+        return static_cast<u16>(byte(26)) |
+               (static_cast<u16>(byte(27)) << 8);
+    }
+
+    void
+    set_count(u16 v)
+    {
+        setByte(26, static_cast<u8>(v));
+        setByte(27, static_cast<u8>(v >> 8));
+    }
+};
+
+#undef DTH_SQ_FIELD
+
+/**
+ * DiffState layout (variable length):
+ *   u8 baseType, u8 reserved, u16 wordCount (of the full snapshot),
+ *   u32 changedCount, bitmap (ceil(wordCount/8) bytes),
+ *   changedCount x u64 changed words.
+ */
+inline constexpr size_t kDiffStateFixedBytes = 8;
+
+/** Encode `cur` as a difference against `prev` (8-byte granularity). */
+std::vector<u8> diffSnapshot(EventType base_type, std::span<const u8> prev,
+                             std::span<const u8> cur);
+
+/** Apply a DiffState payload to `prev`, returning the full snapshot.
+ *  @param base_type_out receives the snapshot's original event type. */
+std::vector<u8> completeSnapshot(std::span<const u8> prev,
+                                 std::span<const u8> diff_payload,
+                                 EventType *base_type_out);
+
+/** The snapshot type a DiffState payload encodes. */
+EventType diffBaseType(std::span<const u8> diff_payload);
+
+// ---------------------------------------------------------------------------
+// Digest folding shared by the hardware Squash unit and the software
+// checker: both sides fold the same per-event terms and compare.
+// ---------------------------------------------------------------------------
+
+/** Per-commit digest term. */
+u64 commitDigestTerm(u64 pc, u64 instr, u64 rd_val);
+
+/** Per-load digest term. */
+u64 loadDigestTerm(u64 addr, u64 data, u64 seq);
+
+/** Per-store digest term. */
+u64 storeDigestTerm(u64 addr, u64 data, u64 mask);
+
+/** Per-branch digest term. */
+u64 branchDigestTerm(u64 pc, u64 taken, u64 target);
+
+/** Per-vector-writeback digest term. */
+u64 vecDigestTerm(u64 vrd, u64 lane0, u64 lane1);
+
+} // namespace dth
+
+#endif // DTH_SQUASH_FUSED_VIEWS_H_

@@ -1,0 +1,432 @@
+#include "squash/squash.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dth {
+
+namespace {
+
+bool
+isRegSnapshot(EventType t)
+{
+    switch (t) {
+      case EventType::ArchIntRegState:
+      case EventType::ArchFpRegState:
+      case EventType::CsrState:
+      case EventType::FpCsrState:
+      case EventType::HCsrState:
+      case EventType::DebugCsrState:
+      case EventType::TriggerCsrState:
+      case EventType::ArchVecRegState:
+      case EventType::VecCsrState:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAuxFusible(EventType t)
+{
+    switch (t) {
+      case EventType::LoadEvent:
+      case EventType::StoreEvent:
+      case EventType::BranchEvent:
+      case EventType::VecWriteback:
+      case EventType::VtypeEvent:
+        return true;
+      default:
+        return false;
+    }
+}
+
+u64
+auxDigestTerm(const Event &e)
+{
+    switch (e.type) {
+      case EventType::LoadEvent: {
+        LoadView v(e);
+        return loadDigestTerm(v.paddr(), v.data(), v.seqNo());
+      }
+      case EventType::StoreEvent: {
+        StoreView v(e);
+        return storeDigestTerm(v.addr(), v.data(), v.mask());
+      }
+      case EventType::BranchEvent: {
+        PayloadView v(e);
+        return branchDigestTerm(v.word(0), v.word(8), v.word(16));
+      }
+      case EventType::VecWriteback: {
+        PayloadView v(e);
+        return vecDigestTerm(v.word(0), v.word(8), v.word(16));
+      }
+      case EventType::VtypeEvent: {
+        VtypeView v(e);
+        return branchDigestTerm(v.vtype(), v.vl(), v.seqNo());
+      }
+      default:
+        dth_panic("no digest for %s", e.info().name);
+    }
+}
+
+} // namespace
+
+SquashUnit::SquashUnit(const SquashConfig &config) : config_(config)
+{
+    dth_assert(config_.maxFuse >= 1, "maxFuse must be positive");
+    cores_.resize(config_.cores);
+    for (CoreState &cs : cores_) {
+        for (unsigned t = 0; t < kNumEventTypes; ++t) {
+            if (isRegSnapshot(static_cast<EventType>(t)))
+                cs.lastSent[t].assign(eventInfo(t).bytesPerEntry, 0);
+        }
+    }
+}
+
+void
+SquashUnit::absorbCommit(CoreState &cs, const Event &e)
+{
+    InstrCommitView v(e);
+    if (!cs.active) {
+        cs.active = true;
+        cs.firstSeq = v.seqNo();
+        cs.count = 0;
+        cs.digest = 0;
+    }
+    ++cs.count;
+    cs.lastPc = v.pc();
+    cs.nextPc = v.nextPc();
+    cs.digest ^= commitDigestTerm(v.pc(), v.instr(), v.rdVal());
+    counters_.add("squash.commits_absorbed");
+}
+
+void
+SquashUnit::absorbAux(CoreState &cs, const Event &e)
+{
+    TypeWindow &w = cs.windows[static_cast<unsigned>(e.type)];
+    if (!w.active) {
+        w.active = true;
+        w.digest = 0;
+        w.count = 0;
+        w.firstSeq = e.commitSeq;
+    }
+    w.digest ^= auxDigestTerm(e);
+    w.lastSeq = e.commitSeq;
+    ++w.count;
+    counters_.add("squash.aux_absorbed");
+}
+
+void
+SquashUnit::flushCore(u8 core, FlushReason reason, CycleEvents &out)
+{
+    CoreState &cs = cores_[core];
+    // Digests and differenced snapshots are emitted BEFORE the
+    // FusedCommit: the FusedCommit raises the software watermark to the
+    // window end, so everything belonging to the window must precede it
+    // on the wire (a packet split between them would otherwise let the
+    // checker run past the snapshots before seeing them).
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        TypeWindow &w = cs.windows[t];
+        if (w.active) {
+            Event fd =
+                Event::make(EventType::FusedDigest, core, 0, w.lastSeq);
+            FusedDigestView v(fd);
+            v.set_digest(w.digest);
+            v.set_firstSeq(w.firstSeq);
+            v.set_lastSeq(w.lastSeq);
+            v.set_baseType(static_cast<u8>(t));
+            v.set_count(w.count);
+            out.events.push_back(std::move(fd));
+            w.active = false;
+        }
+        if (cs.latest[t].has_value()) {
+            Event snap = std::move(*cs.latest[t]);
+            cs.latest[t].reset();
+            if (config_.differencing) {
+                Event diff = Event::make(EventType::DiffState, core, 0,
+                                         snap.commitSeq);
+                diff.payload = diffSnapshot(snap.type, cs.lastSent[t],
+                                            snap.payload);
+                counters_.add("squash.diff_bytes_out",
+                              diff.payload.size());
+                counters_.add("squash.diff_bytes_in",
+                              snap.payload.size());
+                cs.lastSent[t] = snap.payload;
+                out.events.push_back(std::move(diff));
+            } else {
+                cs.lastSent[t] = snap.payload;
+                out.events.push_back(std::move(snap));
+            }
+        }
+    }
+
+    if (cs.active) {
+        Event fc = Event::make(EventType::FusedCommit, core, 0,
+                               cs.firstSeq + cs.count - 1);
+        FusedCommitView v(fc);
+        v.set_firstSeq(cs.firstSeq);
+        v.set_count(cs.count);
+        v.set_lastPc(cs.lastPc);
+        v.set_nextPc(cs.nextPc);
+        v.set_digest(cs.digest);
+        v.set_flags(static_cast<u64>(reason));
+        out.events.push_back(std::move(fc));
+        counters_.add("squash.flushes");
+        counters_.add("squash.flush_reason_" +
+                      std::to_string(static_cast<int>(reason)));
+        cs.active = false;
+    }
+}
+
+CycleEvents
+SquashUnit::process(const CycleEvents &in)
+{
+    CycleEvents out;
+    out.cycle = in.cycle;
+    cycle_ = in.cycle;
+    for (const Event &e : in.events) {
+        if (e.isNde()) {
+            if (config_.orderCoupled)
+                flushCore(e.core, FlushReason::NdeBreak, out);
+            counters_.add("squash.nde_ahead");
+            out.events.push_back(e);
+            continue;
+        }
+        if (e.type == EventType::InstrCommit) {
+            CoreState &cs = cores_[e.core];
+            absorbCommit(cs, e);
+            if (cs.count >= config_.maxFuse)
+                flushCore(e.core, FlushReason::WindowFull, out);
+            continue;
+        }
+        if (isRegSnapshot(e.type)) {
+            cores_[e.core].latest[static_cast<unsigned>(e.type)] = e;
+            counters_.add("squash.snapshots_absorbed");
+            continue;
+        }
+        if (isAuxFusible(e.type)) {
+            absorbAux(cores_[e.core], e);
+            continue;
+        }
+        if (e.type == EventType::Trap) {
+            flushCore(e.core, FlushReason::Trap, out);
+            out.events.push_back(e);
+            continue;
+        }
+        // Non-fusible deterministic events pass through with their tags.
+        counters_.add("squash.passthrough");
+        out.events.push_back(e);
+    }
+    return out;
+}
+
+CycleEvents
+SquashUnit::finish()
+{
+    CycleEvents out;
+    out.cycle = cycle_;
+    for (unsigned c = 0; c < config_.cores; ++c)
+        flushCore(static_cast<u8>(c), FlushReason::EndOfRun, out);
+    return out;
+}
+
+SquashCompleter::SquashCompleter(unsigned cores)
+{
+    lastSeen_.resize(cores);
+    for (auto &per_core : lastSeen_) {
+        for (unsigned t = 0; t < kNumEventTypes; ++t) {
+            if (isRegSnapshot(static_cast<EventType>(t)))
+                per_core[t].assign(eventInfo(t).bytesPerEntry, 0);
+        }
+    }
+}
+
+Event
+SquashCompleter::complete(const Event &event)
+{
+    if (event.type == EventType::DiffState) {
+        EventType base = diffBaseType(event.payload);
+        auto &prev = lastSeen_[event.core][static_cast<unsigned>(base)];
+        EventType decoded;
+        std::vector<u8> full =
+            completeSnapshot(prev, event.payload, &decoded);
+        dth_assert(decoded == base, "diff base type mismatch");
+        prev = full;
+        Event out;
+        out.type = base;
+        out.core = event.core;
+        out.index = event.index;
+        out.commitSeq = event.commitSeq;
+        out.emitSeq = event.emitSeq;
+        out.payload = std::move(full);
+        return out;
+    }
+    if (isRegSnapshot(event.type)) {
+        // Undiffed snapshot: record it as the new completion baseline.
+        lastSeen_[event.core][static_cast<unsigned>(event.type)] =
+            event.payload;
+    }
+    return event;
+}
+
+Reorderer::Reorderer(unsigned cores)
+{
+    awaiting_.resize(cores);
+    nextEmit_.assign(cores, 0);
+    held_.resize(cores);
+    watermark_.assign(cores, 0);
+}
+
+int
+checkingPriority(const Event &event)
+{
+    // Within one order tag: NDE oracles first (the REF needs them before
+    // it can execute the tagged instruction), then commits (stepping),
+    // then content checks, then interrupts/traps, which apply strictly
+    // after the tagged instruction.
+    if (event.type == EventType::ArchEvent) {
+        ArchEventView v(event);
+        return v.isInterrupt() ? 3 : 2;
+    }
+    if (event.type == EventType::Trap)
+        return 3;
+    if (event.isNde())
+        return 0;
+    if (event.type == EventType::InstrCommit ||
+        event.type == EventType::FusedCommit) {
+        return 1;
+    }
+    return 2;
+}
+
+bool
+checkingOrderLess(const Event &a, const Event &b)
+{
+    if (a.commitSeq != b.commitSeq)
+        return a.commitSeq < b.commitSeq;
+    return checkingPriority(a) < checkingPriority(b);
+}
+
+void
+Reorderer::push(Event event)
+{
+    u8 core = event.core;
+    dth_assert(core < held_.size(), "event from unknown core %u", core);
+    // Stage 1: admit only the contiguous emission prefix.
+    dth_assert(event.emitSeq >= nextEmit_[core] &&
+                   awaiting_[core].count(event.emitSeq) == 0,
+               "duplicate or replayed emission index %llu",
+               (unsigned long long)event.emitSeq);
+    awaiting_[core].emplace(event.emitSeq, std::move(event));
+    admitReadyPrefix(core);
+}
+
+void
+Reorderer::admitReadyPrefix(unsigned core)
+{
+    auto &waiting = awaiting_[core];
+    while (!waiting.empty() && waiting.begin()->first == nextEmit_[core]) {
+        Event e = std::move(waiting.begin()->second);
+        waiting.erase(waiting.begin());
+        ++nextEmit_[core];
+        admit(std::move(e));
+    }
+}
+
+void
+Reorderer::admit(Event event)
+{
+    u8 core = event.core;
+    u64 &wm = watermark_[core];
+    switch (event.type) {
+      case EventType::InstrCommit:
+      case EventType::Trap:
+        wm = std::max(wm, event.commitSeq);
+        break;
+      case EventType::FusedCommit: {
+        FusedCommitView v(event);
+        wm = std::max(wm, v.lastSeq());
+        break;
+      }
+      default:
+        break;
+    }
+    held_[core].push_back(Item{std::move(event), arrivalCounter_++});
+}
+
+std::vector<Event>
+Reorderer::releaseCore(unsigned core, bool all)
+{
+    auto &held = held_[core];
+    u64 wm = watermark_[core];
+    std::vector<Item> releasable;
+    std::vector<Item> keep;
+    for (Item &item : held) {
+        if (all || item.event.commitSeq <= wm)
+            releasable.push_back(std::move(item));
+        else
+            keep.push_back(std::move(item));
+    }
+    held = std::move(keep);
+    std::sort(releasable.begin(), releasable.end(),
+              [](const Item &a, const Item &b) {
+                  if (a.event.commitSeq != b.event.commitSeq)
+                      return a.event.commitSeq < b.event.commitSeq;
+                  int pa = checkingPriority(a.event);
+                  int pb = checkingPriority(b.event);
+                  if (pa != pb)
+                      return pa < pb;
+                  return a.arrival < b.arrival;
+              });
+    std::vector<Event> out;
+    out.reserve(releasable.size());
+    for (Item &item : releasable)
+        out.push_back(std::move(item.event));
+    return out;
+}
+
+std::vector<Event>
+Reorderer::drain()
+{
+    std::vector<Event> out;
+    for (unsigned c = 0; c < held_.size(); ++c) {
+        std::vector<Event> part = releaseCore(c, false);
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    return out;
+}
+
+std::vector<Event>
+Reorderer::drainAll()
+{
+    std::vector<Event> out;
+    for (unsigned c = 0; c < held_.size(); ++c) {
+        // End of stream: admit whatever is waiting, gaps included (a
+        // stream truncated by a stopped run may have holes at the tail).
+        for (auto &[idx, e] : awaiting_[c]) {
+            nextEmit_[c] = idx + 1;
+            admit(std::move(e));
+        }
+        awaiting_[c].clear();
+        std::vector<Event> part = releaseCore(c, true);
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    return out;
+}
+
+size_t
+Reorderer::pending() const
+{
+    size_t n = 0;
+    for (const auto &held : held_)
+        n += held.size();
+    for (const auto &waiting : awaiting_)
+        n += waiting.size();
+    return n;
+}
+
+} // namespace dth

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Squash: order-decoupled fusion and differencing (paper §4.3).
+ *
+ * Hardware side (SquashUnit): same-type verification events are fused
+ * across instructions — instruction commits into a FusedCommit carrying
+ * the final PC, count and a digest; other fusible streams (loads,
+ * stores, branches, vector writebacks) into per-type FusedDigest
+ * windows; register-state snapshots are reduced to the latest snapshot
+ * per window and transmitted as XOR-style differences against the last
+ * transmitted snapshot (DiffState). Non-deterministic events are NOT
+ * fused: they are scheduled ahead immediately, carrying their order tag
+ * (commit sequence number), so fusion never breaks on an NDE. The
+ * order-coupled baseline (prior work, Fig. 8) instead flushes the fusion
+ * window at every NDE.
+ *
+ * Software side (Completer/Reorderer): DiffState events are completed
+ * from the previous snapshot, and the whole stream is reordered by order
+ * tag so the checker sees the original checking order.
+ */
+
+#ifndef DTH_SQUASH_SQUASH_H_
+#define DTH_SQUASH_SQUASH_H_
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/counters.h"
+#include "event/event.h"
+#include "squash/fused_views.h"
+
+namespace dth {
+
+/** Squash configuration. */
+struct SquashConfig
+{
+    /** Maximum commits fused into one FusedCommit. */
+    unsigned maxFuse = 32;
+    /** Apply differencing to register-state snapshots. */
+    bool differencing = true;
+    /** Prior-work behaviour: NDEs break the fusion window (Fig. 8). */
+    bool orderCoupled = false;
+    unsigned cores = 1;
+};
+
+/** Why a fusion window was flushed (FusedCommit flags field). */
+enum class FlushReason : u64 {
+    WindowFull = 0,
+    Trap = 1,
+    NdeBreak = 2, //!< order-coupled baseline only
+    EndOfRun = 3,
+};
+
+/** The hardware-side acceleration stage. */
+class SquashUnit
+{
+  public:
+    explicit SquashUnit(const SquashConfig &config);
+
+    /** Transform one cycle of monitor events; fused output may lag. */
+    CycleEvents process(const CycleEvents &in);
+
+    /** Flush all open windows (end of simulation). */
+    CycleEvents finish();
+
+    PerfCounters &counters() { return counters_; }
+    const SquashConfig &config() const { return config_; }
+
+  private:
+    struct TypeWindow
+    {
+        bool active = false;
+        u64 digest = 0;
+        u64 firstSeq = 0;
+        u64 lastSeq = 0;
+        u16 count = 0;
+    };
+
+    struct CoreState
+    {
+        // Commit fusion window.
+        bool active = false;
+        u64 firstSeq = 0;
+        u64 count = 0;
+        u64 lastPc = 0;
+        u64 nextPc = 0;
+        u64 digest = 0;
+        // Auxiliary fusible streams, indexed by event type id.
+        std::array<TypeWindow, kNumEventTypes> windows{};
+        // Latest register-state snapshot per type within the window.
+        std::array<std::optional<Event>, kNumEventTypes> latest{};
+        // Last transmitted snapshot per type (differencing reference).
+        std::array<std::vector<u8>, kNumEventTypes> lastSent{};
+    };
+
+    void absorbCommit(CoreState &cs, const Event &e);
+    void absorbAux(CoreState &cs, const Event &e);
+    void flushCore(u8 core, FlushReason reason, CycleEvents &out);
+
+    SquashConfig config_;
+    std::vector<CoreState> cores_;
+    u64 cycle_ = 0;
+    PerfCounters counters_;
+};
+
+/** Software side: snapshot completion + order restoration. */
+class SquashCompleter
+{
+  public:
+    explicit SquashCompleter(unsigned cores = 1);
+
+    /**
+     * Complete one event: DiffState events are expanded to their full
+     * snapshot (original type restored); everything else passes through.
+     */
+    Event complete(const Event &event);
+
+  private:
+    std::vector<std::array<std::vector<u8>, kNumEventTypes>> lastSeen_;
+};
+
+/**
+ * Application priority within one order tag: NDE oracles must reach the
+ * REF before it executes the tagged instruction (0), commits drive
+ * stepping (1), content checks compare at the stepped position (2), and
+ * interrupts/traps apply strictly after everything at their tag (3).
+ */
+int checkingPriority(const Event &event);
+
+/** Total checking order: (order tag, application priority). */
+bool checkingOrderLess(const Event &a, const Event &b);
+
+/**
+ * Per-core order restoration in two stages. Stage 1 re-establishes the
+ * contiguous emission prefix using the per-event emission index (Batch
+ * may permute a cycle into type groups and split them across packets;
+ * an event is only admitted once everything emitted before it has
+ * arrived). Stage 2 buffers admitted events and releases them sorted by
+ * (order tag, application priority) once the watermark — driven by
+ * InstrCommit/FusedCommit/Trap events in the admitted prefix — covers
+ * them.
+ */
+class Reorderer
+{
+  public:
+    explicit Reorderer(unsigned cores = 1);
+
+    /** Enqueue one event from the unpacker/completer. */
+    void push(Event event);
+
+    /** Pop all currently releasable events in checking order. */
+    std::vector<Event> drain();
+
+    /** Release everything regardless of watermark (end of stream). */
+    std::vector<Event> drainAll();
+
+    /** Events still held back (both stages). */
+    size_t pending() const;
+
+  private:
+    struct Item
+    {
+        Event event;
+        u64 arrival;
+    };
+
+    void admit(Event event);
+    void admitReadyPrefix(unsigned core);
+    std::vector<Event> releaseCore(unsigned core, bool all);
+
+    // Stage 1: out-of-emission-order arrivals, keyed by emitSeq.
+    std::vector<std::map<u64, Event>> awaiting_;
+    std::vector<u64> nextEmit_;
+    // Stage 2: admitted events awaiting watermark release.
+    std::vector<std::vector<Item>> held_;
+    std::vector<u64> watermark_;
+    u64 arrivalCounter_ = 0;
+};
+
+} // namespace dth
+
+#endif // DTH_SQUASH_SQUASH_H_

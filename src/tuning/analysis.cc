@@ -1,0 +1,128 @@
+#include "tuning/analysis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dth::tuning {
+
+TraceAnalysis
+analyzeTrace(const DutTrace &trace)
+{
+    TraceAnalysis a;
+    a.cycles = trace.cycles.size();
+    // Previous payload per (type, core<=1) for repetitiveness.
+    std::array<std::array<std::vector<u8>, 2>, kNumEventTypes> prev;
+    for (const CycleEvents &ce : trace.cycles) {
+        for (const Event &e : ce.events) {
+            unsigned t = static_cast<unsigned>(e.type);
+            if (t >= kNumEventTypes)
+                continue;
+            TypeStats &s = a.perType[t];
+            ++s.count;
+            s.bytes += e.payload.size();
+            ++a.events;
+            a.bytes += e.payload.size();
+            if (e.core < 2) {
+                std::vector<u8> &p = prev[t][e.core];
+                if (p.size() == e.payload.size()) {
+                    if (p == e.payload)
+                        ++s.repeated;
+                    size_t words = e.payload.size() / 8;
+                    for (size_t w = 0; w < words; ++w) {
+                        if (loadU64(p, w * 8) ==
+                            loadU64(e.payload, w * 8))
+                            ++s.unchangedWords;
+                    }
+                    s.totalWords += words;
+                }
+                p = e.payload;
+            }
+        }
+    }
+    return a;
+}
+
+std::string
+TraceAnalysis::toCsv() const
+{
+    std::string out =
+        "type,count,bytes,invocations_per_cycle,repeated,"
+        "word_repetitiveness\n";
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        const TypeStats &s = perType[t];
+        if (s.count == 0)
+            continue;
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s,%llu,%llu,%.5f,%llu,%.4f\n",
+                      eventInfo(t).name, (unsigned long long)s.count,
+                      (unsigned long long)s.bytes,
+                      cycles ? static_cast<double>(s.count) / cycles : 0,
+                      (unsigned long long)s.repeated, s.repetitiveness());
+        out += line;
+    }
+    return out;
+}
+
+PipelineVolume
+simulatePipeline(const DutTrace &trace, const SquashConfig &squash_config,
+                 unsigned packet_bytes)
+{
+    SquashUnit squash(squash_config);
+    BatchPacker packer(packet_bytes);
+    std::vector<Transfer> transfers;
+    PipelineVolume v;
+    for (const CycleEvents &ce : trace.cycles) {
+        CycleEvents squashed = squash.process(ce);
+        packer.packCycle(squashed, transfers);
+    }
+    CycleEvents tail = squash.finish();
+    packer.packCycle(tail, transfers);
+    packer.flush(transfers);
+    v.transfers = transfers.size();
+    for (const Transfer &t : transfers)
+        v.wireBytes += t.size();
+    u64 flushes = squash.counters().get("squash.flushes");
+    if (flushes)
+        v.fusionRatio =
+            static_cast<double>(
+                squash.counters().get("squash.commits_absorbed")) /
+            flushes;
+    return v;
+}
+
+bool
+verifyTrace(const DutTrace &trace, const workload::Program &program,
+            unsigned cores, bool mmio_sync,
+            checker::MismatchReport *first_mismatch)
+{
+    std::vector<std::unique_ptr<checker::CoreChecker>> checkers;
+    for (unsigned c = 0; c < cores; ++c)
+        checkers.push_back(std::make_unique<checker::CoreChecker>(
+            c, program, mmio_sync));
+
+    // The trace holds the original monitor stream in emission order, so
+    // only checking-order sorting per core is needed.
+    std::vector<Event> all;
+    for (const CycleEvents &ce : trace.cycles)
+        for (const Event &e : ce.events)
+            all.push_back(e);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event &x, const Event &y) {
+                         if (x.core != y.core)
+                             return x.core < y.core;
+                         return checkingOrderLess(x, y);
+                     });
+    for (const Event &e : all) {
+        if (e.core >= cores)
+            continue;
+        if (!checkers[e.core]->processEvent(e)) {
+            if (first_mismatch)
+                *first_mismatch = checkers[e.core]->report();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dth::tuning

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Offline transmission analysis (paper §5: the toolkit's "SQL analysis
+ * support"): per-type statistics over a recorded DUT trace — volume,
+ * frequency and repetitiveness — used to explore fusion and
+ * differencing strategies without re-running the DUT, plus a
+ * trace-driven verification path and a pipeline replayer that measures
+ * what a given Squash/Batch configuration would transmit.
+ */
+
+#ifndef DTH_TUNING_ANALYSIS_H_
+#define DTH_TUNING_ANALYSIS_H_
+
+#include <array>
+
+#include "checker/checker.h"
+#include "pack/packer.h"
+#include "squash/squash.h"
+#include "tuning/trace.h"
+#include "workload/program.h"
+
+namespace dth::tuning {
+
+/** Per-event-type statistics over a trace. */
+struct TypeStats
+{
+    u64 count = 0;
+    u64 bytes = 0;
+    /** Events whose payload equals the previous same-type payload. */
+    u64 repeated = 0;
+    /** 8-byte words unchanged vs the previous same-type payload. */
+    u64 unchangedWords = 0;
+    u64 totalWords = 0;
+
+    double
+    repetitiveness() const
+    {
+        return totalWords ? static_cast<double>(unchangedWords) /
+                                totalWords
+                          : 0;
+    }
+};
+
+/** Full trace analysis report. */
+struct TraceAnalysis
+{
+    std::array<TypeStats, kNumEventTypes> perType{};
+    u64 cycles = 0;
+    u64 events = 0;
+    u64 bytes = 0;
+
+    /** Render the per-type table as CSV (offline "SQL" backend). */
+    std::string toCsv() const;
+};
+
+/** Analyze event volume/frequency/repetitiveness over a trace. */
+TraceAnalysis analyzeTrace(const DutTrace &trace);
+
+/** What a Squash+Batch configuration would transmit for this trace. */
+struct PipelineVolume
+{
+    u64 transfers = 0;
+    u64 wireBytes = 0;
+    double fusionRatio = 0;
+};
+
+/** Replay the acceleration pipeline over a trace (no DUT, no checker). */
+PipelineVolume simulatePipeline(const DutTrace &trace,
+                                const SquashConfig &squash_config,
+                                unsigned packet_bytes);
+
+/**
+ * Drive per-core checkers from a trace (iterative debugging: verify
+ * without the DUT). Returns true if the whole trace checks clean.
+ */
+bool verifyTrace(const DutTrace &trace, const workload::Program &program,
+                 unsigned cores, bool mmio_sync,
+                 checker::MismatchReport *first_mismatch = nullptr);
+
+} // namespace dth::tuning
+
+#endif // DTH_TUNING_ANALYSIS_H_

@@ -1,0 +1,2 @@
+// placeholder; real sources land with the tuning module
+namespace dth {}

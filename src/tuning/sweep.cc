@@ -1,0 +1,66 @@
+#include "tuning/sweep.h"
+
+#include "common/logging.h"
+
+namespace dth::tuning {
+
+const SweepRow &
+SweepRunner::run(const std::string &label,
+                 const cosim::CosimConfig &config)
+{
+    cosim::CoSimulator sim(config, program_);
+    cosim::CosimResult result = sim.run(maxCycles_);
+    if (!result.verified) {
+        dth_fatal("sweep point '%s' failed verification: %s",
+                  label.c_str(), result.mismatch.describe().c_str());
+    }
+    rows_.push_back(SweepRow{label, std::move(result)});
+    return rows_.back();
+}
+
+TextTable
+SweepRunner::table() const
+{
+    TextTable t({"Config", "Speed", "Comm share", "Bytes/cycle",
+                 "Transfers/cycle", "Fusion"});
+    for (const SweepRow &row : rows_) {
+        const cosim::CosimResult &r = row.result;
+        t.addRow({row.label, fmtHz(r.simSpeedHz),
+                  fmtPercent(r.timing.communicationFraction()),
+                  fmtDouble(r.bytesPerCycle, 0),
+                  fmtDouble(r.invokesPerCycle, 3),
+                  r.fusionRatio > 0 ? fmtDouble(r.fusionRatio, 1) : "-"});
+    }
+    return t;
+}
+
+std::string
+SweepRunner::csv() const
+{
+    std::string out = "config,speed_hz,comm_fraction,bytes_per_cycle,"
+                      "transfers_per_cycle,fusion_ratio\n";
+    for (const SweepRow &row : rows_) {
+        const cosim::CosimResult &r = row.result;
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s,%.1f,%.4f,%.1f,%.4f,%.2f\n",
+                      row.label.c_str(), r.simSpeedHz,
+                      r.timing.communicationFraction(), r.bytesPerCycle,
+                      r.invokesPerCycle, r.fusionRatio);
+        out += line;
+    }
+    return out;
+}
+
+std::string
+SweepRunner::bestBySpeed() const
+{
+    dth_assert(!rows_.empty(), "empty sweep");
+    const SweepRow *best = &rows_.front();
+    for (const SweepRow &row : rows_) {
+        if (row.result.simSpeedHz > best->result.simSpeedHz)
+            best = &row;
+    }
+    return best->label;
+}
+
+} // namespace dth::tuning

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parameter-sweep helper for the tuning toolkit: run a set of labeled
+ * co-simulation configurations over one workload and collect the
+ * standard performance/communication metrics as a table or CSV, the way
+ * the paper's evaluation sweeps DIFF_CONFIG options and Batch/Squash
+ * parameters.
+ */
+
+#ifndef DTH_TUNING_SWEEP_H_
+#define DTH_TUNING_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "cosim/cosim.h"
+#include "workload/program.h"
+
+namespace dth::tuning {
+
+/** One sweep outcome. */
+struct SweepRow
+{
+    std::string label;
+    cosim::CosimResult result;
+};
+
+/** Runs labeled configurations over a fixed workload. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(workload::Program program,
+                         u64 max_cycles = 400000)
+        : program_(std::move(program)), maxCycles_(max_cycles)
+    {}
+
+    /**
+     * Run one configuration. Fails the run (fatal) on a verification
+     * mismatch — sweeps are for healthy systems.
+     */
+    const SweepRow &run(const std::string &label,
+                        const cosim::CosimConfig &config);
+
+    const std::vector<SweepRow> &rows() const { return rows_; }
+
+    /** Standard columns: speed, comm share, bytes/cycle, fusion ratio. */
+    TextTable table() const;
+
+    /** The same rows as CSV (offline analysis). */
+    std::string csv() const;
+
+    /** Label of the fastest configuration run so far. */
+    std::string bestBySpeed() const;
+
+  private:
+    workload::Program program_;
+    u64 maxCycles_;
+    std::vector<SweepRow> rows_;
+};
+
+} // namespace dth::tuning
+
+#endif // DTH_TUNING_SWEEP_H_

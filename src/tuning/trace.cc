@@ -1,0 +1,102 @@
+#include "tuning/trace.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace dth::tuning {
+
+namespace {
+constexpr u32 kMagic = 0x44544831; // "DTH1"
+} // namespace
+
+std::vector<u8>
+encodeTrace(const DutTrace &trace)
+{
+    ByteWriter w;
+    w.putU32(kMagic);
+    w.putU16(static_cast<u16>(trace.workloadName.size()));
+    w.putBytes(reinterpret_cast<const u8 *>(trace.workloadName.data()),
+               trace.workloadName.size());
+    w.putU64(trace.cycles.size());
+    for (const CycleEvents &ce : trace.cycles) {
+        w.putU64(ce.cycle);
+        w.putU32(static_cast<u32>(ce.events.size()));
+        for (const Event &e : ce.events) {
+            w.putU8(static_cast<u8>(e.type));
+            w.putU8(e.core);
+            w.putU8(e.index);
+            w.putU64(e.commitSeq);
+            w.putU64(e.emitSeq);
+            w.putU16(static_cast<u16>(e.payload.size()));
+            w.putBytes(e.payload.data(), e.payload.size());
+        }
+    }
+    return w.take();
+}
+
+bool
+decodeTrace(DutTrace *trace, std::span<const u8> bytes)
+{
+    ByteReader r(bytes);
+    if (r.remaining() < 4 || r.getU32() != kMagic)
+        return false;
+    u16 name_len = r.getU16();
+    auto name = r.getBytes(name_len);
+    trace->workloadName.assign(name.begin(), name.end());
+    u64 cycles = r.getU64();
+    trace->cycles.clear();
+    trace->cycles.reserve(cycles);
+    for (u64 c = 0; c < cycles; ++c) {
+        CycleEvents ce;
+        ce.cycle = r.getU64();
+        u32 count = r.getU32();
+        ce.events.reserve(count);
+        for (u32 i = 0; i < count; ++i) {
+            Event e;
+            e.type = static_cast<EventType>(r.getU8());
+            e.core = r.getU8();
+            e.index = r.getU8();
+            e.commitSeq = r.getU64();
+            e.emitSeq = r.getU64();
+            u16 len = r.getU16();
+            auto payload = r.getBytes(len);
+            e.payload.assign(payload.begin(), payload.end());
+            ce.events.push_back(std::move(e));
+        }
+        trace->cycles.push_back(std::move(ce));
+    }
+    return r.atEnd();
+}
+
+bool
+saveTrace(const DutTrace &trace, const std::string &path)
+{
+    std::vector<u8> bytes = encodeTrace(trace);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return written == bytes.size();
+}
+
+bool
+loadTrace(DutTrace *trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<u8> bytes(static_cast<size_t>(size));
+    size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (read != bytes.size())
+        return false;
+    return decodeTrace(trace, bytes);
+}
+
+} // namespace dth::tuning

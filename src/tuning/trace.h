@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Iterative-debugging support (paper §5): DUT traces. The original
+ * verification events captured from the DUT are dumped during a run;
+ * the verification logic (Squash, Batch, checker) can then be driven
+ * from the trace alone, without recompiling or re-executing the DUT.
+ */
+
+#ifndef DTH_TUNING_TRACE_H_
+#define DTH_TUNING_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+
+namespace dth::tuning {
+
+/** An in-memory DUT trace: the monitor event stream, cycle by cycle. */
+struct DutTrace
+{
+    std::string workloadName;
+    std::vector<CycleEvents> cycles;
+
+    u64
+    totalEvents() const
+    {
+        u64 n = 0;
+        for (const CycleEvents &ce : cycles)
+            n += ce.count();
+        return n;
+    }
+
+    u64
+    totalBytes() const
+    {
+        u64 n = 0;
+        for (const CycleEvents &ce : cycles)
+            n += ce.totalBytes();
+        return n;
+    }
+};
+
+/** Serialize a trace to a file. Returns false on I/O failure. */
+bool saveTrace(const DutTrace &trace, const std::string &path);
+
+/** Load a trace dumped by saveTrace. Returns false on failure. */
+bool loadTrace(DutTrace *trace, const std::string &path);
+
+/** Serialize/deserialize to a byte buffer (tests, in-memory use). */
+std::vector<u8> encodeTrace(const DutTrace &trace);
+bool decodeTrace(DutTrace *trace, std::span<const u8> bytes);
+
+} // namespace dth::tuning
+
+#endif // DTH_TUNING_TRACE_H_

@@ -1,0 +1,294 @@
+#include "workload/asm.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "riscv/encoding.h"
+
+namespace dth::workload {
+
+using namespace dth::riscv;
+
+u32
+encR(u32 opcode, u8 rd, u32 f3, u8 rs1, u8 rs2, u32 f7)
+{
+    return opcode | (u32(rd) << 7) | (f3 << 12) | (u32(rs1) << 15) |
+           (u32(rs2) << 20) | (f7 << 25);
+}
+
+u32
+encI(u32 opcode, u8 rd, u32 f3, u8 rs1, i32 imm)
+{
+    dth_assert(imm >= -2048 && imm < 2048, "I-imm out of range: %d", imm);
+    return opcode | (u32(rd) << 7) | (f3 << 12) | (u32(rs1) << 15) |
+           (u32(imm & 0xFFF) << 20);
+}
+
+u32
+encS(u32 opcode, u32 f3, u8 rs1, u8 rs2, i32 imm)
+{
+    dth_assert(imm >= -2048 && imm < 2048, "S-imm out of range: %d", imm);
+    u32 u = static_cast<u32>(imm & 0xFFF);
+    return opcode | ((u & 0x1F) << 7) | (f3 << 12) | (u32(rs1) << 15) |
+           (u32(rs2) << 20) | ((u >> 5) << 25);
+}
+
+u32
+encB(u32 opcode, u32 f3, u8 rs1, u8 rs2, i32 imm)
+{
+    dth_assert(imm >= -4096 && imm < 4096 && (imm & 1) == 0,
+               "B-imm out of range: %d", imm);
+    u32 u = static_cast<u32>(imm & 0x1FFF);
+    return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xF) << 8) |
+           (f3 << 12) | (u32(rs1) << 15) | (u32(rs2) << 20) |
+           (((u >> 5) & 0x3F) << 25) | (((u >> 12) & 1) << 31);
+}
+
+u32
+encU(u32 opcode, u8 rd, i32 imm20)
+{
+    return opcode | (u32(rd) << 7) | (static_cast<u32>(imm20) << 12);
+}
+
+u32
+encJ(u32 opcode, u8 rd, i32 imm)
+{
+    dth_assert(imm >= -(1 << 20) && imm < (1 << 20) && (imm & 1) == 0,
+               "J-imm out of range: %d", imm);
+    u32 u = static_cast<u32>(imm & 0x1FFFFF);
+    return opcode | (u32(rd) << 7) | (((u >> 12) & 0xFF) << 12) |
+           (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3FF) << 21) |
+           (((u >> 20) & 1) << 31);
+}
+
+u32 lui(u8 rd, i32 imm20) { return encU(kOpLui, rd, imm20 & 0xFFFFF); }
+u32 auipc(u8 rd, i32 imm20) { return encU(kOpAuipc, rd, imm20 & 0xFFFFF); }
+u32 jal(u8 rd, i32 offset) { return encJ(kOpJal, rd, offset); }
+u32 jalr(u8 rd, u8 rs1, i32 imm) { return encI(kOpJalr, rd, 0, rs1, imm); }
+u32 beq(u8 a, u8 b, i32 off) { return encB(kOpBranch, 0, a, b, off); }
+u32 bne(u8 a, u8 b, i32 off) { return encB(kOpBranch, 1, a, b, off); }
+u32 blt(u8 a, u8 b, i32 off) { return encB(kOpBranch, 4, a, b, off); }
+u32 bge(u8 a, u8 b, i32 off) { return encB(kOpBranch, 5, a, b, off); }
+u32 bltu(u8 a, u8 b, i32 off) { return encB(kOpBranch, 6, a, b, off); }
+u32 bgeu(u8 a, u8 b, i32 off) { return encB(kOpBranch, 7, a, b, off); }
+u32 lb(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 0, rs1, imm); }
+u32 lh(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 1, rs1, imm); }
+u32 lw(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 2, rs1, imm); }
+u32 ld(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 3, rs1, imm); }
+u32 lbu(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 4, rs1, imm); }
+u32 lhu(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 5, rs1, imm); }
+u32 lwu(u8 rd, u8 rs1, i32 imm) { return encI(kOpLoad, rd, 6, rs1, imm); }
+u32 sb(u8 rs2, u8 rs1, i32 imm) { return encS(kOpStore, 0, rs1, rs2, imm); }
+u32 sh(u8 rs2, u8 rs1, i32 imm) { return encS(kOpStore, 1, rs1, rs2, imm); }
+u32 sw(u8 rs2, u8 rs1, i32 imm) { return encS(kOpStore, 2, rs1, rs2, imm); }
+u32 sd(u8 rs2, u8 rs1, i32 imm) { return encS(kOpStore, 3, rs1, rs2, imm); }
+u32 addi(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 0, rs1, imm); }
+u32 slti(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 2, rs1, imm); }
+u32 sltiu(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 3, rs1, imm); }
+u32 xori(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 4, rs1, imm); }
+u32 ori(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 6, rs1, imm); }
+u32 andi(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm, rd, 7, rs1, imm); }
+
+u32
+slli(u8 rd, u8 rs1, u32 shamt)
+{
+    return encR(kOpImm, rd, 1, rs1, static_cast<u8>(shamt & 0x1F),
+                (shamt >> 5) & 1);
+}
+
+u32
+srli(u8 rd, u8 rs1, u32 shamt)
+{
+    return encR(kOpImm, rd, 5, rs1, static_cast<u8>(shamt & 0x1F),
+                (shamt >> 5) & 1);
+}
+
+u32
+srai(u8 rd, u8 rs1, u32 shamt)
+{
+    return encR(kOpImm, rd, 5, rs1, static_cast<u8>(shamt & 0x1F),
+                0x20 | ((shamt >> 5) & 1));
+}
+
+u32 addiw(u8 rd, u8 rs1, i32 imm) { return encI(kOpImm32, rd, 0, rs1, imm); }
+u32 add(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 0, a, b, 0); }
+u32 sub(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 0, a, b, 0x20); }
+u32 sll(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 1, a, b, 0); }
+u32 slt(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 2, a, b, 0); }
+u32 sltu(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 3, a, b, 0); }
+u32 xor_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 4, a, b, 0); }
+u32 srl(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 5, a, b, 0); }
+u32 sra(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 5, a, b, 0x20); }
+u32 or_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 6, a, b, 0); }
+u32 and_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 7, a, b, 0); }
+u32 addw(u8 rd, u8 a, u8 b) { return encR(kOpReg32, rd, 0, a, b, 0); }
+u32 subw(u8 rd, u8 a, u8 b) { return encR(kOpReg32, rd, 0, a, b, 0x20); }
+u32 fence() { return encI(kOpMiscMem, 0, 0, 0, 0); }
+u32 mul(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 0, a, b, 1); }
+u32 mulh(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 1, a, b, 1); }
+u32 div_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 4, a, b, 1); }
+u32 divu(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 5, a, b, 1); }
+u32 rem(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 6, a, b, 1); }
+u32 remu(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 7, a, b, 1); }
+u32 mulw(u8 rd, u8 a, u8 b) { return encR(kOpReg32, rd, 0, a, b, 1); }
+u32 sh1add(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 2, a, b, 0x10); }
+u32 sh2add(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 4, a, b, 0x10); }
+u32 sh3add(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 6, a, b, 0x10); }
+u32 adduw(u8 rd, u8 a, u8 b) { return encR(kOpReg32, rd, 0, a, b, 0x04); }
+u32 andn(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 7, a, b, 0x20); }
+u32 orn(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 6, a, b, 0x20); }
+u32 xnor_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 4, a, b, 0x20); }
+u32 clz(u8 rd, u8 a) { return encR(kOpImm, rd, 1, a, 0, 0x30); }
+u32 ctz(u8 rd, u8 a) { return encR(kOpImm, rd, 1, a, 1, 0x30); }
+u32 cpop(u8 rd, u8 a) { return encR(kOpImm, rd, 1, a, 2, 0x30); }
+u32 min_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 4, a, b, 0x05); }
+u32 minu(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 5, a, b, 0x05); }
+u32 max_(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 6, a, b, 0x05); }
+u32 maxu(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 7, a, b, 0x05); }
+u32 sextb(u8 rd, u8 a) { return encR(kOpImm, rd, 1, a, 4, 0x30); }
+u32 sexth(u8 rd, u8 a) { return encR(kOpImm, rd, 1, a, 5, 0x30); }
+u32 zexth(u8 rd, u8 a) { return encR(kOpReg32, rd, 4, a, 0, 0x04); }
+u32 rol(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 1, a, b, 0x30); }
+u32 ror(u8 rd, u8 a, u8 b) { return encR(kOpReg, rd, 5, a, b, 0x30); }
+
+u32
+rori(u8 rd, u8 rs1, u32 shamt)
+{
+    return encR(kOpImm, rd, 5, rs1, static_cast<u8>(shamt & 0x1F),
+                0x30 | ((shamt >> 5) & 1));
+}
+
+u32
+rev8(u8 rd, u8 rs1)
+{
+    return kOpImm | (u32(rd) << 7) | (5u << 12) | (u32(rs1) << 15) |
+           (0x6B8u << 20);
+}
+
+u32
+orcb(u8 rd, u8 rs1)
+{
+    return kOpImm | (u32(rd) << 7) | (5u << 12) | (u32(rs1) << 15) |
+           (0x287u << 20);
+}
+
+u32
+csrrw(u8 rd, u16 csr, u8 rs1)
+{
+    return kOpSystem | (u32(rd) << 7) | (1u << 12) | (u32(rs1) << 15) |
+           (u32(csr) << 20);
+}
+
+u32
+csrrs(u8 rd, u16 csr, u8 rs1)
+{
+    return kOpSystem | (u32(rd) << 7) | (2u << 12) | (u32(rs1) << 15) |
+           (u32(csr) << 20);
+}
+
+u32
+csrrc(u8 rd, u16 csr, u8 rs1)
+{
+    return kOpSystem | (u32(rd) << 7) | (3u << 12) | (u32(rs1) << 15) |
+           (u32(csr) << 20);
+}
+
+u32
+csrrwi(u8 rd, u16 csr, u8 zimm)
+{
+    return kOpSystem | (u32(rd) << 7) | (5u << 12) | (u32(zimm) << 15) |
+           (u32(csr) << 20);
+}
+
+u32
+csrrsi(u8 rd, u16 csr, u8 zimm)
+{
+    return kOpSystem | (u32(rd) << 7) | (6u << 12) | (u32(zimm) << 15) |
+           (u32(csr) << 20);
+}
+
+u32 ecall() { return kOpSystem; }
+u32 ebreak() { return kOpSystem | (1u << 20); }
+u32 mret() { return kOpSystem | (0x302u << 20); }
+u32 sret() { return kOpSystem | (0x102u << 20); }
+u32 wfi() { return kOpSystem | (0x105u << 20); }
+
+u32
+lrD(u8 rd, u8 rs1)
+{
+    return encR(kOpAmo, rd, 3, rs1, 0, 0x02u << 2);
+}
+
+u32
+scD(u8 rd, u8 rs1, u8 rs2)
+{
+    return encR(kOpAmo, rd, 3, rs1, rs2, 0x03u << 2);
+}
+
+u32
+amoaddD(u8 rd, u8 rs1, u8 rs2)
+{
+    return encR(kOpAmo, rd, 3, rs1, rs2, 0x00u << 2);
+}
+
+u32
+amoswapD(u8 rd, u8 rs1, u8 rs2)
+{
+    return encR(kOpAmo, rd, 3, rs1, rs2, 0x01u << 2);
+}
+
+u32
+amoorD(u8 rd, u8 rs1, u8 rs2)
+{
+    return encR(kOpAmo, rd, 3, rs1, rs2, 0x08u << 2);
+}
+
+u32
+amoaddW(u8 rd, u8 rs1, u8 rs2)
+{
+    return encR(kOpAmo, rd, 2, rs1, rs2, 0x00u << 2);
+}
+
+u32 fld(u8 frd, u8 rs1, i32 imm) { return encI(kOpLoadFp, frd, 3, rs1, imm); }
+u32 fsd(u8 f2, u8 rs1, i32 imm) { return encS(kOpStoreFp, 3, rs1, f2, imm); }
+u32 faddD(u8 rd, u8 a, u8 b) { return encR(kOpFp, rd, 0, a, b, 0x01); }
+u32 fsubD(u8 rd, u8 a, u8 b) { return encR(kOpFp, rd, 0, a, b, 0x05); }
+u32 fmulD(u8 rd, u8 a, u8 b) { return encR(kOpFp, rd, 0, a, b, 0x09); }
+u32 fmvDX(u8 frd, u8 rs1) { return encR(kOpFp, frd, 0, rs1, 0, 0x79); }
+u32 fmvXD(u8 rd, u8 frs1) { return encR(kOpFp, rd, 0, frs1, 0, 0x71); }
+
+u32
+vsetvli(u8 rd, u8 rs1, u32 vtypei)
+{
+    return kOpVector | (u32(rd) << 7) | (7u << 12) | (u32(rs1) << 15) |
+           ((vtypei & 0x7FF) << 20);
+}
+
+u32
+vaddVV(u8 vd, u8 vs2, u8 vs1)
+{
+    return kOpVector | (u32(vd) << 7) | (0u << 12) | (u32(vs1) << 15) |
+           (u32(vs2) << 20) | (1u << 25); // vm=1 (unmasked)
+}
+
+u32
+vxorVV(u8 vd, u8 vs2, u8 vs1)
+{
+    return kOpVector | (u32(vd) << 7) | (0u << 12) | (u32(vs1) << 15) |
+           (u32(vs2) << 20) | (1u << 25) | (0x0Bu << 26);
+}
+
+u32
+vle64(u8 vd, u8 rs1)
+{
+    return kOpLoadFp | (u32(vd) << 7) | (7u << 12) | (u32(rs1) << 15) |
+           (1u << 25); // vm=1, mop=0, lumop=0
+}
+
+u32
+vse64(u8 vs3, u8 rs1)
+{
+    return kOpStoreFp | (u32(vs3) << 7) | (7u << 12) | (u32(rs1) << 15) |
+           (1u << 25);
+}
+
+} // namespace dth::workload

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * RV64 instruction encoders (a mini-assembler). Each function returns the
+ * 32-bit encoding; the ProgramBuilder stitches encodings into programs
+ * with label-based control flow.
+ */
+
+#ifndef DTH_WORKLOAD_ASM_H_
+#define DTH_WORKLOAD_ASM_H_
+
+#include "common/types.h"
+
+namespace dth::workload {
+
+// Register ABI aliases.
+inline constexpr u8 kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4;
+inline constexpr u8 kT0 = 5, kT1 = 6, kT2 = 7;
+inline constexpr u8 kS0 = 8, kS1 = 9;
+inline constexpr u8 kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14,
+                    kA5 = 15, kA6 = 16, kA7 = 17;
+inline constexpr u8 kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22,
+                    kS7 = 23, kS8 = 24, kS9 = 25, kS10 = 26, kS11 = 27;
+inline constexpr u8 kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31;
+
+// Instruction format packers.
+u32 encR(u32 opcode, u8 rd, u32 f3, u8 rs1, u8 rs2, u32 f7);
+u32 encI(u32 opcode, u8 rd, u32 f3, u8 rs1, i32 imm);
+u32 encS(u32 opcode, u32 f3, u8 rs1, u8 rs2, i32 imm);
+u32 encB(u32 opcode, u32 f3, u8 rs1, u8 rs2, i32 imm);
+u32 encU(u32 opcode, u8 rd, i32 imm20);
+u32 encJ(u32 opcode, u8 rd, i32 imm);
+
+// RV64I.
+u32 lui(u8 rd, i32 imm20);
+u32 auipc(u8 rd, i32 imm20);
+u32 jal(u8 rd, i32 offset);
+u32 jalr(u8 rd, u8 rs1, i32 imm);
+u32 beq(u8 rs1, u8 rs2, i32 offset);
+u32 bne(u8 rs1, u8 rs2, i32 offset);
+u32 blt(u8 rs1, u8 rs2, i32 offset);
+u32 bge(u8 rs1, u8 rs2, i32 offset);
+u32 bltu(u8 rs1, u8 rs2, i32 offset);
+u32 bgeu(u8 rs1, u8 rs2, i32 offset);
+u32 lb(u8 rd, u8 rs1, i32 imm);
+u32 lh(u8 rd, u8 rs1, i32 imm);
+u32 lw(u8 rd, u8 rs1, i32 imm);
+u32 ld(u8 rd, u8 rs1, i32 imm);
+u32 lbu(u8 rd, u8 rs1, i32 imm);
+u32 lhu(u8 rd, u8 rs1, i32 imm);
+u32 lwu(u8 rd, u8 rs1, i32 imm);
+u32 sb(u8 rs2, u8 rs1, i32 imm);
+u32 sh(u8 rs2, u8 rs1, i32 imm);
+u32 sw(u8 rs2, u8 rs1, i32 imm);
+u32 sd(u8 rs2, u8 rs1, i32 imm);
+u32 addi(u8 rd, u8 rs1, i32 imm);
+u32 slti(u8 rd, u8 rs1, i32 imm);
+u32 sltiu(u8 rd, u8 rs1, i32 imm);
+u32 xori(u8 rd, u8 rs1, i32 imm);
+u32 ori(u8 rd, u8 rs1, i32 imm);
+u32 andi(u8 rd, u8 rs1, i32 imm);
+u32 slli(u8 rd, u8 rs1, u32 shamt);
+u32 srli(u8 rd, u8 rs1, u32 shamt);
+u32 srai(u8 rd, u8 rs1, u32 shamt);
+u32 addiw(u8 rd, u8 rs1, i32 imm);
+u32 add(u8 rd, u8 rs1, u8 rs2);
+u32 sub(u8 rd, u8 rs1, u8 rs2);
+u32 sll(u8 rd, u8 rs1, u8 rs2);
+u32 slt(u8 rd, u8 rs1, u8 rs2);
+u32 sltu(u8 rd, u8 rs1, u8 rs2);
+u32 xor_(u8 rd, u8 rs1, u8 rs2);
+u32 srl(u8 rd, u8 rs1, u8 rs2);
+u32 sra(u8 rd, u8 rs1, u8 rs2);
+u32 or_(u8 rd, u8 rs1, u8 rs2);
+u32 and_(u8 rd, u8 rs1, u8 rs2);
+u32 addw(u8 rd, u8 rs1, u8 rs2);
+u32 subw(u8 rd, u8 rs1, u8 rs2);
+u32 fence();
+// RV64M.
+u32 mul(u8 rd, u8 rs1, u8 rs2);
+u32 mulh(u8 rd, u8 rs1, u8 rs2);
+u32 div_(u8 rd, u8 rs1, u8 rs2);
+u32 divu(u8 rd, u8 rs1, u8 rs2);
+u32 rem(u8 rd, u8 rs1, u8 rs2);
+u32 remu(u8 rd, u8 rs1, u8 rs2);
+u32 mulw(u8 rd, u8 rs1, u8 rs2);
+// Zba/Zbb.
+u32 sh1add(u8 rd, u8 rs1, u8 rs2);
+u32 sh2add(u8 rd, u8 rs1, u8 rs2);
+u32 sh3add(u8 rd, u8 rs1, u8 rs2);
+u32 adduw(u8 rd, u8 rs1, u8 rs2);
+u32 andn(u8 rd, u8 rs1, u8 rs2);
+u32 orn(u8 rd, u8 rs1, u8 rs2);
+u32 xnor_(u8 rd, u8 rs1, u8 rs2);
+u32 clz(u8 rd, u8 rs1);
+u32 ctz(u8 rd, u8 rs1);
+u32 cpop(u8 rd, u8 rs1);
+u32 min_(u8 rd, u8 rs1, u8 rs2);
+u32 minu(u8 rd, u8 rs1, u8 rs2);
+u32 max_(u8 rd, u8 rs1, u8 rs2);
+u32 maxu(u8 rd, u8 rs1, u8 rs2);
+u32 sextb(u8 rd, u8 rs1);
+u32 sexth(u8 rd, u8 rs1);
+u32 zexth(u8 rd, u8 rs1);
+u32 rol(u8 rd, u8 rs1, u8 rs2);
+u32 ror(u8 rd, u8 rs1, u8 rs2);
+u32 rori(u8 rd, u8 rs1, u32 shamt);
+u32 rev8(u8 rd, u8 rs1);
+u32 orcb(u8 rd, u8 rs1);
+// Zicsr + privileged.
+u32 csrrw(u8 rd, u16 csr, u8 rs1);
+u32 csrrs(u8 rd, u16 csr, u8 rs1);
+u32 csrrc(u8 rd, u16 csr, u8 rs1);
+u32 csrrwi(u8 rd, u16 csr, u8 zimm);
+u32 csrrsi(u8 rd, u16 csr, u8 zimm);
+u32 ecall();
+u32 ebreak();
+u32 mret();
+u32 sret();
+u32 wfi();
+// RV64A.
+u32 lrD(u8 rd, u8 rs1);
+u32 scD(u8 rd, u8 rs1, u8 rs2);
+u32 amoaddD(u8 rd, u8 rs1, u8 rs2);
+u32 amoswapD(u8 rd, u8 rs1, u8 rs2);
+u32 amoorD(u8 rd, u8 rs1, u8 rs2);
+u32 amoaddW(u8 rd, u8 rs1, u8 rs2);
+// D subset.
+u32 fld(u8 frd, u8 rs1, i32 imm);
+u32 fsd(u8 frs2, u8 rs1, i32 imm);
+u32 faddD(u8 frd, u8 frs1, u8 frs2);
+u32 fsubD(u8 frd, u8 frs1, u8 frs2);
+u32 fmulD(u8 frd, u8 frs1, u8 frs2);
+u32 fmvDX(u8 frd, u8 rs1);
+u32 fmvXD(u8 rd, u8 frs1);
+// V subset.
+u32 vsetvli(u8 rd, u8 rs1, u32 vtypei);
+u32 vaddVV(u8 vd, u8 vs2, u8 vs1);
+u32 vxorVV(u8 vd, u8 vs2, u8 vs1);
+u32 vle64(u8 vd, u8 rs1);
+u32 vse64(u8 vs3, u8 rs1);
+
+} // namespace dth::workload
+
+#endif // DTH_WORKLOAD_ASM_H_

@@ -1,0 +1,405 @@
+#include "workload/generators.h"
+
+#include "common/rng.h"
+#include "riscv/encoding.h"
+
+namespace dth::workload {
+
+using namespace dth::riscv;
+
+namespace {
+
+// Register conventions inside generated programs:
+//   x5-x7, x9, x11-x15, x18-x19  data pool (randomly targeted)
+//   x20 (s4)  data array base        x21 (s5)  UART base
+//   x22 (s6)  loop counter           x23 (s7)  AMO cell address
+//   x24 (s8)  FP staging address     x25 (s9)  vector staging address
+//   x27-x31   reserved for the trap handler
+constexpr u8 kDataRegs[] = {5, 6, 7, 9, 11, 12, 13, 14, 15, 18, 19};
+constexpr u8 kArrayBase = 20;
+constexpr u8 kUartReg = 21;
+constexpr u8 kLoopCounter = 22;
+constexpr u8 kAmoCell = 23;
+constexpr u8 kFpStage = 24;
+constexpr u8 kVecStage = 25;
+// Memory-footprint sweep: the array base walks a large region so the
+// cache models keep missing (realistic refill/TLB activity).
+constexpr u8 kSweepOffset = 8;   // s0
+constexpr u8 kSweepMask = 16;    // a6
+constexpr u8 kSweepBase = 17;    // a7
+// Supervisor-trap counter (S-mode workloads).
+constexpr u8 kSCounter = 26;     // s10
+
+constexpr u64 kDataAreaOffset = 0x100000; // 1 MiB above program text
+constexpr u64 kSweepMaskValue = 0x7FFC0;  // ~512 KiB, line-aligned
+constexpr i32 kSweepStride = 1984;
+
+u8
+pickReg(Rng &rng)
+{
+    return kDataRegs[rng.nextBelow(std::size(kDataRegs))];
+}
+
+/** Emit the machine trap handler; returns its label. The handler counts
+ *  events in x27, reloads mtimecmp for timer interrupts (an MMIO load +
+ *  store, both NDE paths), and skips the faulting instruction for
+ *  exceptions. It may preempt S-mode code (including the supervisor
+ *  handler), so it clobbers only x27, x29-x31 — disjoint from the
+ *  supervisor handler's x26/x28. */
+ProgramBuilder::Label
+emitHandler(ProgramBuilder &b, u64 timer_interval)
+{
+    auto handler = b.newLabel();
+    auto is_exception = b.newLabel();
+    auto done = b.newLabel();
+
+    b.bind(handler);
+    b.emit(csrrs(29, kCsrMcause, kZero)); // x29 = mcause
+    b.emit(addi(27, 27, 1));              // event counter
+    b.emitBge(29, kZero, is_exception);   // sign bit set => interrupt
+
+    // Interrupt path: mtimecmp = mtime + interval.
+    b.li(30, kClintBase + kClintMtime);
+    b.emit(ld(31, 30, 0)); // MMIO load (NDE)
+    b.li(30, timer_interval);
+    b.emit(add(31, 31, 30));
+    b.li(30, kClintBase + kClintMtimecmp);
+    b.emit(sd(31, 30, 0)); // MMIO store
+    b.emitJal(kZero, done);
+
+    // Exception path: skip the trapping instruction.
+    b.bind(is_exception);
+    b.emit(csrrs(31, kCsrMepc, kZero));
+    b.emit(addi(31, 31, 4));
+    b.emit(csrrw(kZero, kCsrMepc, 31));
+
+    b.bind(done);
+    b.emit(mret());
+    return handler;
+}
+
+void
+emitBodyInstr(ProgramBuilder &b, Rng &rng, const double *cdf,
+              const WorkloadMix &)
+{
+    double roll = rng.nextDouble();
+    unsigned kind = 0;
+    while (roll >= cdf[kind])
+        ++kind;
+
+    u8 rd = pickReg(rng);
+    u8 rs1 = pickReg(rng);
+    u8 rs2 = pickReg(rng);
+    switch (kind) {
+      case 0: { // ALU (base + Zba/Zbb bit manipulation)
+        switch (rng.nextBelow(16)) {
+          case 0: b.emit(add(rd, rs1, rs2)); break;
+          case 1: b.emit(sub(rd, rs1, rs2)); break;
+          case 2: b.emit(xor_(rd, rs1, rs2)); break;
+          case 3: b.emit(or_(rd, rs1, rs2)); break;
+          case 4: b.emit(and_(rd, rs1, rs2)); break;
+          case 5:
+            b.emit(addi(rd, rs1,
+                        static_cast<i32>(rng.nextRange(0, 4000)) - 2000));
+            break;
+          case 6: b.emit(slli(rd, rs1, rng.nextBelow(63) + 1)); break;
+          case 7: b.emit(sltu(rd, rs1, rs2)); break;
+          case 8: b.emit(sh2add(rd, rs1, rs2)); break;
+          case 9: b.emit(andn(rd, rs1, rs2)); break;
+          case 10: b.emit(cpop(rd, rs1)); break;
+          case 11: b.emit(min_(rd, rs1, rs2)); break;
+          case 12: b.emit(maxu(rd, rs1, rs2)); break;
+          case 13: b.emit(ror(rd, rs1, rs2)); break;
+          case 14: b.emit(rev8(rd, rs1)); break;
+          default: b.emit(orcb(rd, rs1)); break;
+        }
+        break;
+      }
+      case 1: { // mul/div
+        switch (rng.nextBelow(4)) {
+          case 0: b.emit(mul(rd, rs1, rs2)); break;
+          case 1: b.emit(mulh(rd, rs1, rs2)); break;
+          case 2: b.emit(div_(rd, rs1, rs2)); break;
+          default: b.emit(remu(rd, rs1, rs2)); break;
+        }
+        break;
+      }
+      case 2: { // load
+        i32 offset = static_cast<i32>(rng.nextBelow(256)) * 8;
+        switch (rng.nextBelow(4)) {
+          case 0: b.emit(ld(rd, kArrayBase, offset)); break;
+          case 1: b.emit(lw(rd, kArrayBase, offset)); break;
+          case 2: b.emit(lbu(rd, kArrayBase, offset)); break;
+          default: b.emit(lhu(rd, kArrayBase, offset)); break;
+        }
+        break;
+      }
+      case 3: { // store
+        i32 offset = static_cast<i32>(rng.nextBelow(256)) * 8;
+        switch (rng.nextBelow(3)) {
+          case 0: b.emit(sd(rs1, kArrayBase, offset)); break;
+          case 1: b.emit(sw(rs1, kArrayBase, offset)); break;
+          default: b.emit(sb(rs1, kArrayBase, offset)); break;
+        }
+        break;
+      }
+      case 4: { // fp
+        u8 fa = static_cast<u8>(rng.nextBelow(8));
+        u8 fb = static_cast<u8>(rng.nextBelow(8));
+        u8 fc = static_cast<u8>(rng.nextBelow(8));
+        switch (rng.nextBelow(5)) {
+          case 0: b.emit(fld(fa, kFpStage, 8 * (i32)rng.nextBelow(8)));
+            break;
+          case 1: b.emit(fsd(fa, kFpStage, 8 * (i32)rng.nextBelow(8)));
+            break;
+          case 2: b.emit(faddD(fa, fb, fc)); break;
+          case 3: b.emit(fmulD(fa, fb, fc)); break;
+          default: b.emit(fmvDX(fa, rs1)); break;
+        }
+        break;
+      }
+      case 5: { // vector
+        u8 va = static_cast<u8>(rng.nextBelow(8));
+        u8 vb = static_cast<u8>(rng.nextBelow(8));
+        u8 vc = static_cast<u8>(rng.nextBelow(8));
+        switch (rng.nextBelow(5)) {
+          case 0: b.emit(vsetvli(rd, kZero, 0x018)); break; // e64,m1
+          case 1: b.emit(vaddVV(va, vb, vc)); break;
+          case 2: b.emit(vxorVV(va, vb, vc)); break;
+          case 3: b.emit(vle64(va, kVecStage)); break;
+          default: b.emit(vse64(va, kVecStage)); break;
+        }
+        break;
+      }
+      case 6: { // amo
+        switch (rng.nextBelow(4)) {
+          case 0: b.emit(amoaddD(rd, kAmoCell, rs1)); break;
+          case 1: b.emit(amoswapD(rd, kAmoCell, rs1)); break;
+          case 2: b.emit(amoorD(rd, kAmoCell, rs1)); break;
+          default:
+            // LR/SC pair: SC success is DUT-nondeterministic.
+            b.emit(lrD(rd, kAmoCell));
+            b.emit(scD(rd, kAmoCell, rs1));
+            break;
+        }
+        break;
+      }
+      case 7: { // mmio
+        if (rng.chance(0.5)) {
+            b.emit(lbu(rd, kUartReg, static_cast<i32>(kUartStatus)));
+        } else {
+            b.emit(andi(rs1, rs1, 0x7F));
+            b.emit(sb(rs1, kUartReg, static_cast<i32>(kUartData)));
+        }
+        break;
+      }
+      case 8: { // csr
+        switch (rng.nextBelow(3)) {
+          case 0: b.emit(csrrw(rd, kCsrMscratch, rs1)); break;
+          case 1: b.emit(csrrs(rd, kCsrMscratch, kZero)); break;
+          default: b.emit(csrrw(rd, kCsrSscratch, rs1)); break;
+        }
+        break;
+      }
+      case 9: { // short forward branch over one instruction
+        auto skip = b.newLabel();
+        if (rng.chance(0.5))
+            b.emitBeq(rs1, rs2, skip);
+        else
+            b.emitBne(rs1, rs2, skip);
+        b.emit(add(rd, rs1, rs2));
+        b.bind(skip);
+        break;
+      }
+      default: // ecall
+        b.emit(ecall());
+        break;
+    }
+}
+
+} // namespace
+
+Program
+generate(const std::string &name, const WorkloadMix &mix,
+         const WorkloadOptions &options)
+{
+    Rng rng(options.seed);
+    ProgramBuilder b;
+
+    auto setup = b.newLabel();
+    b.emitJal(kZero, setup);
+    auto handler = emitHandler(b, options.timerInterval);
+
+    // Supervisor trap handler: count in x26, skip the trapping
+    // instruction, sret. Its address is fixed once the M handler has
+    // been emitted.
+    u64 s_handler_addr = b.here();
+    if (options.supervisorMode) {
+        b.emit(addi(kSCounter, kSCounter, 1));
+        b.emit(csrrs(28, kCsrSepc, kZero));
+        b.emit(addi(28, 28, 4));
+        b.emit(csrrw(kZero, kCsrSepc, 28));
+        b.emit(sret());
+    }
+
+    b.bind(setup);
+    // mtvec points at the handler, which starts right after the initial
+    // jal, i.e. at base+4.
+    (void)handler;
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(kZero, kCsrMtvec, 28));
+
+    if (options.timerInterrupts) {
+        b.li(28, kClintBase + kClintMtimecmp);
+        b.li(29, options.timerInterval);
+        b.emit(sd(29, 28, 0));
+        b.li(28, kIpMtip | kIpMeip);
+        b.emit(csrrw(kZero, kCsrMie, 28));
+        // Supervisor workloads enable interrupts only at the mret into
+        // S-mode (via MPIE); enabling them here would open a window
+        // where a timer interrupt corrupts the entry sequence's mepc.
+        if (!options.supervisorMode)
+            b.emit(csrrsi(kZero, kCsrMstatus, 8)); // mstatus.MIE
+    }
+
+    // Pointer and data registers.
+    b.li(kArrayBase, kRamBase + kDataAreaOffset);
+    b.li(kSweepBase, kRamBase + kDataAreaOffset);
+    b.li(kSweepMask, kSweepMaskValue);
+    b.emit(addi(kSweepOffset, kZero, 0));
+    b.li(kUartReg, kUartBase);
+    b.li(kAmoCell, kRamBase + kDataAreaOffset + 0x10000);
+    b.li(kFpStage, kRamBase + kDataAreaOffset + 0x20000);
+    b.li(kVecStage, kRamBase + kDataAreaOffset + 0x30000);
+    for (u8 reg : kDataRegs)
+        b.li(reg, rng.next());
+    b.emit(addi(27, kZero, 0)); // handler event counter
+    if (mix.vec > 0)
+        b.emit(vsetvli(28, kZero, 0x018));
+
+    // Normalized CDF over instruction kinds.
+    double weights[11] = {mix.alu, mix.mulDiv, mix.load, mix.store,
+                          mix.fp, mix.vec, mix.amo, mix.mmio,
+                          mix.csr, mix.branch, mix.ecall};
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    double cdf[11];
+    double acc = 0;
+    for (unsigned i = 0; i < 11; ++i) {
+        acc += weights[i] / total;
+        cdf[i] = acc;
+    }
+    cdf[10] = 1.1; // guard
+
+    b.li(kLoopCounter, options.iterations);
+
+    if (options.supervisorMode) {
+        // Delegate environment calls from S/U to the supervisor handler
+        // and drop into S-mode for the main loop, as an OS boot does.
+        b.li(28, s_handler_addr);
+        b.emit(csrrw(kZero, kCsrStvec, 28));
+        b.li(28, (1ULL << kCauseEcallU) | (1ULL << kCauseEcallS));
+        b.emit(csrrw(kZero, kCsrMedeleg, 28));
+        b.emit(addi(kSCounter, kZero, 0));
+        // mstatus: MPP <- S, MPIE <- 1 so mret re-enables M interrupts.
+        b.li(28, riscv::kMstatusMppMask);
+        b.emit(csrrc(kZero, kCsrMstatus, 28));
+        b.li(28, (1ULL << 11) | riscv::kMstatusMpie);
+        b.emit(csrrs(kZero, kCsrMstatus, 28));
+        // mepc <- the instruction after mret.
+        b.emit(auipc(28, 0));
+        b.emit(addi(28, 28, 16));
+        b.emit(csrrw(kZero, kCsrMepc, 28));
+        b.emit(mret());
+    }
+
+    auto loop = b.hereLabel();
+    for (unsigned i = 0; i < options.bodyLength; ++i)
+        emitBodyInstr(b, rng, cdf, mix);
+    // Walk the array base across the footprint.
+    b.emit(addi(kSweepOffset, kSweepOffset, kSweepStride));
+    b.emit(and_(kSweepOffset, kSweepOffset, kSweepMask));
+    b.emit(add(kArrayBase, kSweepBase, kSweepOffset));
+    b.emit(addi(kLoopCounter, kLoopCounter, -1));
+    b.emitBne(kLoopCounter, kZero, loop);
+
+    b.emitHalt(0);
+    return b.assemble(name);
+}
+
+Program
+makeMicrobench(const WorkloadOptions &options)
+{
+    WorkloadMix mix;
+    mix.alu = 0.45;
+    mix.mulDiv = 0.10;
+    mix.load = 0.20;
+    mix.store = 0.12;
+    mix.branch = 0.10;
+    mix.csr = 0.03;
+    return generate("microbench", mix, options);
+}
+
+Program
+makeBootLike(const WorkloadOptions &options)
+{
+    WorkloadOptions opts = options;
+    opts.timerInterrupts = true;
+    opts.supervisorMode = true;
+    WorkloadMix mix;
+    mix.alu = 0.38;
+    mix.mulDiv = 0.04;
+    mix.load = 0.18;
+    mix.store = 0.12;
+    mix.amo = 0.04;
+    mix.mmio = 0.10;
+    mix.csr = 0.06;
+    mix.branch = 0.075;
+    mix.ecall = 0.005;
+    return generate("linux-boot", mix, opts);
+}
+
+Program
+makeComputeLike(const WorkloadOptions &options)
+{
+    WorkloadMix mix;
+    mix.alu = 0.42;
+    mix.mulDiv = 0.12;
+    mix.load = 0.22;
+    mix.store = 0.10;
+    mix.fp = 0.06;
+    mix.branch = 0.08;
+    return generate("spec-like", mix, options);
+}
+
+Program
+makeVectorLike(const WorkloadOptions &options)
+{
+    WorkloadMix mix;
+    mix.alu = 0.30;
+    mix.load = 0.12;
+    mix.store = 0.08;
+    mix.fp = 0.10;
+    mix.vec = 0.32;
+    mix.branch = 0.08;
+    return generate("rvv-test", mix, options);
+}
+
+Program
+makeIoHeavy(const WorkloadOptions &options)
+{
+    WorkloadOptions opts = options;
+    opts.timerInterrupts = true;
+    WorkloadMix mix;
+    mix.alu = 0.30;
+    mix.load = 0.10;
+    mix.store = 0.06;
+    mix.mmio = 0.44;
+    mix.csr = 0.04;
+    mix.branch = 0.05;
+    mix.ecall = 0.01;
+    return generate("io-heavy", mix, opts);
+}
+
+} // namespace dth::workload

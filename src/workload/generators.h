@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic workload generators. Each generator emits a real RV64 program
+ * (assembled by ProgramBuilder) whose instruction mix reproduces the
+ * communication-relevant characteristics of the paper's benchmarks:
+ * Linux boot (device interaction + frequent interrupts), SPEC-like
+ * compute, RVV_TEST-like vector activity, and an I/O-heavy stressor.
+ */
+
+#ifndef DTH_WORKLOAD_GENERATORS_H_
+#define DTH_WORKLOAD_GENERATORS_H_
+
+#include "workload/program.h"
+
+namespace dth::workload {
+
+/** Instruction mix weights (normalized internally). */
+struct WorkloadMix
+{
+    double alu = 1.0;
+    double mulDiv = 0.0;
+    double load = 0.0;
+    double store = 0.0;
+    double fp = 0.0;
+    double vec = 0.0;
+    double amo = 0.0;
+    double mmio = 0.0; //!< UART loads/stores: NDE sources
+    double csr = 0.0;
+    double branch = 0.0;
+    double ecall = 0.0;
+};
+
+/** Options shared by all generators. */
+struct WorkloadOptions
+{
+    u64 seed = 42;
+    /** Outer-loop iterations: total instructions ~ iterations * body. */
+    unsigned iterations = 1000;
+    /** Random instructions per loop body. */
+    unsigned bodyLength = 64;
+    /** Enable machine timer interrupts (CLINT-driven, NDE source). */
+    bool timerInterrupts = false;
+    /** mtimecmp reload interval in CLINT ticks (cycles). */
+    u64 timerInterval = 5000;
+    /**
+     * Run the main loop in S-mode with ecalls delegated to a supervisor
+     * handler (medeleg), as an OS boot does; timer interrupts still trap
+     * to M and return to S.
+     */
+    bool supervisorMode = false;
+};
+
+/** Generate a program from an explicit mix. */
+Program generate(const std::string &name, const WorkloadMix &mix,
+                 const WorkloadOptions &options);
+
+/** Short arithmetic/memory smoke workload ("microbench"). */
+Program makeMicrobench(const WorkloadOptions &options);
+
+/** Linux-boot-like: device MMIO, timer interrupts, ecalls, AMOs. */
+Program makeBootLike(const WorkloadOptions &options);
+
+/** SPEC-CPU-like: ALU/mul/div + streaming memory, almost no NDEs. */
+Program makeComputeLike(const WorkloadOptions &options);
+
+/** RVV_TEST-like: vector config/arith/memory plus scalar FP. */
+Program makeVectorLike(const WorkloadOptions &options);
+
+/** Pathological device-driver loop: MMIO-dominated (worst for fusion). */
+Program makeIoHeavy(const WorkloadOptions &options);
+
+} // namespace dth::workload
+
+#endif // DTH_WORKLOAD_GENERATORS_H_

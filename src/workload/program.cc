@@ -1,0 +1,146 @@
+#include "workload/program.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace dth::workload {
+
+void
+ProgramBuilder::emit(u32 instr)
+{
+    words_.push_back(instr);
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labelAddrs_.push_back(-1);
+    return static_cast<Label>(labelAddrs_.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    dth_assert(label < labelAddrs_.size(), "unknown label %u", label);
+    dth_assert(labelAddrs_[label] < 0, "label %u bound twice", label);
+    labelAddrs_[label] = static_cast<i64>(here());
+}
+
+ProgramBuilder::Label
+ProgramBuilder::hereLabel()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+ProgramBuilder::emitBranchFixup(u32 funct3, u8 rs1, u8 rs2, Label target)
+{
+    fixups_.push_back({words_.size(), target, false, rs1, rs2, 0, funct3});
+    words_.push_back(0); // placeholder
+}
+
+void
+ProgramBuilder::emitBeq(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(0, a, b, t);
+}
+
+void
+ProgramBuilder::emitBne(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(1, a, b, t);
+}
+
+void
+ProgramBuilder::emitBlt(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(4, a, b, t);
+}
+
+void
+ProgramBuilder::emitBge(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(5, a, b, t);
+}
+
+void
+ProgramBuilder::emitBltu(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(6, a, b, t);
+}
+
+void
+ProgramBuilder::emitBgeu(u8 a, u8 b, Label t)
+{
+    emitBranchFixup(7, a, b, t);
+}
+
+void
+ProgramBuilder::emitJal(u8 rd, Label target)
+{
+    fixups_.push_back({words_.size(), target, true, 0, 0, rd, 0});
+    words_.push_back(0);
+}
+
+void
+ProgramBuilder::li(u8 rd, u64 value)
+{
+    i64 v = static_cast<i64>(value);
+    if (v >= -2048 && v < 2048) {
+        emit(addi(rd, kZero, static_cast<i32>(v)));
+        return;
+    }
+    if (v >= INT32_MIN && v <= INT32_MAX) {
+        i32 lo = static_cast<i32>(sext(value & 0xFFF, 12));
+        i32 hi = static_cast<i32>((v - lo) >> 12);
+        emit(lui(rd, hi));
+        if (lo != 0)
+            emit(addiw(rd, rd, lo));
+        return;
+    }
+    // Build the upper part recursively, then shift in the low 12 bits.
+    i32 lo = static_cast<i32>(sext(value & 0xFFF, 12));
+    li(rd, static_cast<u64>((v - lo) >> 12));
+    emit(slli(rd, rd, 12));
+    if (lo != 0)
+        emit(addi(rd, rd, lo));
+}
+
+void
+ProgramBuilder::emitHalt(u64 code)
+{
+    li(kA0, code);
+    emit(ebreak());
+}
+
+Program
+ProgramBuilder::assemble(std::string name) const
+{
+    std::vector<u32> words = words_;
+    for (const Fixup &f : fixups_) {
+        dth_assert(f.label < labelAddrs_.size() && labelAddrs_[f.label] >= 0,
+                   "label %u never bound", f.label);
+        i64 target = labelAddrs_[f.label];
+        i64 pc = static_cast<i64>(base_) + static_cast<i64>(f.wordIndex) * 4;
+        i32 offset = static_cast<i32>(target - pc);
+        if (f.isJal)
+            words[f.wordIndex] = jal(f.rd, offset);
+        else
+            words[f.wordIndex] =
+                encB(riscv::kOpBranch, f.funct3, f.rs1, f.rs2, offset);
+    }
+
+    Program p;
+    p.name = std::move(name);
+    p.base = base_;
+    p.image.resize(words.size() * 4);
+    for (size_t i = 0; i < words.size(); ++i) {
+        for (unsigned b = 0; b < 4; ++b)
+            p.image[i * 4 + b] = static_cast<u8>(words[i] >> (8 * b));
+    }
+    return p;
+}
+
+} // namespace dth::workload

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ProgramBuilder: assembles encoder output into a loadable image with
+ * label-based control flow (forward and backward branches/jumps) and a
+ * li() pseudo-instruction for arbitrary 64-bit constants.
+ */
+
+#ifndef DTH_WORKLOAD_PROGRAM_H_
+#define DTH_WORKLOAD_PROGRAM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "riscv/encoding.h"
+#include "workload/asm.h"
+
+namespace dth::workload {
+
+/** A fully assembled program image. */
+struct Program
+{
+    std::string name;
+    u64 base = riscv::kRamBase;
+    std::vector<u8> image;
+
+    u64 entry() const { return base; }
+    size_t instrCount() const { return image.size() / 4; }
+};
+
+/** Builds a Program instruction by instruction. */
+class ProgramBuilder
+{
+  public:
+    /** Opaque label handle. */
+    using Label = u32;
+
+    explicit ProgramBuilder(u64 base = riscv::kRamBase) : base_(base) {}
+
+    /** Append one encoded instruction. */
+    void emit(u32 instr);
+
+    /** Current emission address. */
+    u64 here() const { return base_ + words_.size() * 4; }
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current address. */
+    void bind(Label label);
+
+    /** Create a label bound to the current address. */
+    Label hereLabel();
+
+    // Label-target control flow; fixed up at assemble() time.
+    void emitBeq(u8 rs1, u8 rs2, Label target);
+    void emitBne(u8 rs1, u8 rs2, Label target);
+    void emitBlt(u8 rs1, u8 rs2, Label target);
+    void emitBge(u8 rs1, u8 rs2, Label target);
+    void emitBltu(u8 rs1, u8 rs2, Label target);
+    void emitBgeu(u8 rs1, u8 rs2, Label target);
+    void emitJal(u8 rd, Label target);
+
+    /** Load an arbitrary 64-bit constant into @p rd (multi-instruction). */
+    void li(u8 rd, u64 value);
+
+    /** Exit the workload: a0 = @p code, then ebreak. */
+    void emitHalt(u64 code = 0);
+
+    /** Resolve fixups and produce the image. */
+    Program assemble(std::string name) const;
+
+  private:
+    struct Fixup
+    {
+        size_t wordIndex;
+        Label label;
+        bool isJal;
+        u8 rs1, rs2, rd;
+        u32 funct3;
+    };
+
+    void emitBranchFixup(u32 funct3, u8 rs1, u8 rs2, Label target);
+
+    u64 base_;
+    std::vector<u32> words_;
+    std::vector<i64> labelAddrs_; //!< -1 when unbound
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace dth::workload
+
+#endif // DTH_WORKLOAD_PROGRAM_H_

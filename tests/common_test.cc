@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the common substrate: bit utilities, deterministic RNG,
+ * byte streams, perf counters and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/bytes.h"
+#include "common/counters.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace dth {
+namespace {
+
+TEST(Bits, Extraction)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 16), 0xDEADu);
+    EXPECT_EQ(bits(0xDEADBEEF, 15, 0), 0xBEEFu);
+    EXPECT_EQ(bits(0xFF, 3, 0), 0xFu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bit(0x8, 3), 1u);
+    EXPECT_EQ(bit(0x8, 2), 0u);
+}
+
+TEST(Bits, SignExtension)
+{
+    EXPECT_EQ(sext(0xFFF, 12), -1);
+    EXPECT_EQ(sext(0x7FF, 12), 0x7FF);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x80000000, 32), INT32_MIN);
+    EXPECT_EQ(sext(0x7FFFFFFF, 32), INT32_MAX);
+    EXPECT_EQ(sext(~0ULL, 64), -1);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+}
+
+TEST(Bits, ByteMask)
+{
+    EXPECT_EQ(byteMask(1), 0xFFu);
+    EXPECT_EQ(byteMask(4), 0xFFFFFFFFu);
+    EXPECT_EQ(byteMask(8), ~0ULL);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesRespectBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(10), 10u);
+        u64 v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Bytes, WriterReaderRoundTrip)
+{
+    ByteWriter w;
+    w.putU8(0xAB);
+    w.putU16(0x1234);
+    w.putU32(0xDEADBEEF);
+    w.putU64(0x0123456789ABCDEF);
+    u8 raw[3] = {1, 2, 3};
+    w.putBytes(raw, 3);
+    w.putZeros(5);
+    std::vector<u8> buf = w.take();
+
+    ByteReader r(buf);
+    EXPECT_EQ(r.getU8(), 0xAB);
+    EXPECT_EQ(r.getU16(), 0x1234);
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFu);
+    auto bytes = r.getBytes(3);
+    EXPECT_EQ(bytes[2], 3);
+    r.skip(5);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, LittleEndianOnWire)
+{
+    ByteWriter w;
+    w.putU32(0x11223344);
+    EXPECT_EQ(w.bytes()[0], 0x44);
+    EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(Bytes, UnderrunPanics)
+{
+    std::vector<u8> buf = {1, 2};
+    ByteReader r(buf);
+    EXPECT_DEATH(r.getU32(), "underrun");
+}
+
+TEST(Bytes, ExternalBufferWriter)
+{
+    std::vector<u8> sink;
+    ByteWriter w(&sink);
+    w.putU16(7);
+    EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(Counters, AddGetRatioMerge)
+{
+    PerfCounters c;
+    c.add("a", 10);
+    c.add("a", 5);
+    c.add("b");
+    c.addReal("r", 0.5);
+    c.trackMax("m", 3);
+    c.trackMax("m", 9);
+    c.trackMax("m", 4);
+    EXPECT_EQ(c.get("a"), 15u);
+    EXPECT_EQ(c.get("b"), 1u);
+    EXPECT_EQ(c.get("missing"), 0u);
+    EXPECT_EQ(c.get("m"), 9u);
+    EXPECT_DOUBLE_EQ(c.getReal("r"), 0.5);
+    EXPECT_DOUBLE_EQ(c.ratio("a", "b"), 15.0);
+    EXPECT_DOUBLE_EQ(c.ratio("a", "missing"), 0.0);
+
+    PerfCounters d;
+    d.add("a", 1);
+    d.merge(c);
+    EXPECT_EQ(d.get("a"), 16u);
+}
+
+TEST(Table, RenderAligned)
+{
+    TextTable t({"col", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("col"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRender)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Formatting, HumanReadable)
+{
+    EXPECT_EQ(fmtHz(478e3), "478.0 KHz");
+    EXPECT_EQ(fmtHz(7.8e6), "7.80 MHz");
+    EXPECT_EQ(fmtHz(12), "12.0 Hz");
+    EXPECT_EQ(fmtPercent(0.984), "98.4%");
+    EXPECT_EQ(fmtSeconds(39600), "11.0 h");
+    EXPECT_EQ(fmtSeconds(5.2e6), "60.2 days");
+    EXPECT_EQ(fmtSeconds(90), "1.5 min");
+    EXPECT_EQ(fmtSeconds(0.01), "10.00 ms");
+}
+
+} // namespace
+} // namespace dth

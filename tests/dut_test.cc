@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the DUT model: configuration presets, monitor-stream
+ * invariants (emission ordering, event gating, order tags), the
+ * microarchitectural texture models, and the fault archetypes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dut/dut.h"
+#include "dut/texture.h"
+#include "workload/generators.h"
+
+namespace dth::dut {
+namespace {
+
+workload::Program
+bootProgram(unsigned iterations = 200, u64 seed = 17)
+{
+    workload::WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = iterations;
+    opts.bodyLength = 48;
+    return workload::makeBootLike(opts);
+}
+
+TEST(DutConfig, PresetsMatchPaperTable4)
+{
+    auto ns = nutshellConfig();
+    EXPECT_EQ(ns.cores, 1u);
+    EXPECT_EQ(ns.commitWidth, 1u);
+    EXPECT_EQ(ns.enabledEventTypes(), 6u);
+    EXPECT_DOUBLE_EQ(ns.gatesMillions, 0.6);
+
+    auto xsm = xsMinimalConfig();
+    EXPECT_EQ(xsm.commitWidth, 2u);
+    EXPECT_EQ(xsm.enabledEventTypes(), 32u);
+    EXPECT_DOUBLE_EQ(xsm.gatesMillions, 39.4);
+
+    auto xs = xsDefaultConfig();
+    EXPECT_EQ(xs.commitWidth, 6u);
+    EXPECT_DOUBLE_EQ(xs.gatesMillions, 57.6);
+
+    auto dual = xsDualConfig();
+    EXPECT_EQ(dual.cores, 2u);
+    EXPECT_DOUBLE_EQ(dual.gatesMillions, 111.8);
+}
+
+TEST(DutModel, OnlyEnabledEventTypesAreEmitted)
+{
+    workload::Program p = bootProgram();
+    DutModel dm(nutshellConfig(), p);
+    while (!dm.done() && dm.cycles() < 200000) {
+        CycleEvents ce = dm.cycle();
+        for (const Event &e : ce.events)
+            EXPECT_TRUE(nutshellConfig().enabled(e.type))
+                << e.info().name;
+    }
+    EXPECT_TRUE(dm.done());
+}
+
+TEST(DutModel, CommitSeqTagsAreMonotonePerCore)
+{
+    workload::Program p = bootProgram();
+    DutModel dm(xsDefaultConfig(), p);
+    u64 last_commit_seq = 0;
+    while (!dm.done() && dm.cycles() < 200000) {
+        CycleEvents ce = dm.cycle();
+        for (const Event &e : ce.events) {
+            if (e.type == EventType::InstrCommit) {
+                EXPECT_EQ(e.commitSeq, last_commit_seq + 1);
+                last_commit_seq = e.commitSeq;
+            }
+        }
+    }
+}
+
+TEST(DutModel, NdeEventsPrecedeTheirCommitInEmissionOrder)
+{
+    workload::Program p = bootProgram(400);
+    DutModel dm(xsDefaultConfig(), p);
+    while (!dm.done() && dm.cycles() < 400000) {
+        CycleEvents ce = dm.cycle();
+        // Within a cycle: any MmioEvent with tag k must appear before
+        // the InstrCommit with seq k.
+        std::map<u64, size_t> commit_pos;
+        for (size_t i = 0; i < ce.events.size(); ++i)
+            if (ce.events[i].type == EventType::InstrCommit)
+                commit_pos[ce.events[i].commitSeq] = i;
+        for (size_t i = 0; i < ce.events.size(); ++i) {
+            const Event &e = ce.events[i];
+            if (e.type == EventType::MmioEvent ||
+                e.type == EventType::LrScEvent) {
+                auto it = commit_pos.find(e.commitSeq);
+                if (it != commit_pos.end()) {
+                    EXPECT_LT(i, it->second) << e.describe();
+                }
+            }
+        }
+    }
+}
+
+TEST(DutModel, TrapEmittedExactlyOnceAtCompletion)
+{
+    workload::Program p = bootProgram();
+    DutModel dm(xsDefaultConfig(), p);
+    unsigned traps = 0;
+    u64 code = 1;
+    while (!dm.done() && dm.cycles() < 400000) {
+        CycleEvents ce = dm.cycle();
+        for (const Event &e : ce.events) {
+            if (e.type == EventType::Trap) {
+                ++traps;
+                code = TrapView(e).code();
+            }
+        }
+    }
+    EXPECT_EQ(traps, 1u);
+    EXPECT_EQ(code, 0u);
+    // Once done, further cycles produce nothing.
+    CycleEvents after = dm.cycle();
+    EXPECT_TRUE(after.empty());
+}
+
+TEST(DutModel, DualCoreEmitsBothCores)
+{
+    workload::Program p = bootProgram();
+    DutModel dm(xsDualConfig(), p);
+    bool saw[2] = {false, false};
+    while (!dm.done() && dm.cycles() < 400000) {
+        CycleEvents ce = dm.cycle();
+        for (const Event &e : ce.events)
+            saw[e.core] = true;
+    }
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+    EXPECT_GT(dm.instrsRetired(0), 1000u);
+    EXPECT_GT(dm.instrsRetired(1), 1000u);
+    EXPECT_EQ(dm.totalInstrsRetired(),
+              dm.instrsRetired(0) + dm.instrsRetired(1));
+}
+
+TEST(DutModel, DeterministicEventStream)
+{
+    workload::Program p = bootProgram(60);
+    DutModel a(xsDefaultConfig(), p, 99);
+    DutModel b(xsDefaultConfig(), p, 99);
+    for (int i = 0; i < 5000 && !a.done(); ++i) {
+        CycleEvents ea = a.cycle();
+        CycleEvents eb = b.cycle();
+        ASSERT_EQ(ea.events.size(), eb.events.size()) << "cycle " << i;
+        for (size_t j = 0; j < ea.events.size(); ++j)
+            ASSERT_TRUE(ea.events[j] == eb.events[j]);
+    }
+}
+
+TEST(DutModel, SeedChangesSchedule)
+{
+    workload::Program p = bootProgram(60);
+    DutModel a(xsDefaultConfig(), p, 1);
+    DutModel b(xsDefaultConfig(), p, 2);
+    while (!a.done())
+        a.cycle();
+    while (!b.done())
+        b.cycle();
+    // Different commit schedules shift interrupt arrival (and thus the
+    // handler invocation count), so only the cycle counts are compared.
+    EXPECT_NE(a.cycles(), b.cycles());
+    EXPECT_NEAR(static_cast<double>(a.instrsRetired(0)),
+                static_cast<double>(b.instrsRetired(0)),
+                0.05 * a.instrsRetired(0));
+}
+
+TEST(CacheModel, HitsAfterWarmup)
+{
+    CacheModel cache(16, 2);
+    EXPECT_FALSE(cache.access(0x1000)); // cold miss
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1008)); // same line
+    EXPECT_FALSE(cache.access(0x2000));
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.accesses(), 4u);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    CacheModel cache(1, 2, 64); // one set, two ways
+    cache.access(0x0000);
+    cache.access(0x1000);
+    cache.access(0x0000);       // refresh way 0
+    EXPECT_FALSE(cache.access(0x2000)); // evicts 0x1000
+    EXPECT_TRUE(cache.access(0x0000));
+    EXPECT_FALSE(cache.access(0x1000)); // was evicted
+}
+
+TEST(TlbModel, PageGranularity)
+{
+    TlbModel tlb(16);
+    EXPECT_FALSE(tlb.access(0x80001000));
+    EXPECT_TRUE(tlb.access(0x80001FFF)); // same page
+    EXPECT_FALSE(tlb.access(0x80002000));
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(SbufferModel, FlushOnThresholdAndLineChange)
+{
+    SbufferModel sbuf(4);
+    u64 line = 0;
+    EXPECT_FALSE(sbuf.store(0x100, &line));
+    EXPECT_FALSE(sbuf.store(0x108, &line));
+    EXPECT_FALSE(sbuf.store(0x110, &line));
+    EXPECT_TRUE(sbuf.store(0x118, &line)); // 4th store flushes
+    EXPECT_EQ(line, 0x100u);
+    // Line change flushes the pending line.
+    EXPECT_FALSE(sbuf.store(0x200, &line));
+    EXPECT_TRUE(sbuf.store(0x300, &line));
+    EXPECT_EQ(line, 0x200u);
+}
+
+TEST(Faults, EveryArchetypeFiresOnSuitableWorkload)
+{
+    struct Case
+    {
+        BugArchetype archetype;
+        bool vector;
+        bool compute;
+    } cases[] = {
+        {BugArchetype::WrongRdValue, false, false},
+        {BugArchetype::CsrCorruption, false, false},
+        {BugArchetype::StoreDataCorruption, false, false},
+        {BugArchetype::RefillCorruption, false, true},
+        {BugArchetype::VectorLaneCorruption, true, false},
+        {BugArchetype::VtypeCorruption, true, false},
+        {BugArchetype::LostInterrupt, false, false},
+    };
+    for (const Case &c : cases) {
+        workload::WorkloadOptions opts;
+        opts.seed = 9;
+        opts.iterations = 1500;
+        opts.bodyLength = 48;
+        workload::Program p =
+            c.vector ? workload::makeVectorLike(opts)
+                     : (c.compute ? workload::makeComputeLike(opts)
+                                  : workload::makeBootLike(opts));
+        DutModel dm(xsDefaultConfig(), p);
+        FaultSpec fault;
+        fault.archetype = c.archetype;
+        fault.triggerSeq = 2000;
+        dm.armFault(fault);
+        while (!dm.done() && dm.cycles() < 500000)
+            dm.cycle();
+        EXPECT_TRUE(dm.faultOutcome().fired)
+            << bugArchetypeName(c.archetype);
+        EXPECT_GE(dm.faultOutcome().firedSeq, fault.triggerSeq)
+            << bugArchetypeName(c.archetype);
+    }
+}
+
+TEST(Faults, SecondArmPanics)
+{
+    workload::Program p = bootProgram(10);
+    DutModel dm(xsDefaultConfig(), p);
+    FaultSpec fault;
+    fault.archetype = BugArchetype::WrongRdValue;
+    dm.armFault(fault);
+    EXPECT_DEATH(dm.armFault(fault), "one fault");
+}
+
+TEST(DutModel, RawVolumeScalesWithConfig)
+{
+    workload::Program p = bootProgram(150);
+    auto volume = [&p](const DutConfig &cfg) {
+        DutModel dm(cfg, p);
+        u64 bytes = 0;
+        while (!dm.done() && dm.cycles() < 400000) {
+            CycleEvents ce = dm.cycle();
+            bytes += ce.totalBytes();
+        }
+        return static_cast<double>(bytes) / dm.instrsRetired(0);
+    };
+    double ns = volume(nutshellConfig());
+    double xsm = volume(xsMinimalConfig());
+    double xs = volume(xsDefaultConfig());
+    double dual = volume(xsDualConfig());
+    // Paper Table 4 ordering: 93 < 692 < 1437 < 3025.
+    EXPECT_LT(ns, xsm);
+    EXPECT_LT(xsm, xs);
+    EXPECT_LT(xs, dual);
+    EXPECT_NEAR(dual / xs, 2.0, 0.25);
+}
+
+} // namespace
+} // namespace dth::dut

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the verification-event registry and typed payload views.
+ */
+
+#include <gtest/gtest.h>
+
+#include "event/event.h"
+#include "event/event_type.h"
+#include "event/payloads.h"
+
+namespace dth {
+namespace {
+
+TEST(EventRegistry, Has32Types)
+{
+    EXPECT_EQ(kNumEventTypes, 32u);
+    for (unsigned i = 0; i < kNumEventTypes; ++i) {
+        const EventTypeInfo &info = eventInfo(i);
+        EXPECT_EQ(static_cast<unsigned>(info.type), i);
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_GT(info.bytesPerEntry, 0u);
+        EXPECT_GE(info.entriesPerCore, 1u);
+        EXPECT_NE(info.component, nullptr);
+    }
+}
+
+TEST(EventRegistry, CategoryCountsMatchPaperTable1)
+{
+    // Paper Table 1: 5 control flow, 9 register update, 3 memory access,
+    // 6 memory hierarchy, 9 extensions.
+    std::map<EventCategory, int> counts;
+    for (unsigned i = 0; i < kNumEventTypes; ++i)
+        counts[eventInfo(i).category]++;
+    EXPECT_EQ(counts[EventCategory::ControlFlow], 5);
+    EXPECT_EQ(counts[EventCategory::RegisterUpdate], 9);
+    EXPECT_EQ(counts[EventCategory::MemoryAccess], 3);
+    EXPECT_EQ(counts[EventCategory::MemoryHierarchy], 6);
+    EXPECT_EQ(counts[EventCategory::Extension], 9);
+}
+
+TEST(EventRegistry, AggregateInterfaceMatchesPaperScale)
+{
+    // Paper §2.2: the 32-type DiffTest interface aggregates 11,496 bytes.
+    u32 total = aggregateInterfaceBytes();
+    EXPECT_GE(total, 11000u);
+    EXPECT_LE(total, 12000u);
+}
+
+TEST(EventRegistry, StructuralSizeRangeIs170x)
+{
+    // Paper §4.2.1: event lengths differ by up to 170x.
+    EXPECT_NEAR(structuralSizeRange(), 170.0, 10.0);
+}
+
+TEST(EventRegistry, NdeTypesAreTheSynchronizedOnes)
+{
+    EXPECT_TRUE(eventInfo(EventType::MmioEvent).nde);
+    EXPECT_TRUE(eventInfo(EventType::ArchEvent).nde);
+    EXPECT_TRUE(eventInfo(EventType::LrScEvent).nde);
+    EXPECT_FALSE(eventInfo(EventType::InstrCommit).nde);
+    EXPECT_FALSE(eventInfo(EventType::ArchIntRegState).nde);
+}
+
+TEST(EventRegistry, FusibleTypesIncludeCommitAndRegState)
+{
+    EXPECT_TRUE(eventInfo(EventType::InstrCommit).fusible);
+    EXPECT_TRUE(eventInfo(EventType::ArchIntRegState).fusible);
+    EXPECT_TRUE(eventInfo(EventType::CsrState).fusible);
+    // NDEs must never be fusible: they carry order tags instead.
+    for (unsigned i = 0; i < kNumEventTypes; ++i) {
+        if (eventInfo(i).nde) {
+            EXPECT_FALSE(eventInfo(i).fusible) << eventInfo(i).name;
+        }
+    }
+}
+
+TEST(Event, MakeAllocatesCorrectPayload)
+{
+    for (unsigned i = 0; i < kNumEventTypes; ++i) {
+        Event e = Event::make(static_cast<EventType>(i), 1, 2, 77);
+        EXPECT_EQ(e.payload.size(), eventInfo(i).bytesPerEntry);
+        EXPECT_EQ(e.core, 1);
+        EXPECT_EQ(e.index, 2);
+        EXPECT_EQ(e.commitSeq, 77u);
+    }
+}
+
+TEST(Event, EqualityComparesPayload)
+{
+    Event a = Event::make(EventType::InstrCommit);
+    Event b = Event::make(EventType::InstrCommit);
+    EXPECT_EQ(a, b);
+    InstrCommitView(b).set_pc(0x80000000);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(PayloadViews, InstrCommitRoundTrip)
+{
+    Event e = Event::make(EventType::InstrCommit);
+    InstrCommitView w(e);
+    w.set_pc(0x80001234);
+    w.set_instr(0x00A50533);
+    w.set_rdVal(0xDEADBEEFCAFEF00D);
+    w.set_seqNo(42);
+    w.set_rd(10);
+    w.set_rfWen(1);
+    w.set_skip(1);
+    w.set_nextPc(0x80001238);
+
+    const Event &ce = e;
+    InstrCommitView r(ce);
+    EXPECT_EQ(r.pc(), 0x80001234u);
+    EXPECT_EQ(r.instr(), 0x00A50533u);
+    EXPECT_EQ(r.rdVal(), 0xDEADBEEFCAFEF00Du);
+    EXPECT_EQ(r.seqNo(), 42u);
+    EXPECT_EQ(r.rd(), 10);
+    EXPECT_EQ(r.rfWen(), 1);
+    EXPECT_EQ(r.skip(), 1);
+    EXPECT_EQ(r.nextPc(), 0x80001238u);
+}
+
+TEST(PayloadViews, RegFileCoversAll32Slots)
+{
+    Event e = Event::make(EventType::ArchIntRegState);
+    RegFileView w(e);
+    for (unsigned i = 0; i < 32; ++i)
+        w.setReg(i, 0x1000 + i);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(RegFileView(e).reg(i), 0x1000 + i);
+}
+
+TEST(PayloadViews, CsrStateNamedSlots)
+{
+    Event e = Event::make(EventType::CsrState);
+    CsrStateView w(e);
+    w.setCsr(CsrSlot::Mstatus, 0x1888);
+    w.setCsr(CsrSlot::Mepc, 0x80000100);
+    w.setSlot(CsrStateView::kSlots - 1, 0x5A);
+    EXPECT_EQ(CsrStateView(e).csr(CsrSlot::Mstatus), 0x1888u);
+    EXPECT_EQ(CsrStateView(e).csr(CsrSlot::Mepc), 0x80000100u);
+    EXPECT_EQ(CsrStateView(e).slot(CsrStateView::kSlots - 1), 0x5Au);
+}
+
+TEST(PayloadViews, VecRegViewLanesDoNotOverlapHeader)
+{
+    Event e = Event::make(EventType::ArchVecRegState);
+    VecRegView w(e);
+    w.set_vl(2);
+    w.set_vtype(0x18);
+    for (unsigned r = 0; r < 32; ++r)
+        for (unsigned l = 0; l < 8; ++l)
+            w.setLane(r, l, r * 100 + l);
+    EXPECT_EQ(w.vl(), 2u);
+    EXPECT_EQ(w.vtype(), 0x18u);
+    for (unsigned r = 0; r < 32; ++r)
+        for (unsigned l = 0; l < 8; ++l)
+            EXPECT_EQ(w.lane(r, l), r * 100 + l);
+}
+
+TEST(PayloadViews, OutOfBoundsReadPanics)
+{
+    Event e = Event::make(EventType::UartIoEvent); // 16 bytes
+    PayloadView v(e);
+    EXPECT_EQ(v.word(8), 0u);
+    EXPECT_DEATH(v.word(9), "oob");
+}
+
+TEST(PayloadViews, WriteThroughReadOnlyViewPanics)
+{
+    const Event e = Event::make(EventType::Trap);
+    TrapView v(e);
+    EXPECT_DEATH(const_cast<TrapView &>(v).set_pc(1), "read-only");
+}
+
+TEST(CycleEvents, TotalBytes)
+{
+    CycleEvents ce;
+    ce.events.push_back(Event::make(EventType::InstrCommit)); // 128
+    ce.events.push_back(Event::make(EventType::FpCsrState));  // 16
+    EXPECT_EQ(ce.totalBytes(), 144u);
+    EXPECT_EQ(ce.count(), 2u);
+}
+
+} // namespace
+} // namespace dth

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the link timing model: Eq. 1 attribution, blocking vs
+ * non-blocking overlap, backpressure, and platform preset sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area.h"
+#include "link/link_sim.h"
+
+namespace dth::link {
+namespace {
+
+Platform
+simplePlatform()
+{
+    Platform p;
+    p.name = "test";
+    p.dutClockHz = 1e6;
+    p.tSyncSec = 1e-6;
+    p.bwBytesPerSec = 1e8;
+    p.hwPaysTransmission = true;
+    p.swPerTransferSec = 1e-6;
+    p.swPerInstrSec = 0;
+    p.swPerEventSec = 0;
+    p.swPerByteSec = 0;
+    p.queueDepth = 4;
+    return p;
+}
+
+TEST(LinkSim, BlockingMatchesEquation1)
+{
+    // Overhead = N_invokes * T_sync + N_bytes / BW + T_software (Eq. 1).
+    Platform p = simplePlatform();
+    LinkSimulator sim(p, 1e6, /*non_blocking=*/false);
+    for (u64 i = 0; i < 10; ++i)
+        sim.onTransfer(i * 100, 1000, SoftwareWork{});
+    LinkResult r = sim.finish(1000);
+    double expected_emul = 1000 / 1e6;
+    double expected_startup = 10 * 1e-6;
+    double expected_xmit = 10 * 1000 / 1e8;
+    double expected_sw = 10 * 1e-6;
+    EXPECT_NEAR(r.hwEmulationSec, expected_emul, 1e-12);
+    EXPECT_NEAR(r.startupSec, expected_startup, 1e-12);
+    EXPECT_NEAR(r.transmitSec, expected_xmit, 1e-12);
+    EXPECT_NEAR(r.softwareSec, expected_sw, 1e-12);
+    EXPECT_NEAR(r.totalSec,
+                expected_emul + expected_startup + expected_xmit +
+                    expected_sw,
+                1e-12);
+    EXPECT_EQ(r.transfers, 10u);
+    EXPECT_EQ(r.bytes, 10000u);
+}
+
+TEST(LinkSim, NonBlockingHidesSoftwareTime)
+{
+    Platform p = simplePlatform();
+    p.swPerTransferSec = 0.5e-6; // software faster than hardware
+    LinkSimulator blocking(p, 1e6, false);
+    LinkSimulator overlap(p, 1e6, true);
+    for (u64 i = 0; i < 100; ++i) {
+        blocking.onTransfer(i * 10, 200, SoftwareWork{});
+        overlap.onTransfer(i * 10, 200, SoftwareWork{});
+    }
+    LinkResult rb = blocking.finish(1000);
+    LinkResult ro = overlap.finish(1000);
+    EXPECT_LT(ro.totalSec, rb.totalSec);
+    // All software time hidden: total == hw-side time.
+    EXPECT_NEAR(ro.totalSec,
+                ro.hwEmulationSec + ro.startupSec + ro.transmitSec, 1e-9);
+}
+
+TEST(LinkSim, NonBlockingBackpressureStallsWhenSoftwareIsSlow)
+{
+    Platform p = simplePlatform();
+    p.swPerTransferSec = 50e-6; // software much slower than hardware
+    p.queueDepth = 2;
+    LinkSimulator sim(p, 1e6, true);
+    for (u64 i = 0; i < 50; ++i)
+        sim.onTransfer(i, 100, SoftwareWork{});
+    LinkResult r = sim.finish(50);
+    EXPECT_GT(r.stallSec, 0.0);
+    // Throughput converges to the software rate.
+    EXPECT_GT(r.totalSec, 45 * 50e-6);
+}
+
+TEST(LinkSim, SoftwareWorkScalesCost)
+{
+    Platform p = simplePlatform();
+    p.swPerInstrSec = 1e-6;
+    p.swPerEventSec = 1e-7;
+    p.swPerByteSec = 1e-9;
+    LinkSimulator sim(p, 1e6, false);
+    SoftwareWork w;
+    w.instrsStepped = 10;
+    w.eventsChecked = 100;
+    w.bytesParsed = 1000;
+    sim.onTransfer(0, 1000, w);
+    LinkResult r = sim.finish(0);
+    EXPECT_NEAR(r.softwareSec, 1e-6 + 10e-6 + 10e-6 + 1e-6, 1e-12);
+}
+
+TEST(LinkSim, CommunicationFraction)
+{
+    Platform p = simplePlatform();
+    LinkSimulator sim(p, 1e6, false);
+    sim.onTransfer(0, 100, SoftwareWork{});
+    LinkResult r = sim.finish(1000);
+    EXPECT_GT(r.communicationFraction(), 0.0);
+    EXPECT_LT(r.communicationFraction(), 1.0);
+    EXPECT_NEAR(r.communicationSec() + r.hwEmulationSec, r.totalSec,
+                1e-12);
+}
+
+TEST(Platforms, PresetSanity)
+{
+    Platform pal = palladiumPlatform();
+    Platform fpga = fpgaPlatform();
+    // Paper Table 7: DUT-only 480 KHz (Palladium) and 50 MHz (FPGA).
+    EXPECT_NEAR(pal.dutOnlyHz(57.6), 480e3, 1);
+    EXPECT_NEAR(fpga.dutOnlyHz(57.6), 50e6, 1);
+    // Paper Fig. 2: FPGA has costlier startup relative to its cycle but
+    // far more bandwidth than the emulator's internal link.
+    EXPECT_GT(fpga.bwBytesPerSec, pal.bwBytesPerSec * 5);
+    // Smaller designs emulate faster on Palladium.
+    EXPECT_GT(pal.dutOnlyHz(0.6), pal.dutOnlyHz(57.6));
+}
+
+TEST(Platforms, VerilatorModel)
+{
+    // ~4 KHz for XiangShan-default at 16 threads (119x under 478 KHz).
+    double v16 = verilatorHz(57.6, 16);
+    EXPECT_GT(v16, 3e3);
+    EXPECT_LT(v16, 6e3);
+    EXPECT_GT(verilatorHz(0.6, 16), v16);       // smaller design faster
+    EXPECT_GT(v16, verilatorHz(57.6, 1));       // threads help
+    EXPECT_LT(v16, 16 * verilatorHz(57.6, 1));  // sublinearly
+}
+
+TEST(Area, CalibratedToPaperFig15)
+{
+    using namespace dth::area;
+    auto xs = dut::xsDefaultConfig();
+    AreaEstimate without = estimateArea(xs, false);
+    AreaEstimate with = estimateArea(xs, true);
+    // Paper: ~6% without Batch, ~25% (max 26%) with Batch.
+    EXPECT_NEAR(without.overheadFraction(), 0.06, 0.02);
+    EXPECT_NEAR(with.overheadFraction(), 0.25, 0.06);
+    EXPECT_EQ(probesPerCore(xs), 128u); // paper §6.4: 128 probes/core
+}
+
+TEST(Area, ScalesWithCoresAndWidth)
+{
+    using namespace dth::area;
+    auto dual = dut::xsDualConfig();
+    auto single = dut::xsDefaultConfig();
+    AreaEstimate ad = estimateArea(dual, true);
+    AreaEstimate as = estimateArea(single, true);
+    EXPECT_NEAR(ad.difftestGatesM(), 2 * as.difftestGatesM(), 0.01);
+    auto minimal = dut::xsMinimalConfig();
+    EXPECT_LT(estimateArea(minimal, true).difftestGatesM(),
+              as.difftestGatesM());
+}
+
+} // namespace
+} // namespace dth::link

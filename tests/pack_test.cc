@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the packing schemes: mux-tree selection (paper Fig. 7),
+ * pack/unpack roundtrip properties for all three packers, bubble
+ * accounting in the fixed-offset baseline, and Batch packet utilization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pack/muxtree.h"
+#include "pack/packer.h"
+
+namespace dth {
+namespace {
+
+TEST(MuxTree, PrefixCounts)
+{
+    std::vector<bool> valid = {true, false, true, true, false, true};
+    auto prefix = prefixValidCounts(valid);
+    EXPECT_EQ(prefix, (std::vector<unsigned>{0, 1, 1, 2, 3, 3}));
+}
+
+TEST(MuxTree, CompactionSelectsKthValid)
+{
+    std::vector<bool> valid = {false, true, false, true, true, false};
+    auto out = compactValidIndices(valid);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[1], 3u);
+    EXPECT_EQ(out[2], 4u);
+}
+
+TEST(MuxTree, EmptyAndFull)
+{
+    EXPECT_TRUE(compactValidIndices({false, false}).empty());
+    auto all = compactValidIndices({true, true, true});
+    EXPECT_EQ(all, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(MuxTree, PropertyCompactionPreservesOrderAndCount)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<bool> valid(rng.nextRange(1, 64));
+        unsigned expect = 0;
+        for (size_t i = 0; i < valid.size(); ++i) {
+            valid[i] = rng.chance(0.4);
+            expect += valid[i] ? 1 : 0;
+        }
+        auto out = compactValidIndices(valid);
+        ASSERT_EQ(out.size(), expect);
+        for (size_t k = 0; k + 1 < out.size(); ++k)
+            EXPECT_LT(out[k], out[k + 1]);
+        for (unsigned idx : out)
+            EXPECT_TRUE(valid[idx]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random event streams for roundtrip properties.
+// ---------------------------------------------------------------------------
+
+Event
+randomEvent(Rng &rng, unsigned cores, u64 seq, u64 emit)
+{
+    auto type = static_cast<EventType>(rng.nextBelow(kNumEventTypes));
+    Event e = Event::make(type, static_cast<u8>(rng.nextBelow(cores)),
+                          static_cast<u8>(rng.nextBelow(6)), seq);
+    e.emitSeq = emit;
+    for (auto &b : e.payload)
+        b = static_cast<u8>(rng.next());
+    return e;
+}
+
+std::vector<CycleEvents>
+randomStream(Rng &rng, unsigned cycles, unsigned cores)
+{
+    std::vector<CycleEvents> stream;
+    u64 seq = 0;
+    u64 emit = 0;
+    for (unsigned c = 0; c < cycles; ++c) {
+        CycleEvents ce;
+        ce.cycle = c;
+        unsigned n = static_cast<unsigned>(rng.nextBelow(12));
+        for (unsigned i = 0; i < n; ++i) {
+            seq += rng.nextBelow(3);
+            ce.events.push_back(randomEvent(rng, cores, seq, emit++));
+        }
+        stream.push_back(std::move(ce));
+    }
+    return stream;
+}
+
+/** Multiset equality plus per-(type,core) relative order preservation. */
+void
+expectSameEvents(const std::vector<Event> &original,
+                 const std::vector<Event> &unpacked)
+{
+    ASSERT_EQ(original.size(), unpacked.size());
+    // Per (type, core) order must be preserved exactly.
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        for (unsigned c = 0; c < 2; ++c) {
+            std::vector<const Event *> a, b;
+            for (const Event &e : original)
+                if (static_cast<unsigned>(e.type) == t && e.core == c)
+                    a.push_back(&e);
+            for (const Event &e : unpacked)
+                if (static_cast<unsigned>(e.type) == t && e.core == c)
+                    b.push_back(&e);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                EXPECT_TRUE(*a[i] == *b[i])
+                    << eventInfo(t).name << " entry " << i;
+        }
+    }
+}
+
+class PackerRoundTripTest : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(PackerRoundTripTest, PerEvent)
+{
+    Rng rng(GetParam());
+    auto stream = randomStream(rng, 50, 2);
+    PerEventPacker packer;
+    PerEventUnpacker unpacker;
+    std::vector<Event> original, unpacked;
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream) {
+        for (const Event &e : ce.events)
+            original.push_back(e);
+        packer.packCycle(ce, transfers);
+    }
+    packer.flush(transfers);
+    for (const Transfer &t : transfers)
+        for (Event &e : unpacker.unpack(t))
+            unpacked.push_back(std::move(e));
+    // Per-event transport preserves total order exactly.
+    ASSERT_EQ(original.size(), unpacked.size());
+    for (size_t i = 0; i < original.size(); ++i)
+        EXPECT_TRUE(original[i] == unpacked[i]) << i;
+}
+
+TEST_P(PackerRoundTripTest, Batch)
+{
+    Rng rng(GetParam() ^ 0xBA7C4);
+    auto stream = randomStream(rng, 80, 2);
+    BatchPacker packer(4096);
+    BatchUnpacker unpacker;
+    std::vector<Event> original, unpacked;
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream) {
+        for (const Event &e : ce.events)
+            original.push_back(e);
+        packer.packCycle(ce, transfers);
+    }
+    packer.flush(transfers);
+    for (const Transfer &t : transfers) {
+        EXPECT_LE(t.size(), 4096u);
+        for (Event &e : unpacker.unpack(t))
+            unpacked.push_back(std::move(e));
+    }
+    expectSameEvents(original, unpacked);
+}
+
+TEST_P(PackerRoundTripTest, BatchSmallPackets)
+{
+    // Tiny packets force many entry-boundary splits; the largest event
+    // (2720 B) must still fit.
+    Rng rng(GetParam() ^ 0x5417);
+    auto stream = randomStream(rng, 40, 1);
+    BatchPacker packer(3000);
+    BatchUnpacker unpacker;
+    std::vector<Event> original, unpacked;
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream) {
+        for (const Event &e : ce.events)
+            original.push_back(e);
+        packer.packCycle(ce, transfers);
+    }
+    packer.flush(transfers);
+    for (const Transfer &t : transfers)
+        for (Event &e : unpacker.unpack(t))
+            unpacked.push_back(std::move(e));
+    expectSameEvents(original, unpacked);
+}
+
+TEST_P(PackerRoundTripTest, FixedOffset)
+{
+    Rng rng(GetParam() ^ 0xF1CED);
+    auto stream = randomStream(rng, 50, 2);
+    std::array<bool, kNumEventTypes> enabled{};
+    enabled.fill(true);
+    FixedOffsetPacker packer(enabled, 2, 4096);
+    FixedOffsetUnpacker unpacker(enabled, 2);
+    std::vector<Event> original, unpacked;
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream) {
+        for (const Event &e : ce.events)
+            original.push_back(e);
+        packer.packCycle(ce, transfers);
+    }
+    packer.flush(transfers);
+    for (const Transfer &t : transfers)
+        for (Event &e : unpacker.unpack(t))
+            unpacked.push_back(std::move(e));
+    expectSameEvents(original, unpacked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackerRoundTripTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(BatchPacker, VariableLengthEventsRoundTrip)
+{
+    BatchPacker packer(4096);
+    BatchUnpacker unpacker;
+    CycleEvents ce;
+    ce.cycle = 0;
+    Rng rng(4);
+    for (unsigned i = 0; i < 10; ++i) {
+        Event e;
+        e.type = EventType::DiffState;
+        e.core = 0;
+        e.commitSeq = i;
+        e.emitSeq = i;
+        e.payload.resize(rng.nextRange(8, 400));
+        for (auto &b : e.payload)
+            b = static_cast<u8>(rng.next());
+        ce.events.push_back(std::move(e));
+    }
+    std::vector<Transfer> transfers;
+    packer.packCycle(ce, transfers);
+    packer.flush(transfers);
+    std::vector<Event> unpacked;
+    for (const Transfer &t : transfers)
+        for (Event &e : unpacker.unpack(t))
+            unpacked.push_back(std::move(e));
+    ASSERT_EQ(unpacked.size(), ce.events.size());
+    for (size_t i = 0; i < unpacked.size(); ++i)
+        EXPECT_TRUE(unpacked[i] == ce.events[i]) << i;
+}
+
+TEST(BatchPacker, TightPackingHasNoBubbles)
+{
+    Rng rng(5);
+    auto stream = randomStream(rng, 60, 1);
+    BatchPacker packer(4096);
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream)
+        packer.packCycle(ce, transfers);
+    packer.flush(transfers);
+    EXPECT_EQ(packer.counters().get("pack.bubble_bytes"), 0u);
+    EXPECT_GT(packer.counters().get("pack.transfers"), 0u);
+}
+
+TEST(BatchPacker, UtilizationIsHighForFullPackets)
+{
+    Rng rng(6);
+    auto stream = randomStream(rng, 400, 2);
+    BatchPacker packer(4096);
+    std::vector<Transfer> transfers;
+    for (const CycleEvents &ce : stream)
+        packer.packCycle(ce, transfers);
+    // Exclude the trailing partial packet from the check.
+    double util = packer.counters().getReal("pack.utilization_sum") /
+                  packer.counters().get("pack.utilization_samples");
+    EXPECT_GT(util, 0.80);
+}
+
+TEST(FixedOffsetPacker, BubblesDominateSparseCycles)
+{
+    // One valid commit out of six slots: five slots transmitted as
+    // padding (the paper's >60% bubble observation).
+    std::array<bool, kNumEventTypes> enabled{};
+    enabled.fill(true);
+    FixedOffsetPacker packer(enabled, 1, 4096);
+    CycleEvents ce;
+    ce.cycle = 0;
+    ce.events.push_back(Event::make(EventType::InstrCommit, 0, 0, 1));
+    std::vector<Transfer> transfers;
+    packer.packCycle(ce, transfers);
+    packer.flush(transfers);
+    u64 bubbles = packer.counters().get("pack.bubble_bytes");
+    u64 valid = packer.counters().get("pack.valid_bytes");
+    EXPECT_GT(bubbles, 3 * valid);
+}
+
+TEST(FixedOffsetPacker, OverflowBeyondCapacityIsCarried)
+{
+    // 10 TLB events with entriesPerCore 8: capacity grows, nothing lost.
+    std::array<bool, kNumEventTypes> enabled{};
+    enabled.fill(true);
+    FixedOffsetPacker packer(enabled, 1, 65536);
+    FixedOffsetUnpacker unpacker(enabled, 1);
+    CycleEvents ce;
+    ce.cycle = 0;
+    for (unsigned i = 0; i < 10; ++i) {
+        Event e = Event::make(EventType::L1TlbEvent, 0, 0, i);
+        e.emitSeq = i;
+        ce.events.push_back(std::move(e));
+    }
+    std::vector<Transfer> transfers;
+    packer.packCycle(ce, transfers);
+    packer.flush(transfers);
+    size_t n = 0;
+    for (const Transfer &t : transfers)
+        n += unpacker.unpack(t).size();
+    EXPECT_EQ(n, 10u);
+}
+
+TEST(Wire, EventWireBytesMatchesSerialization)
+{
+    Rng rng(9);
+    for (unsigned t = 0; t < kNumEventTypes; ++t) {
+        Event e = Event::make(static_cast<EventType>(t), 0, 1, 5);
+        e.emitSeq = 9;
+        ByteWriter w;
+        writeEventBody(w, e);
+        EXPECT_EQ(w.size(), eventWireBytes(e)) << eventInfo(t).name;
+        ByteReader r(w.bytes());
+        Event back = readEventBody(r, e.type, e.core);
+        EXPECT_TRUE(back == e) << eventInfo(t).name;
+    }
+}
+
+} // namespace
+} // namespace dth

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Encoder/decoder roundtrip properties: every mini-assembler encoding
+ * must decode back to the same operation and operand fields, across
+ * randomized registers and immediates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "riscv/encoding.h"
+#include "riscv/instr.h"
+#include "workload/asm.h"
+
+namespace dth::riscv {
+namespace {
+
+using namespace dth::workload;
+
+TEST(AsmRoundTrip, RTypeOps)
+{
+    Rng rng(3);
+    struct Case
+    {
+        u32 (*enc)(u8, u8, u8);
+        Op op;
+    } cases[] = {
+        {add, Op::Add},       {sub, Op::Sub},   {sll, Op::Sll},
+        {slt, Op::Slt},       {sltu, Op::Sltu}, {xor_, Op::Xor},
+        {srl, Op::Srl},       {sra, Op::Sra},   {or_, Op::Or},
+        {and_, Op::And},      {addw, Op::Addw}, {subw, Op::Subw},
+        {mul, Op::Mul},       {mulh, Op::Mulh}, {div_, Op::Div},
+        {divu, Op::Divu},     {rem, Op::Rem},   {remu, Op::Remu},
+        {mulw, Op::Mulw},
+    };
+    for (const Case &c : cases) {
+        for (int trial = 0; trial < 20; ++trial) {
+            u8 rd = static_cast<u8>(rng.nextBelow(32));
+            u8 rs1 = static_cast<u8>(rng.nextBelow(32));
+            u8 rs2 = static_cast<u8>(rng.nextBelow(32));
+            DecodedInstr d = decode(c.enc(rd, rs1, rs2));
+            EXPECT_EQ(d.op, c.op) << opName(c.op);
+            EXPECT_EQ(d.rd, rd);
+            EXPECT_EQ(d.rs1, rs1);
+            EXPECT_EQ(d.rs2, rs2);
+        }
+    }
+}
+
+TEST(AsmRoundTrip, ITypeImmediates)
+{
+    Rng rng(5);
+    struct Case
+    {
+        u32 (*enc)(u8, u8, i32);
+        Op op;
+    } cases[] = {
+        {addi, Op::Addi},   {slti, Op::Slti}, {sltiu, Op::Sltiu},
+        {xori, Op::Xori},   {ori, Op::Ori},   {andi, Op::Andi},
+        {addiw, Op::Addiw}, {jalr, Op::Jalr}, {lb, Op::Lb},
+        {lh, Op::Lh},       {lw, Op::Lw},     {ld, Op::Ld},
+        {lbu, Op::Lbu},     {lhu, Op::Lhu},   {lwu, Op::Lwu},
+    };
+    for (const Case &c : cases) {
+        for (int trial = 0; trial < 20; ++trial) {
+            u8 rd = static_cast<u8>(rng.nextBelow(32));
+            u8 rs1 = static_cast<u8>(rng.nextBelow(32));
+            i32 imm = static_cast<i32>(rng.nextRange(0, 4095)) - 2048;
+            DecodedInstr d = decode(c.enc(rd, rs1, imm));
+            EXPECT_EQ(d.op, c.op) << opName(c.op);
+            EXPECT_EQ(d.rd, rd);
+            EXPECT_EQ(d.rs1, rs1);
+            EXPECT_EQ(d.imm, imm) << opName(c.op) << " imm " << imm;
+        }
+    }
+}
+
+TEST(AsmRoundTrip, StoreImmediates)
+{
+    Rng rng(7);
+    struct Case
+    {
+        u32 (*enc)(u8, u8, i32);
+        Op op;
+    } cases[] = {
+        {sb, Op::Sb}, {sh, Op::Sh}, {sw, Op::Sw}, {sd, Op::Sd},
+    };
+    for (const Case &c : cases) {
+        for (int trial = 0; trial < 20; ++trial) {
+            u8 rs2 = static_cast<u8>(rng.nextBelow(32));
+            u8 rs1 = static_cast<u8>(rng.nextBelow(32));
+            i32 imm = static_cast<i32>(rng.nextRange(0, 4095)) - 2048;
+            DecodedInstr d = decode(c.enc(rs2, rs1, imm));
+            EXPECT_EQ(d.op, c.op);
+            EXPECT_EQ(d.rs1, rs1);
+            EXPECT_EQ(d.rs2, rs2);
+            EXPECT_EQ(d.imm, imm);
+        }
+    }
+}
+
+TEST(AsmRoundTrip, BranchOffsets)
+{
+    Rng rng(9);
+    struct Case
+    {
+        u32 (*enc)(u8, u8, i32);
+        Op op;
+    } cases[] = {
+        {beq, Op::Beq},   {bne, Op::Bne},   {blt, Op::Blt},
+        {bge, Op::Bge},   {bltu, Op::Bltu}, {bgeu, Op::Bgeu},
+    };
+    for (const Case &c : cases) {
+        for (int trial = 0; trial < 30; ++trial) {
+            u8 rs1 = static_cast<u8>(rng.nextBelow(32));
+            u8 rs2 = static_cast<u8>(rng.nextBelow(32));
+            i32 off =
+                (static_cast<i32>(rng.nextRange(0, 4094)) - 2048) & ~1;
+            DecodedInstr d = decode(c.enc(rs1, rs2, off));
+            EXPECT_EQ(d.op, c.op);
+            EXPECT_EQ(d.imm, off) << opName(c.op);
+        }
+    }
+}
+
+TEST(AsmRoundTrip, JalFullRange)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        u8 rd = static_cast<u8>(rng.nextBelow(32));
+        i32 off = (static_cast<i32>(rng.nextRange(0, (1u << 21) - 2)) -
+                   (1 << 20)) &
+                  ~1;
+        DecodedInstr d = decode(jal(rd, off));
+        EXPECT_EQ(d.op, Op::Jal);
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.imm, off);
+    }
+}
+
+TEST(AsmRoundTrip, UTypeAndShifts)
+{
+    DecodedInstr d = decode(lui(7, 0xABCDE));
+    EXPECT_EQ(d.op, Op::Lui);
+    EXPECT_EQ(d.imm, static_cast<i64>(sext(0xABCDEULL << 12, 32)));
+    d = decode(auipc(3, 0x12345));
+    EXPECT_EQ(d.op, Op::Auipc);
+
+    for (u32 shamt : {0u, 1u, 31u, 32u, 63u}) {
+        EXPECT_EQ(decode(slli(1, 2, shamt)).imm,
+                  static_cast<i64>(shamt));
+        EXPECT_EQ(decode(srli(1, 2, shamt)).imm,
+                  static_cast<i64>(shamt));
+        EXPECT_EQ(decode(srai(1, 2, shamt)).imm,
+                  static_cast<i64>(shamt));
+        EXPECT_EQ(decode(srai(1, 2, shamt)).op, Op::Srai);
+    }
+}
+
+TEST(AsmRoundTrip, CsrOps)
+{
+    for (u16 csr : {kCsrMstatus, kCsrMtvec, kCsrMscratch, kCsrMepc,
+                    kCsrSatp, kCsrFcsr, kCsrVl}) {
+        EXPECT_EQ(decode(csrrw(5, csr, 6)).csr, csr);
+        EXPECT_EQ(decode(csrrw(5, csr, 6)).op, Op::Csrrw);
+        EXPECT_EQ(decode(csrrs(5, csr, 6)).op, Op::Csrrs);
+        EXPECT_EQ(decode(csrrc(5, csr, 6)).op, Op::Csrrc);
+        EXPECT_EQ(decode(csrrwi(5, csr, 9)).op, Op::Csrrwi);
+        EXPECT_EQ(decode(csrrwi(5, csr, 9)).imm, 9);
+        EXPECT_EQ(decode(csrrsi(5, csr, 9)).op, Op::Csrrsi);
+    }
+}
+
+TEST(AsmRoundTrip, AmoAndSystem)
+{
+    EXPECT_EQ(decode(lrD(1, 2)).op, Op::LrD);
+    EXPECT_EQ(decode(scD(1, 2, 3)).op, Op::ScD);
+    EXPECT_EQ(decode(amoaddD(1, 2, 3)).op, Op::AmoAddD);
+    EXPECT_EQ(decode(amoswapD(1, 2, 3)).op, Op::AmoSwapD);
+    EXPECT_EQ(decode(amoorD(1, 2, 3)).op, Op::AmoOrD);
+    EXPECT_EQ(decode(amoaddW(1, 2, 3)).op, Op::AmoAddW);
+    EXPECT_EQ(decode(ecall()).op, Op::Ecall);
+    EXPECT_EQ(decode(ebreak()).op, Op::Ebreak);
+    EXPECT_EQ(decode(mret()).op, Op::Mret);
+    EXPECT_EQ(decode(wfi()).op, Op::Wfi);
+    EXPECT_EQ(decode(fence()).op, Op::Fence);
+}
+
+TEST(AsmRoundTrip, FpAndVector)
+{
+    EXPECT_EQ(decode(fld(3, 4, 16)).op, Op::Fld);
+    EXPECT_EQ(decode(fld(3, 4, 16)).imm, 16);
+    EXPECT_EQ(decode(fsd(3, 4, -8)).op, Op::Fsd);
+    EXPECT_EQ(decode(faddD(1, 2, 3)).op, Op::FaddD);
+    EXPECT_EQ(decode(fsubD(1, 2, 3)).op, Op::FsubD);
+    EXPECT_EQ(decode(fmulD(1, 2, 3)).op, Op::FmulD);
+    EXPECT_EQ(decode(fmvDX(1, 2)).op, Op::FmvDX);
+    EXPECT_EQ(decode(fmvXD(1, 2)).op, Op::FmvXD);
+    EXPECT_EQ(decode(vsetvli(1, 2, 0x18)).op, Op::Vsetvli);
+    EXPECT_EQ(decode(vsetvli(1, 2, 0x18)).imm, 0x18);
+    EXPECT_EQ(decode(vaddVV(4, 5, 6)).op, Op::VaddVV);
+    EXPECT_EQ(decode(vaddVV(4, 5, 6)).rd, 4);
+    EXPECT_EQ(decode(vaddVV(4, 5, 6)).rs2, 5);
+    EXPECT_EQ(decode(vaddVV(4, 5, 6)).rs1, 6);
+    EXPECT_EQ(decode(vxorVV(4, 5, 6)).op, Op::VxorVV);
+    EXPECT_EQ(decode(vle64(7, 8)).op, Op::Vle64);
+    EXPECT_EQ(decode(vse64(7, 8)).op, Op::Vse64);
+}
+
+TEST(AsmRoundTrip, ClassificationPredicates)
+{
+    EXPECT_TRUE(decode(ld(1, 2, 0)).isLoad());
+    EXPECT_TRUE(decode(fld(1, 2, 0)).isLoad());
+    EXPECT_TRUE(decode(vle64(1, 2)).isLoad());
+    EXPECT_TRUE(decode(sd(1, 2, 0)).isStore());
+    EXPECT_TRUE(decode(vse64(1, 2)).isStore());
+    EXPECT_TRUE(decode(amoaddD(1, 2, 3)).isAmo());
+    EXPECT_TRUE(decode(beq(1, 2, 8)).isBranch());
+    EXPECT_TRUE(decode(jal(1, 8)).isJump());
+    EXPECT_TRUE(decode(csrrw(1, 0x300, 2)).isCsrOp());
+    EXPECT_TRUE(decode(vaddVV(1, 2, 3)).isVector());
+    EXPECT_TRUE(decode(faddD(1, 2, 3)).isFp());
+    EXPECT_FALSE(decode(add(1, 2, 3)).isLoad());
+}
+
+TEST(Decode, OpNamesAreUnique)
+{
+    // Every op has a distinct printable mnemonic (guards the big
+    // switch against copy-paste slips).
+    std::set<std::string> names;
+    for (unsigned i = 0; i <= static_cast<unsigned>(Op::Vse64); ++i) {
+        const char *n = opName(static_cast<Op>(i));
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(std::string(n), "?") << i;
+        EXPECT_TRUE(names.insert(n).second) << n;
+    }
+}
+
+} // namespace
+} // namespace dth::riscv

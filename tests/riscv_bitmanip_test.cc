@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Zba/Zbb bit-manipulation extension: decode roundtrips and execution
+ * semantics, cross-checked against C++ <bit> reference implementations
+ * on random operands.
+ */
+
+#include <bit>
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "riscv/core.h"
+#include "workload/program.h"
+
+namespace dth::riscv {
+namespace {
+
+using namespace dth::workload;
+
+TEST(BitmanipDecode, RoundTrips)
+{
+    EXPECT_EQ(decode(sh1add(1, 2, 3)).op, Op::Sh1add);
+    EXPECT_EQ(decode(sh2add(1, 2, 3)).op, Op::Sh2add);
+    EXPECT_EQ(decode(sh3add(1, 2, 3)).op, Op::Sh3add);
+    EXPECT_EQ(decode(adduw(1, 2, 3)).op, Op::AddUw);
+    EXPECT_EQ(decode(andn(1, 2, 3)).op, Op::Andn);
+    EXPECT_EQ(decode(orn(1, 2, 3)).op, Op::Orn);
+    EXPECT_EQ(decode(xnor_(1, 2, 3)).op, Op::Xnor);
+    EXPECT_EQ(decode(clz(1, 2)).op, Op::Clz);
+    EXPECT_EQ(decode(ctz(1, 2)).op, Op::Ctz);
+    EXPECT_EQ(decode(cpop(1, 2)).op, Op::Cpop);
+    EXPECT_EQ(decode(min_(1, 2, 3)).op, Op::Min);
+    EXPECT_EQ(decode(minu(1, 2, 3)).op, Op::Minu);
+    EXPECT_EQ(decode(max_(1, 2, 3)).op, Op::Max);
+    EXPECT_EQ(decode(maxu(1, 2, 3)).op, Op::Maxu);
+    EXPECT_EQ(decode(sextb(1, 2)).op, Op::SextB);
+    EXPECT_EQ(decode(sexth(1, 2)).op, Op::SextH);
+    EXPECT_EQ(decode(zexth(1, 2)).op, Op::ZextH);
+    EXPECT_EQ(decode(rol(1, 2, 3)).op, Op::Rol);
+    EXPECT_EQ(decode(ror(1, 2, 3)).op, Op::Ror);
+    EXPECT_EQ(decode(rori(1, 2, 45)).op, Op::Rori);
+    EXPECT_EQ(decode(rori(1, 2, 45)).imm, 45);
+    EXPECT_EQ(decode(rev8(1, 2)).op, Op::Rev8);
+    EXPECT_EQ(decode(orcb(1, 2)).op, Op::OrcB);
+    // Base ops still decode (no aliasing with the new funct7 spaces).
+    EXPECT_EQ(decode(add(1, 2, 3)).op, Op::Add);
+    EXPECT_EQ(decode(sub(1, 2, 3)).op, Op::Sub);
+    EXPECT_EQ(decode(srai(1, 2, 7)).op, Op::Srai);
+    EXPECT_EQ(decode(slli(1, 2, 7)).op, Op::Slli);
+}
+
+/** Execute a single two-operand instruction and return x7. */
+u64
+exec2(u32 instr, u64 a, u64 b)
+{
+    Soc soc;
+    std::vector<u8> bytes;
+    for (u32 w : {instr, ebreak()})
+        for (unsigned i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<u8>(w >> (8 * i)));
+    soc.bus.ram().load(kRamBase, bytes.data(), bytes.size());
+    soc.core.setXReg(5, a);
+    soc.core.setXReg(6, b);
+    soc.core.step();
+    return soc.core.xreg(7);
+}
+
+TEST(BitmanipExec, ShiftAdds)
+{
+    EXPECT_EQ(exec2(sh1add(7, 5, 6), 3, 100), 106u);
+    EXPECT_EQ(exec2(sh2add(7, 5, 6), 3, 100), 112u);
+    EXPECT_EQ(exec2(sh3add(7, 5, 6), 3, 100), 124u);
+    EXPECT_EQ(exec2(adduw(7, 5, 6), 0xFFFFFFFF00000001ULL, 10), 11u);
+}
+
+TEST(BitmanipExec, LogicAndCounts)
+{
+    EXPECT_EQ(exec2(andn(7, 5, 6), 0xFF, 0x0F), 0xF0u);
+    EXPECT_EQ(exec2(orn(7, 5, 6), 0x0F, ~0xFFULL), 0xFFu);
+    EXPECT_EQ(exec2(xnor_(7, 5, 6), 0xAA, 0xFF), ~0x55ULL);
+    EXPECT_EQ(exec2(clz(7, 5), 0, 0), 64u);
+    EXPECT_EQ(exec2(clz(7, 5), 1, 0), 63u);
+    EXPECT_EQ(exec2(ctz(7, 5), 0x8, 0), 3u);
+    EXPECT_EQ(exec2(cpop(7, 5), 0xF0F0, 0), 8u);
+}
+
+TEST(BitmanipExec, MinMaxAndExtensions)
+{
+    EXPECT_EQ(exec2(min_(7, 5, 6), static_cast<u64>(-5), 3),
+              static_cast<u64>(-5));
+    EXPECT_EQ(exec2(minu(7, 5, 6), static_cast<u64>(-5), 3), 3u);
+    EXPECT_EQ(exec2(max_(7, 5, 6), static_cast<u64>(-5), 3), 3u);
+    EXPECT_EQ(exec2(maxu(7, 5, 6), static_cast<u64>(-5), 3),
+              static_cast<u64>(-5));
+    EXPECT_EQ(exec2(sextb(7, 5), 0x80, 0), static_cast<u64>(-128));
+    EXPECT_EQ(exec2(sexth(7, 5), 0x8000, 0),
+              static_cast<u64>(sext(0x8000, 16)));
+    EXPECT_EQ(exec2(zexth(7, 5), 0xFFFF'FFFF, 0), 0xFFFFu);
+}
+
+TEST(BitmanipExec, RotatesAndByteOps)
+{
+    EXPECT_EQ(exec2(rol(7, 5, 6), 0x1, 4), 0x10u);
+    EXPECT_EQ(exec2(ror(7, 5, 6), 0x10, 4), 0x1u);
+    EXPECT_EQ(exec2(rori(7, 5, 4), 0x10, 0), 0x1u);
+    EXPECT_EQ(exec2(rev8(7, 5), 0x0102030405060708ULL, 0),
+              0x0807060504030201ULL);
+    EXPECT_EQ(exec2(orcb(7, 5), 0x0100000000000002ULL, 0),
+              0xFF000000000000FFULL);
+}
+
+TEST(BitmanipExec, PropertyAgainstStdBit)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        u64 a = rng.next();
+        u64 b = rng.next();
+        EXPECT_EQ(exec2(clz(7, 5), a, 0),
+                  static_cast<u64>(std::countl_zero(a)));
+        EXPECT_EQ(exec2(cpop(7, 5), a, 0),
+                  static_cast<u64>(std::popcount(a)));
+        EXPECT_EQ(exec2(rol(7, 5, 6), a, b),
+                  std::rotl(a, static_cast<int>(b & 63)));
+        EXPECT_EQ(exec2(andn(7, 5, 6), a, b), a & ~b);
+        EXPECT_EQ(exec2(sh3add(7, 5, 6), a, b), b + (a << 3));
+    }
+}
+
+} // namespace
+} // namespace dth::riscv

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for the RISC-V substrate: decoder, executor semantics, traps,
+ * interrupts, NDE oracles, and the state-observer hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "riscv/core.h"
+#include "workload/program.h"
+
+namespace dth::riscv {
+namespace {
+
+using namespace dth::workload;
+
+/** Load raw words at the reset pc and return a ready Soc. */
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void
+    loadWords(std::initializer_list<u32> words)
+    {
+        std::vector<u8> bytes;
+        for (u32 w : words)
+            for (unsigned b = 0; b < 4; ++b)
+                bytes.push_back(static_cast<u8>(w >> (8 * b)));
+        soc_.bus.ram().load(kRamBase, bytes.data(), bytes.size());
+    }
+
+    void
+    loadProgram(const Program &p)
+    {
+        soc_.bus.ram().load(p.base, p.image.data(), p.image.size());
+    }
+
+    /** Step until halt or the step limit; returns steps taken. */
+    u64
+    run(u64 max_steps = 100000)
+    {
+        u64 steps = 0;
+        while (!soc_.core.halted() && steps < max_steps) {
+            soc_.core.step();
+            soc_.clint.tick();
+            ++steps;
+        }
+        return steps;
+    }
+
+    Soc soc_;
+};
+
+TEST(Decode, BasicForms)
+{
+    EXPECT_EQ(decode(addi(1, 2, -5)).op, Op::Addi);
+    EXPECT_EQ(decode(addi(1, 2, -5)).imm, -5);
+    EXPECT_EQ(decode(lui(3, 0x12345)).op, Op::Lui);
+    EXPECT_EQ(decode(jal(1, -2048)).imm, -2048);
+    EXPECT_EQ(decode(beq(1, 2, 16)).imm, 16);
+    EXPECT_EQ(decode(ld(5, 6, 1024)).op, Op::Ld);
+    EXPECT_EQ(decode(sd(5, 6, -8)).imm, -8);
+    EXPECT_EQ(decode(mul(1, 2, 3)).op, Op::Mul);
+    EXPECT_EQ(decode(csrrw(1, kCsrMscratch, 2)).csr, kCsrMscratch);
+    EXPECT_EQ(decode(ecall()).op, Op::Ecall);
+    EXPECT_EQ(decode(ebreak()).op, Op::Ebreak);
+    EXPECT_EQ(decode(mret()).op, Op::Mret);
+    EXPECT_EQ(decode(lrD(1, 2)).op, Op::LrD);
+    EXPECT_EQ(decode(scD(1, 2, 3)).op, Op::ScD);
+    EXPECT_EQ(decode(amoaddD(1, 2, 3)).op, Op::AmoAddD);
+    EXPECT_EQ(decode(fld(1, 2, 16)).op, Op::Fld);
+    EXPECT_EQ(decode(faddD(1, 2, 3)).op, Op::FaddD);
+    EXPECT_EQ(decode(vsetvli(1, 0, 0x18)).op, Op::Vsetvli);
+    EXPECT_EQ(decode(vaddVV(1, 2, 3)).op, Op::VaddVV);
+    EXPECT_EQ(decode(vle64(1, 2)).op, Op::Vle64);
+    EXPECT_EQ(decode(0xFFFFFFFF).op, Op::Illegal);
+    EXPECT_EQ(decode(0).op, Op::Illegal);
+}
+
+TEST(Decode, ShiftImmediates64Bit)
+{
+    EXPECT_EQ(decode(slli(1, 2, 45)).op, Op::Slli);
+    EXPECT_EQ(decode(slli(1, 2, 45)).imm, 45);
+    EXPECT_EQ(decode(srai(1, 2, 63)).op, Op::Srai);
+    EXPECT_EQ(decode(srai(1, 2, 63)).imm, 63);
+}
+
+TEST_F(CoreTest, ArithmeticAndBranching)
+{
+    // x5 = 7; x6 = 9; x7 = x5 + x6; halt(0) if x7 == 16 else halt(1).
+    loadWords({
+        addi(5, 0, 7),
+        addi(6, 0, 9),
+        add(7, 5, 6),
+        addi(8, 0, 16),
+        beq(7, 8, 12),  // -> good
+        addi(10, 0, 1), // bad path
+        ebreak(),
+        addi(10, 0, 0), // good path
+        ebreak(),
+    });
+    run();
+    EXPECT_TRUE(soc_.core.halted());
+    EXPECT_EQ(soc_.core.haltCode(), 0u);
+    EXPECT_EQ(soc_.core.xreg(7), 16u);
+}
+
+TEST_F(CoreTest, LoadStoreRoundTrip)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x1000);
+    b.li(6, 0x1122334455667788);
+    b.emit(sd(6, 5, 0));
+    b.emit(ld(7, 5, 0));
+    b.emit(lw(8, 5, 0));  // sign-extended low word
+    b.emit(lwu(9, 5, 0)); // zero-extended
+    b.emit(lbu(11, 5, 7));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(7), 0x1122334455667788u);
+    EXPECT_EQ(soc_.core.xreg(8), 0x55667788u);
+    EXPECT_EQ(soc_.core.xreg(9), 0x55667788u);
+    EXPECT_EQ(soc_.core.xreg(11), 0x11u);
+}
+
+TEST_F(CoreTest, SignExtendingLoads)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x1000);
+    b.li(6, 0xFFFFFFFFFFFFFF80); // -128
+    b.emit(sb(6, 5, 0));
+    b.emit(lb(7, 5, 0));
+    b.emit(lbu(8, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(7), static_cast<u64>(-128));
+    EXPECT_EQ(soc_.core.xreg(8), 0x80u);
+}
+
+TEST_F(CoreTest, MulDivEdgeCases)
+{
+    ProgramBuilder b;
+    b.li(5, static_cast<u64>(INT64_MIN));
+    b.li(6, static_cast<u64>(-1));
+    b.emit(div_(7, 5, 6));  // overflow -> INT64_MIN
+    b.emit(rem(8, 5, 6));   // overflow -> 0
+    b.emit(div_(9, 5, 0));  // div by zero -> -1
+    b.emit(remu(11, 5, 0)); // rem by zero -> dividend
+    b.emit(mulh(12, 5, 6));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(7), static_cast<u64>(INT64_MIN));
+    EXPECT_EQ(soc_.core.xreg(8), 0u);
+    EXPECT_EQ(soc_.core.xreg(9), ~0ULL);
+    EXPECT_EQ(soc_.core.xreg(11), static_cast<u64>(INT64_MIN));
+}
+
+TEST_F(CoreTest, CsrReadWrite)
+{
+    ProgramBuilder b;
+    b.li(5, 0xABCD);
+    b.emit(csrrw(0, kCsrMscratch, 5));
+    b.emit(csrrs(6, kCsrMscratch, 0));
+    b.emit(csrrwi(7, kCsrMscratch, 9)); // old -> x7, mscratch = 9
+    b.emit(csrrs(8, kCsrMscratch, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(6), 0xABCDu);
+    EXPECT_EQ(soc_.core.xreg(7), 0xABCDu);
+    EXPECT_EQ(soc_.core.xreg(8), 9u);
+}
+
+TEST_F(CoreTest, EcallTrapsToHandlerAndReturns)
+{
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(0, setup);
+    // Handler at base+4: skip faulting instruction, count in x27.
+    b.emit(addi(27, 27, 1));
+    b.emit(csrrs(28, kCsrMepc, 0));
+    b.emit(addi(28, 28, 4));
+    b.emit(csrrw(0, kCsrMepc, 28));
+    b.emit(mret());
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(0, kCsrMtvec, 28));
+    b.emit(ecall());
+    b.emit(ecall());
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_TRUE(soc_.core.halted());
+    EXPECT_EQ(soc_.core.xreg(27), 2u);
+    EXPECT_EQ(soc_.core.csrs().mcause, kCauseEcallM);
+}
+
+TEST_F(CoreTest, IllegalInstructionTrap)
+{
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(0, setup);
+    b.emit(addi(27, 27, 1));
+    b.emit(csrrs(28, kCsrMepc, 0));
+    b.emit(addi(28, 28, 4));
+    b.emit(csrrw(0, kCsrMepc, 28));
+    b.emit(mret());
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(0, kCsrMtvec, 28));
+    b.emit(0xFFFFFFFF); // illegal
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(27), 1u);
+    EXPECT_EQ(soc_.core.csrs().mcause, kCauseIllegalInstr);
+    EXPECT_EQ(soc_.core.csrs().mtval, 0xFFFFFFFFu);
+}
+
+TEST_F(CoreTest, TimerInterruptFiresWithAutoInterrupts)
+{
+    Soc soc(CoreConfig{.resetPc = kRamBase, .autoInterrupts = true});
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(0, setup);
+    // Handler: count, push mtimecmp far out, mret.
+    b.emit(addi(27, 27, 1));
+    b.li(28, kClintBase + kClintMtimecmp);
+    b.li(29, 1000000);
+    b.emit(sd(29, 28, 0));
+    b.emit(mret());
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(0, kCsrMtvec, 28));
+    b.li(28, kClintBase + kClintMtimecmp);
+    b.li(29, 50);
+    b.emit(sd(29, 28, 0));
+    b.li(28, kIpMtip);
+    b.emit(csrrw(0, kCsrMie, 28));
+    b.emit(csrrsi(0, kCsrMstatus, 8));
+    auto loop = b.hereLabel();
+    b.emit(addi(5, 5, 1));
+    b.li(6, 400);
+    b.emitBlt(5, 6, loop);
+    b.emitHalt(0);
+    Program p = b.assemble("t");
+    soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    u64 steps = 0;
+    while (!soc.core.halted() && steps < 100000) {
+        soc.core.step();
+        soc.clint.tick();
+        ++steps;
+    }
+    EXPECT_TRUE(soc.core.halted());
+    EXPECT_GE(soc.core.xreg(27), 1u);
+    EXPECT_EQ(soc.core.csrs().mcause, kIntTimer | kInterruptFlag);
+}
+
+TEST_F(CoreTest, ForcedInterruptWithoutAutoInterrupts)
+{
+    // REF role: no CLINT-driven interrupts, but forceInterrupt() works.
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(0, setup);
+    b.emit(addi(27, 27, 1));
+    b.emit(mret());
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(0, kCsrMtvec, 28));
+    b.emit(addi(5, 0, 1));
+    b.emit(addi(5, 5, 1));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+
+    // Execute setup manually, then force the interrupt.
+    while (soc_.core.xreg(5) != 1)
+        soc_.core.step();
+    soc_.core.forceInterrupt(kIntExternal | kInterruptFlag);
+    StepResult r = soc_.core.step();
+    EXPECT_TRUE(r.interrupt);
+    EXPECT_FALSE(r.retired);
+    run();
+    EXPECT_EQ(soc_.core.xreg(27), 1u);
+}
+
+TEST_F(CoreTest, MmioOracleOverridesDeviceRead)
+{
+    ProgramBuilder b;
+    b.li(5, kUartBase + kUartStatus);
+    b.emit(lbu(6, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    soc_.core.pushMmioFill(kUartBase + kUartStatus, 0x61);
+    run();
+    EXPECT_EQ(soc_.core.xreg(6), 0x61u);
+}
+
+TEST_F(CoreTest, UartOutputCaptured)
+{
+    ProgramBuilder b;
+    b.li(5, kUartBase);
+    b.li(6, 'H');
+    b.emit(sb(6, 5, 0));
+    b.li(6, 'i');
+    b.emit(sb(6, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.uart.output(), "Hi");
+}
+
+TEST_F(CoreTest, LrScSuccessAndFailure)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x2000);
+    b.li(6, 77);
+    b.emit(lrD(7, 5));
+    b.emit(scD(8, 5, 6)); // success: x8 = 0
+    b.emit(scD(9, 5, 6)); // no reservation: x9 = 1
+    b.emit(ld(11, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(8), 0u);
+    EXPECT_EQ(soc_.core.xreg(9), 1u);
+    EXPECT_EQ(soc_.core.xreg(11), 77u);
+}
+
+TEST_F(CoreTest, ScOracleForcesOutcome)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x2000);
+    b.li(6, 77);
+    b.emit(lrD(7, 5));
+    b.emit(scD(8, 5, 6));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    soc_.core.pushScOutcome(false); // DUT says: spurious failure
+    run();
+    EXPECT_EQ(soc_.core.xreg(8), 1u);
+    EXPECT_EQ(soc_.bus.ram().read(kRamBase + 0x2000, 8), 0u);
+}
+
+TEST_F(CoreTest, AmoAddReturnsOldValue)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x2000);
+    b.li(6, 5);
+    b.emit(sd(6, 5, 0));
+    b.li(7, 3);
+    b.emit(amoaddD(8, 5, 7));
+    b.emit(ld(9, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(8), 5u);
+    EXPECT_EQ(soc_.core.xreg(9), 8u);
+}
+
+TEST_F(CoreTest, FpAddRoundTrip)
+{
+    ProgramBuilder b;
+    b.li(5, std::bit_cast<u64>(1.5));
+    b.li(6, std::bit_cast<u64>(2.25));
+    b.emit(fmvDX(1, 5));
+    b.emit(fmvDX(2, 6));
+    b.emit(faddD(3, 1, 2));
+    b.emit(fmvXD(7, 3));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(std::bit_cast<double>(soc_.core.xreg(7)), 3.75);
+}
+
+TEST_F(CoreTest, VectorAddAndMemory)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x3000);
+    b.li(6, 100);
+    b.emit(sd(6, 5, 0));
+    b.li(6, 200);
+    b.emit(sd(6, 5, 8));
+    b.emit(vsetvli(7, 0, 0x18)); // vl = vlmax = 2
+    b.emit(vle64(1, 5));
+    b.emit(vaddVV(2, 1, 1)); // v2 = v1 + v1
+    b.li(5, kRamBase + 0x3100);
+    b.emit(vse64(2, 5));
+    b.emit(ld(8, 5, 0));
+    b.emit(ld(9, 5, 8));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    run();
+    EXPECT_EQ(soc_.core.xreg(7), 2u); // vl
+    EXPECT_EQ(soc_.core.xreg(8), 200u);
+    EXPECT_EQ(soc_.core.xreg(9), 400u);
+}
+
+TEST_F(CoreTest, StepResultReportsRetirementAndWrites)
+{
+    loadWords({addi(5, 0, 7)});
+    StepResult r = soc_.core.step();
+    EXPECT_TRUE(r.retired);
+    EXPECT_TRUE(r.rfWen);
+    EXPECT_EQ(r.rd, 5);
+    EXPECT_EQ(r.rdVal, 7u);
+    EXPECT_EQ(r.seqNo, 1u);
+    EXPECT_EQ(r.nextPc, kRamBase + 4);
+}
+
+TEST_F(CoreTest, X0IsNeverWritten)
+{
+    loadWords({addi(0, 0, 7), ebreak()});
+    StepResult r = soc_.core.step();
+    EXPECT_FALSE(r.rfWen);
+    EXPECT_EQ(soc_.core.xreg(0), 0u);
+}
+
+TEST_F(CoreTest, SnapshotRestoreRoundTrip)
+{
+    loadWords({addi(5, 0, 7), addi(6, 0, 8), add(7, 5, 6), ebreak()});
+    soc_.core.step();
+    ArchSnapshot snap = soc_.core.snapshot();
+    soc_.core.step();
+    soc_.core.step();
+    EXPECT_FALSE(snap == soc_.core.snapshot());
+    soc_.core.restore(snap);
+    EXPECT_TRUE(snap == soc_.core.snapshot());
+    EXPECT_EQ(soc_.core.seqNo(), 1u);
+}
+
+/** Records observer callbacks for verification. */
+class CountingObserver : public StateObserver
+{
+  public:
+    int xregWrites = 0, csrWrites = 0, memWrites = 0, pcWrites = 0;
+    void onXRegWrite(u8, u64) override { ++xregWrites; }
+    void onFRegWrite(u8, u64) override {}
+    void onVRegWrite(u8, const u64 *) override {}
+    void onCsrWrite(u16, u64) override { ++csrWrites; }
+    void onMemWrite(u64, unsigned, u64) override { ++memWrites; }
+    void onPcWrite(u64) override { ++pcWrites; }
+    void onReservationWrite(u64, bool) override {}
+};
+
+TEST_F(CoreTest, ObserverSeesAllMutations)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x1000); // several instructions
+    b.li(6, 1);
+    b.emit(sd(6, 5, 0));
+    b.emitHalt(0);
+    loadProgram(b.assemble("t"));
+    CountingObserver obs;
+    soc_.core.setObserver(&obs);
+    run();
+    EXPECT_GE(obs.xregWrites, 3);
+    EXPECT_EQ(obs.memWrites, 1);
+    EXPECT_GE(obs.pcWrites, 4);
+    EXPECT_GE(obs.csrWrites, 4); // minstret per retired instruction
+}
+
+TEST_F(CoreTest, MinstretTracksRetirement)
+{
+    loadWords({addi(5, 0, 1), addi(5, 0, 2), ebreak()});
+    run();
+    EXPECT_EQ(soc_.core.csrs().minstret, soc_.core.seqNo());
+    EXPECT_EQ(soc_.core.seqNo(), 3u);
+}
+
+} // namespace
+} // namespace dth::riscv

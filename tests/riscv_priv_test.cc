@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Privileged-architecture behaviour: interrupt gating by mstatus.MIE
+ * and mie, trap CSR effects, mret state restoration, interrupt
+ * priority, and W-form AMO sign extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "riscv/core.h"
+#include "workload/program.h"
+
+namespace dth::riscv {
+namespace {
+
+using namespace dth::workload;
+
+Program
+loopProgram()
+{
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(0, setup);
+    // Handler: count in x27, bump mtimecmp, mret.
+    b.emit(addi(27, 27, 1));
+    b.li(28, kClintBase + kClintMtimecmp);
+    b.li(29, 1u << 30);
+    b.emit(sd(29, 28, 0));
+    b.emit(mret());
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(0, kCsrMtvec, 28));
+    auto loop = b.hereLabel();
+    b.emit(addi(5, 5, 1));
+    b.li(6, 100000);
+    b.emitBlt(5, 6, loop);
+    b.emitHalt(0);
+    return b.assemble("loop");
+}
+
+struct Runner
+{
+    explicit Runner(const Program &p, bool auto_irq = true)
+        : soc(CoreConfig{.resetPc = p.base, .autoInterrupts = auto_irq})
+    {
+        soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    }
+
+    u64
+    run(u64 steps)
+    {
+        u64 n = 0;
+        while (!soc.core.halted() && n < steps) {
+            soc.core.step();
+            soc.clint.tick();
+            ++n;
+        }
+        return n;
+    }
+
+    Soc soc;
+};
+
+TEST(Interrupts, MaskedWhenMieBitClear)
+{
+    Program p = loopProgram();
+    Runner r(p);
+    // Timer fires immediately, but mie.MTIE was never set.
+    r.soc.clint.setMtimecmp(10);
+    r.run(2000);
+    EXPECT_EQ(r.soc.core.xreg(27), 0u);
+}
+
+TEST(Interrupts, MaskedWhenGlobalMieClear)
+{
+    Program p = loopProgram();
+    Runner r(p);
+    r.soc.clint.setMtimecmp(10);
+    r.soc.core.writeCsr(kCsrMie, kIpMtip);
+    // mstatus.MIE stays 0 -> no interrupt.
+    r.run(2000);
+    EXPECT_EQ(r.soc.core.xreg(27), 0u);
+}
+
+TEST(Interrupts, DeliveredWhenEnabled)
+{
+    Program p = loopProgram();
+    Runner r(p);
+    r.soc.clint.setMtimecmp(50);
+    r.soc.core.writeCsr(kCsrMie, kIpMtip);
+    r.soc.core.writeCsr(kCsrMstatus,
+                        r.soc.core.csrs().mstatus | kMstatusMie);
+    r.run(5000);
+    EXPECT_GE(r.soc.core.xreg(27), 1u);
+}
+
+TEST(Interrupts, TrapDisablesAndMretRestoresMie)
+{
+    Program p = loopProgram();
+    Runner r(p, false);
+    r.soc.core.writeCsr(kCsrMstatus,
+                        r.soc.core.csrs().mstatus | kMstatusMie);
+    // Skip setup (3 steps: jal + li(2) + csrw = 4 steps).
+    for (int i = 0; i < 5; ++i)
+        r.soc.core.step();
+    r.soc.core.forceInterrupt(kIntTimer);
+    StepResult s = r.soc.core.step();
+    ASSERT_TRUE(s.interrupt);
+    // Inside the trap: MIE clear, MPIE set.
+    EXPECT_EQ(r.soc.core.csrs().mstatus & kMstatusMie, 0u);
+    EXPECT_NE(r.soc.core.csrs().mstatus & kMstatusMpie, 0u);
+    EXPECT_EQ(r.soc.core.csrs().mepc, s.pc);
+    EXPECT_EQ(r.soc.core.csrs().mcause, kIntTimer | kInterruptFlag);
+    // Run the handler to mret; MIE must come back.
+    u64 guard = 0;
+    while (r.soc.core.pc() != r.soc.core.csrs().mepc && ++guard < 100)
+        r.soc.core.step();
+    EXPECT_NE(r.soc.core.csrs().mstatus & kMstatusMie, 0u);
+}
+
+TEST(Interrupts, ExternalBeatsTimerPriority)
+{
+    Program p = loopProgram();
+    Runner r(p);
+    r.soc.clint.setMtimecmp(0); // timer pending immediately
+    r.soc.core.setExternalInterrupt(true);
+    r.soc.core.writeCsr(kCsrMie, kIpMtip | kIpMeip);
+    r.soc.core.writeCsr(kCsrMstatus,
+                        r.soc.core.csrs().mstatus | kMstatusMie);
+    StepResult s;
+    u64 guard = 0;
+    do {
+        s = r.soc.core.step();
+    } while (!s.interrupt && ++guard < 100);
+    ASSERT_TRUE(s.interrupt);
+    EXPECT_EQ(s.cause, kIntExternal);
+}
+
+TEST(Amo, WordFormsSignExtend)
+{
+    ProgramBuilder b;
+    b.li(5, kRamBase + 0x2000);
+    b.li(6, 0xFFFFFFFF); // stored word: -1 as i32
+    b.emit(sw(6, 5, 0));
+    b.li(7, 1);
+    b.emit(amoaddW(8, 5, 7)); // x8 = old value sign-extended
+    b.emit(lw(9, 5, 0));      // result wrapped to 0
+    b.emitHalt(0);
+    Program p = b.assemble("amow");
+    Runner r(p, false);
+    r.run(100);
+    EXPECT_EQ(r.soc.core.xreg(8), ~0ULL); // sext(-1)
+    EXPECT_EQ(r.soc.core.xreg(9), 0u);
+}
+
+TEST(Csr, MipReflectsClintState)
+{
+    Program p = loopProgram();
+    Runner r(p);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrMip) & kIpMtip, 0u);
+    r.soc.clint.setMtimecmp(0);
+    r.soc.clint.tick();
+    EXPECT_NE(r.soc.core.readCsr(kCsrMip) & kIpMtip, 0u);
+    r.soc.core.setExternalInterrupt(true);
+    EXPECT_NE(r.soc.core.readCsr(kCsrMip) & kIpMeip, 0u);
+}
+
+TEST(Csr, FcsrSubfieldAliases)
+{
+    Program p = loopProgram();
+    Runner r(p, false);
+    r.soc.core.writeCsr(kCsrFcsr, 0xFF);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrFflags), 0x1Fu);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrFrm), 0x7u);
+    r.soc.core.writeCsr(kCsrFrm, 0x3);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrFcsr) >> 5, 0x3u);
+    r.soc.core.writeCsr(kCsrFflags, 0);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrFcsr) & 0x1F, 0u);
+}
+
+TEST(Csr, VlenbIsReadOnlyConstant)
+{
+    Program p = loopProgram();
+    Runner r(p, false);
+    EXPECT_EQ(r.soc.core.readCsr(kCsrVlenb), kVlenBits / 8);
+}
+
+TEST(Wfi, ActsAsNop)
+{
+    ProgramBuilder b;
+    b.emit(wfi());
+    b.emit(addi(5, 0, 1));
+    b.emitHalt(0);
+    Program p = b.assemble("wfi");
+    Runner r(p, false);
+    r.run(10);
+    EXPECT_TRUE(r.soc.core.halted());
+    EXPECT_EQ(r.soc.core.xreg(5), 1u);
+}
+
+} // namespace
+} // namespace dth::riscv

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Supervisor-mode tests: trap delegation via medeleg/mideleg, sret,
+ * sstatus/sie/sip views, privilege tracking in ecall causes, and the
+ * supervisor workload running clean under full co-simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cosim/cosim.h"
+#include "riscv/core.h"
+#include "workload/generators.h"
+
+namespace dth::riscv {
+namespace {
+
+using namespace dth::workload;
+
+struct Rig
+{
+    explicit Rig(const Program &p)
+        : soc(CoreConfig{.resetPc = p.base})
+    {
+        soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    }
+
+    void
+    run(u64 steps = 100000)
+    {
+        u64 n = 0;
+        while (!soc.core.halted() && n++ < steps)
+            soc.core.step();
+    }
+
+    Soc soc;
+};
+
+/** Program skeleton: M handler at base+4, S handler next, then main. */
+struct SupervisorProgram
+{
+    Program program;
+    u64 sHandlerAddr = 0;
+};
+
+SupervisorProgram
+buildSupervisorEcall()
+{
+    ProgramBuilder b;
+    auto setup = b.newLabel();
+    b.emitJal(kZero, setup);
+    // M handler: count in x27, skip instruction, mret.
+    b.emit(addi(27, 27, 1));
+    b.emit(csrrs(31, kCsrMepc, kZero));
+    b.emit(addi(31, 31, 4));
+    b.emit(csrrw(kZero, kCsrMepc, 31));
+    b.emit(mret());
+    u64 s_handler = b.here();
+    // S handler: count in x26, skip instruction, sret.
+    b.emit(addi(26, 26, 1));
+    b.emit(csrrs(28, kCsrSepc, kZero));
+    b.emit(addi(28, 28, 4));
+    b.emit(csrrw(kZero, kCsrSepc, 28));
+    b.emit(sret());
+
+    b.bind(setup);
+    b.li(28, kRamBase + 4);
+    b.emit(csrrw(kZero, kCsrMtvec, 28));
+    b.li(28, s_handler);
+    b.emit(csrrw(kZero, kCsrStvec, 28));
+    b.li(28, (1ULL << kCauseEcallS) | (1ULL << kCauseEcallU));
+    b.emit(csrrw(kZero, kCsrMedeleg, 28));
+    // Enter S-mode.
+    b.li(28, kMstatusMppMask);
+    b.emit(csrrc(kZero, kCsrMstatus, 28));
+    b.li(28, 1ULL << 11); // MPP = S
+    b.emit(csrrs(kZero, kCsrMstatus, 28));
+    b.emit(auipc(28, 0));
+    b.emit(addi(28, 28, 16));
+    b.emit(csrrw(kZero, kCsrMepc, 28));
+    b.emit(mret());
+    // S-mode main: two ecalls, then halt.
+    b.emit(ecall());
+    b.emit(ecall());
+    b.emitHalt(0);
+    SupervisorProgram sp;
+    sp.sHandlerAddr = s_handler;
+    sp.program = b.assemble("smode");
+    return sp;
+}
+
+TEST(SMode, DelegatedEcallReachesSupervisorHandler)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    rig.run();
+    ASSERT_TRUE(rig.soc.core.halted());
+    EXPECT_EQ(rig.soc.core.xreg(26), 2u); // both ecalls to S handler
+    EXPECT_EQ(rig.soc.core.xreg(27), 0u); // M handler never entered
+    EXPECT_EQ(rig.soc.core.csrs().scause, kCauseEcallS);
+    EXPECT_EQ(rig.soc.core.csrs().priv, kPrivS);
+}
+
+TEST(SMode, UndelegatedEcallStillGoesToM)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    // Clear the delegation the program sets up: run to S-mode entry,
+    // then clear medeleg behind its back.
+    while (rig.soc.core.csrs().priv == kPrivM && !rig.soc.core.halted())
+        rig.soc.core.step();
+    rig.soc.core.writeCsr(kCsrMedeleg, 0);
+    rig.run();
+    ASSERT_TRUE(rig.soc.core.halted());
+    EXPECT_EQ(rig.soc.core.xreg(26), 0u);
+    EXPECT_EQ(rig.soc.core.xreg(27), 2u);
+    EXPECT_EQ(rig.soc.core.csrs().mcause, kCauseEcallS);
+}
+
+TEST(SMode, TrapFromSModeRecordsSppAndSretRestores)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    // Step until inside the S handler (priv stays S, scause set).
+    while (rig.soc.core.csrs().scause == 0 && !rig.soc.core.halted())
+        rig.soc.core.step();
+    EXPECT_EQ(rig.soc.core.csrs().priv, kPrivS);
+    EXPECT_NE(rig.soc.core.csrs().mstatus & kMstatusSpp, 0u);
+    rig.run();
+    EXPECT_TRUE(rig.soc.core.halted());
+}
+
+TEST(SMode, SstatusIsMaskedViewOfMstatus)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    rig.soc.core.writeCsr(kCsrMstatus,
+                          kMstatusMie | kMstatusSie | kMstatusSpp);
+    u64 sstatus = rig.soc.core.readCsr(kCsrSstatus);
+    EXPECT_EQ(sstatus, kMstatusSie | kMstatusSpp); // MIE filtered out
+    rig.soc.core.writeCsr(kCsrSstatus, 0);
+    // Clearing via sstatus must not touch M bits.
+    EXPECT_NE(rig.soc.core.csrs().mstatus & kMstatusMie, 0u);
+    EXPECT_EQ(rig.soc.core.csrs().mstatus & kMstatusSie, 0u);
+}
+
+TEST(SMode, SieSipAreGatedByMideleg)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    rig.soc.core.writeCsr(kCsrMideleg, kIpStip);
+    rig.soc.core.writeCsr(kCsrSie, kIpStip | kIpMtip);
+    // Only the delegated bit is writable through sie.
+    EXPECT_EQ(rig.soc.core.readCsr(kCsrSie), kIpStip);
+    EXPECT_EQ(rig.soc.core.csrs().mie & kIpMtip, 0u);
+    rig.soc.core.writeCsr(kCsrSip, kIpStip);
+    EXPECT_EQ(rig.soc.core.readCsr(kCsrSip) & kIpStip, kIpStip);
+}
+
+TEST(SMode, DelegatedTimerInterruptTrapsToS)
+{
+    SupervisorProgram sp = buildSupervisorEcall();
+    Rig rig(sp.program);
+    // Enter S-mode first.
+    while (rig.soc.core.csrs().priv == kPrivM && !rig.soc.core.halted())
+        rig.soc.core.step();
+    ASSERT_EQ(rig.soc.core.csrs().priv, kPrivS);
+    // Delegate the supervisor timer interrupt and raise it.
+    rig.soc.core.writeCsr(kCsrMideleg, kIpStip);
+    rig.soc.core.writeCsr(kCsrMie, kIpStip);
+    rig.soc.core.writeCsr(kCsrSstatus, kMstatusSie);
+    rig.soc.core.writeCsr(kCsrSip, kIpStip);
+    // autoInterrupts is off in this rig; force the delegated cause the
+    // way the checker does and confirm it lands in the S handler.
+    rig.soc.core.forceInterrupt(kIntSTimer);
+    StepResult r = rig.soc.core.step();
+    ASSERT_TRUE(r.interrupt);
+    EXPECT_EQ(rig.soc.core.csrs().scause,
+              kIntSTimer | kInterruptFlag);
+    EXPECT_EQ(rig.soc.core.pc(), sp.sHandlerAddr);
+    EXPECT_EQ(rig.soc.core.csrs().priv, kPrivS);
+}
+
+TEST(SMode, EcallCauseTracksPrivilege)
+{
+    // In M-mode an ecall reports cause 11.
+    ProgramBuilder b;
+    b.li(28, kRamBase + 0x200);
+    b.emit(csrrw(kZero, kCsrMtvec, 28));
+    b.emit(ecall());
+    Program p = b.assemble("m-ecall");
+    Rig rig(p);
+    for (int i = 0; i < 5; ++i)
+        rig.soc.core.step();
+    EXPECT_EQ(rig.soc.core.csrs().mcause, kCauseEcallM);
+}
+
+TEST(SMode, SupervisorBootWorkloadVerifiesUnderFullCosim)
+{
+    // The headline integration: the S-mode boot-like workload (ecalls
+    // delegated to S, timer interrupts to M, priv transitions in every
+    // CsrState snapshot) verifies clean with all optimizations on.
+    WorkloadOptions opts;
+    opts.seed = 12;
+    opts.iterations = 400;
+    opts.bodyLength = 48;
+    Program p = makeBootLike(opts); // supervisorMode = true inside
+    cosim::CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(cosim::OptLevel::BNSD);
+    cosim::CoSimulator sim(cfg, p);
+    cosim::CosimResult r = sim.run(3'000'000);
+    EXPECT_TRUE(r.verified) << r.mismatch.describe();
+    EXPECT_TRUE(r.goodTrap);
+    // The run genuinely exercised S-mode.
+    EXPECT_EQ(sim.dutModel().core(0).csrs().priv, kPrivS);
+}
+
+} // namespace
+} // namespace dth::riscv

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for Squash: differencing roundtrip properties, fusion windows,
+ * order-decoupled vs order-coupled NDE handling, and the two-stage
+ * Reorderer (emission-prefix restoration + watermark release).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "squash/squash.h"
+
+namespace dth {
+namespace {
+
+std::vector<u8>
+randomSnapshot(Rng &rng, size_t words)
+{
+    std::vector<u8> s(words * 8);
+    for (auto &b : s)
+        b = static_cast<u8>(rng.next());
+    return s;
+}
+
+TEST(Differencing, RoundTripProperty)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        size_t words = rng.nextRange(1, 64);
+        std::vector<u8> prev = randomSnapshot(rng, words);
+        std::vector<u8> cur = prev;
+        // Mutate a random subset of words.
+        unsigned changes = static_cast<unsigned>(rng.nextBelow(words + 1));
+        for (unsigned i = 0; i < changes; ++i)
+            storeU64(cur, rng.nextBelow(words) * 8, rng.next());
+        auto diff =
+            diffSnapshot(EventType::ArchIntRegState, prev, cur);
+        EventType base;
+        auto restored = completeSnapshot(prev, diff, &base);
+        EXPECT_EQ(base, EventType::ArchIntRegState);
+        EXPECT_EQ(restored, cur);
+    }
+}
+
+TEST(Differencing, UnchangedSnapshotDiffIsTiny)
+{
+    Rng rng(12);
+    std::vector<u8> snap = randomSnapshot(rng, 121); // CsrState size
+    auto diff = diffSnapshot(EventType::CsrState, snap, snap);
+    // Header + bitmap only; no payload words.
+    EXPECT_LE(diff.size(), kDiffStateFixedBytes + 16 + 8);
+    EventType base;
+    EXPECT_EQ(completeSnapshot(snap, diff, &base), snap);
+}
+
+TEST(Differencing, SingleWordChangeIsCompact)
+{
+    Rng rng(13);
+    std::vector<u8> prev = randomSnapshot(rng, 32);
+    std::vector<u8> cur = prev;
+    storeU64(cur, 8 * 7, 0xDEAD);
+    auto diff = diffSnapshot(EventType::ArchIntRegState, prev, cur);
+    EXPECT_LE(diff.size(), kDiffStateFixedBytes + 4 + 8);
+}
+
+TEST(DigestTerms, DistinctKindsProduceDistinctTerms)
+{
+    EXPECT_NE(commitDigestTerm(1, 2, 3), loadDigestTerm(1, 2, 3));
+    EXPECT_NE(loadDigestTerm(1, 2, 3), storeDigestTerm(1, 2, 3));
+    EXPECT_NE(storeDigestTerm(1, 2, 3), branchDigestTerm(1, 2, 3));
+    EXPECT_NE(branchDigestTerm(1, 2, 3), vecDigestTerm(1, 2, 3));
+}
+
+TEST(DigestTerms, SensitiveToEveryArgument)
+{
+    u64 base = commitDigestTerm(0x80000000, 0x13, 7);
+    EXPECT_NE(base, commitDigestTerm(0x80000004, 0x13, 7));
+    EXPECT_NE(base, commitDigestTerm(0x80000000, 0x17, 7));
+    EXPECT_NE(base, commitDigestTerm(0x80000000, 0x13, 8));
+}
+
+// ---------------------------------------------------------------------------
+// SquashUnit fusion behaviour.
+// ---------------------------------------------------------------------------
+
+Event
+makeCommit(u64 seq, u64 pc, u8 core = 0)
+{
+    Event e = Event::make(EventType::InstrCommit, core, 0, seq);
+    InstrCommitView v(e);
+    v.set_pc(pc);
+    v.set_instr(0x13);
+    v.set_seqNo(seq);
+    v.set_nextPc(pc + 4);
+    return e;
+}
+
+Event
+makeMmio(u64 seq, u8 core = 0)
+{
+    Event e = Event::make(EventType::MmioEvent, core, 0, seq);
+    MmioView v(e);
+    v.set_addr(0x10000005);
+    v.set_data(0x60);
+    v.set_seqNo(seq);
+    v.set_isLoad(1);
+    return e;
+}
+
+SquashConfig
+squashConfig(unsigned max_fuse, bool order_coupled)
+{
+    SquashConfig sc;
+    sc.maxFuse = max_fuse;
+    sc.orderCoupled = order_coupled;
+    return sc;
+}
+
+TEST(SquashUnit, FusesUpToMaxFuse)
+{
+    SquashUnit unit(squashConfig(8, false));
+    std::vector<Event> out;
+    for (u64 seq = 1; seq <= 16; ++seq) {
+        CycleEvents ce;
+        ce.cycle = seq;
+        ce.events.push_back(makeCommit(seq, 0x1000 + seq * 4));
+        CycleEvents o = unit.process(ce);
+        for (Event &e : o.events)
+            out.push_back(std::move(e));
+    }
+    ASSERT_EQ(out.size(), 2u);
+    FusedCommitView v0(out[0]);
+    EXPECT_EQ(v0.firstSeq(), 1u);
+    EXPECT_EQ(v0.count(), 8u);
+    FusedCommitView v1(out[1]);
+    EXPECT_EQ(v1.firstSeq(), 9u);
+    EXPECT_EQ(v1.lastSeq(), 16u);
+    EXPECT_EQ(unit.counters().get("squash.flushes"), 2u);
+    EXPECT_EQ(unit.counters().get("squash.commits_absorbed"), 16u);
+}
+
+TEST(SquashUnit, NdeDoesNotBreakFusionWhenDecoupled)
+{
+    SquashUnit unit(squashConfig(8, false));
+    std::vector<Event> out;
+    for (u64 seq = 1; seq <= 8; ++seq) {
+        CycleEvents ce;
+        ce.cycle = seq;
+        if (seq == 4)
+            ce.events.push_back(makeMmio(4));
+        ce.events.push_back(makeCommit(seq, 0x1000 + seq * 4));
+        CycleEvents o = unit.process(ce);
+        for (Event &e : o.events)
+            out.push_back(std::move(e));
+    }
+    // MMIO scheduled ahead; exactly one full fused window.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, EventType::MmioEvent);
+    EXPECT_EQ(out[1].type, EventType::FusedCommit);
+    EXPECT_EQ(FusedCommitView(out[1]).count(), 8u);
+}
+
+TEST(SquashUnit, NdeBreaksFusionWhenOrderCoupled)
+{
+    SquashUnit unit(squashConfig(8, true));
+    std::vector<Event> out;
+    for (u64 seq = 1; seq <= 8; ++seq) {
+        CycleEvents ce;
+        ce.cycle = seq;
+        if (seq == 4)
+            ce.events.push_back(makeMmio(4));
+        ce.events.push_back(makeCommit(seq, 0x1000 + seq * 4));
+        CycleEvents o = unit.process(ce);
+        for (Event &e : o.events)
+            out.push_back(std::move(e));
+    }
+    CycleEvents tail = unit.finish();
+    for (Event &e : tail.events)
+        out.push_back(std::move(e));
+    // The NDE forced an early flush: two FusedCommits (3 + 5 commits).
+    std::vector<u64> counts;
+    for (const Event &e : out)
+        if (e.type == EventType::FusedCommit)
+            counts.push_back(FusedCommitView(e).count());
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 5u);
+}
+
+TEST(SquashUnit, SnapshotsReducedToLatestAndDiffed)
+{
+    SquashUnit unit(squashConfig(8, false));
+    std::vector<Event> out;
+    for (u64 seq = 1; seq <= 8; ++seq) {
+        CycleEvents ce;
+        ce.cycle = seq;
+        ce.events.push_back(makeCommit(seq, 0x1000 + seq * 4));
+        Event snap = Event::make(EventType::ArchIntRegState, 0, 0, seq);
+        RegFileView rv(snap);
+        rv.setReg(5, seq); // one register changes each cycle
+        ce.events.push_back(std::move(snap));
+        CycleEvents o = unit.process(ce);
+        for (Event &e : o.events)
+            out.push_back(std::move(e));
+    }
+    // The flush fires while absorbing commit 8, before cycle 8's
+    // snapshot arrives: the window carries the latest snapshot seen so
+    // far (seq 7); snapshot 8 travels with the end-of-run flush.
+    CycleEvents tail = unit.finish();
+    for (Event &e : tail.events)
+        out.push_back(std::move(e));
+    std::vector<u64> restored;
+    SquashCompleter completer(1);
+    for (const Event &e : out) {
+        if (e.type == EventType::DiffState) {
+            Event full = completer.complete(e);
+            EXPECT_EQ(full.type, EventType::ArchIntRegState);
+            restored.push_back(RegFileView(full).reg(5));
+        }
+    }
+    ASSERT_EQ(restored.size(), 2u);
+    EXPECT_EQ(restored[0], 7u);
+    EXPECT_EQ(restored[1], 8u);
+}
+
+TEST(SquashUnit, TrapFlushesWindow)
+{
+    SquashUnit unit(squashConfig(32, false));
+    CycleEvents ce;
+    ce.cycle = 1;
+    ce.events.push_back(makeCommit(1, 0x1000));
+    ce.events.push_back(makeCommit(2, 0x1004));
+    Event trap = Event::make(EventType::Trap, 0, 0, 2);
+    TrapView(trap).set_hasTrap(1);
+    ce.events.push_back(std::move(trap));
+    CycleEvents o = unit.process(ce);
+    ASSERT_EQ(o.events.size(), 2u);
+    EXPECT_EQ(o.events[0].type, EventType::FusedCommit);
+    EXPECT_EQ(FusedCommitView(o.events[0]).count(), 2u);
+    EXPECT_EQ(o.events[1].type, EventType::Trap);
+}
+
+TEST(SquashUnit, AuxEventsBecomeDigests)
+{
+    SquashUnit unit(squashConfig(4, false));
+    u64 expected = 0;
+    std::vector<Event> out;
+    for (u64 seq = 1; seq <= 4; ++seq) {
+        CycleEvents ce;
+        ce.cycle = seq;
+        Event load = Event::make(EventType::LoadEvent, 0, 0, seq);
+        LoadView lv(load);
+        lv.set_paddr(0x80000000 + seq * 8);
+        lv.set_data(seq * 1000);
+        lv.set_seqNo(seq);
+        expected ^= loadDigestTerm(0x80000000 + seq * 8, seq * 1000, seq);
+        ce.events.push_back(std::move(load));
+        ce.events.push_back(makeCommit(seq, 0x1000 + 4 * seq));
+        CycleEvents o = unit.process(ce);
+        for (Event &e : o.events)
+            out.push_back(std::move(e));
+    }
+    bool found = false;
+    for (const Event &e : out) {
+        if (e.type == EventType::FusedDigest) {
+            FusedDigestView v(e);
+            if (v.baseType() ==
+                static_cast<u8>(EventType::LoadEvent)) {
+                found = true;
+                EXPECT_EQ(v.digest(), expected);
+                EXPECT_EQ(v.count(), 4u);
+                EXPECT_EQ(v.firstSeq(), 1u);
+                EXPECT_EQ(v.lastSeq(), 4u);
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Reorderer.
+// ---------------------------------------------------------------------------
+
+Event
+taggedEvent(EventType type, u64 seq, u64 emit, u8 core = 0)
+{
+    Event e = Event::make(type, core, 0, seq);
+    e.emitSeq = emit;
+    if (type == EventType::InstrCommit)
+        InstrCommitView(e).set_seqNo(seq);
+    return e;
+}
+
+TEST(Reorderer, HoldsUntilWatermark)
+{
+    Reorderer ro(1);
+    ro.push(taggedEvent(EventType::L1DRefill, 5, 0));
+    EXPECT_TRUE(ro.drain().empty());
+    ro.push(taggedEvent(EventType::InstrCommit, 5, 1));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 2u);
+    // Commit (priority 1) precedes content (priority 2) at equal seq.
+    EXPECT_EQ(out[0].type, EventType::InstrCommit);
+    EXPECT_EQ(out[1].type, EventType::L1DRefill);
+}
+
+TEST(Reorderer, NdePrecedesCommitAtSameTag)
+{
+    Reorderer ro(1);
+    ro.push(taggedEvent(EventType::InstrCommit, 3, 0));
+    ro.push(taggedEvent(EventType::MmioEvent, 3, 1));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, EventType::MmioEvent);
+    EXPECT_EQ(out[1].type, EventType::InstrCommit);
+}
+
+TEST(Reorderer, InterruptSortsAfterEverythingAtItsTag)
+{
+    Reorderer ro(1);
+    Event irq = taggedEvent(EventType::ArchEvent, 3, 0);
+    ArchEventView(irq).set_kind(1);
+    ro.push(std::move(irq));
+    ro.push(taggedEvent(EventType::InstrCommit, 3, 1));
+    ro.push(taggedEvent(EventType::LoadEvent, 3, 2));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].type, EventType::InstrCommit);
+    EXPECT_EQ(out[1].type, EventType::LoadEvent);
+    EXPECT_EQ(out[2].type, EventType::ArchEvent);
+}
+
+TEST(Reorderer, EmissionPrefixGatesRelease)
+{
+    // The commit (emit index 1) arrives before the MMIO event (emit
+    // index 0): nothing may be released until the gap is filled.
+    Reorderer ro(1);
+    ro.push(taggedEvent(EventType::InstrCommit, 3, 1));
+    EXPECT_TRUE(ro.drain().empty());
+    EXPECT_EQ(ro.pending(), 1u);
+    ro.push(taggedEvent(EventType::MmioEvent, 3, 0));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, EventType::MmioEvent);
+}
+
+TEST(Reorderer, FusedCommitRaisesWatermarkToWindowEnd)
+{
+    Reorderer ro(1);
+    ro.push(taggedEvent(EventType::L1DRefill, 10, 0));
+    ro.push(taggedEvent(EventType::MmioEvent, 28, 1));
+    Event fc = Event::make(EventType::FusedCommit, 0, 0, 32);
+    FusedCommitView v(fc);
+    v.set_firstSeq(1);
+    v.set_count(32);
+    fc.emitSeq = 2;
+    ro.push(std::move(fc));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].type, EventType::L1DRefill);  // seq 10
+    EXPECT_EQ(out[1].type, EventType::MmioEvent);  // seq 28
+    EXPECT_EQ(out[2].type, EventType::FusedCommit); // seq 32
+}
+
+TEST(Reorderer, PerCoreIndependence)
+{
+    Reorderer ro(2);
+    ro.push(taggedEvent(EventType::L1DRefill, 5, 0, 1));
+    ro.push(taggedEvent(EventType::InstrCommit, 7, 0, 0));
+    auto out = ro.drain();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].core, 0);
+    ro.push(taggedEvent(EventType::InstrCommit, 5, 1, 1));
+    out = ro.drain();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].core, 1);
+}
+
+TEST(Reorderer, DrainAllReleasesEverything)
+{
+    Reorderer ro(1);
+    ro.push(taggedEvent(EventType::L1DRefill, 100, 5)); // emission gap
+    EXPECT_TRUE(ro.drain().empty());
+    auto out = ro.drainAll();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(ro.pending(), 0u);
+}
+
+TEST(Reorderer, PropertyReleasedInCheckingOrder)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        Reorderer ro(1);
+        // Build a plausible emission stream, then permute within small
+        // windows (as Batch grouping does).
+        std::vector<Event> emitted;
+        u64 seq = 0;
+        for (unsigned i = 0; i < 60; ++i) {
+            seq += 1;
+            if (rng.chance(0.2))
+                emitted.push_back(
+                    taggedEvent(EventType::MmioEvent, seq, 0));
+            emitted.push_back(
+                taggedEvent(EventType::InstrCommit, seq, 0));
+            if (rng.chance(0.3))
+                emitted.push_back(
+                    taggedEvent(EventType::L1DRefill, seq, 0));
+        }
+        for (u64 i = 0; i < emitted.size(); ++i)
+            emitted[i].emitSeq = i;
+        // Permute within windows of 8.
+        std::vector<Event> arrival = emitted;
+        for (size_t base = 0; base + 8 <= arrival.size(); base += 8)
+            for (size_t i = 0; i < 8; ++i)
+                std::swap(arrival[base + i],
+                          arrival[base + rng.nextBelow(8)]);
+        std::vector<Event> released;
+        for (Event &e : arrival) {
+            ro.push(std::move(e));
+            for (Event &r : ro.drain())
+                released.push_back(std::move(r));
+        }
+        for (Event &r : ro.drainAll())
+            released.push_back(std::move(r));
+        ASSERT_EQ(released.size(), emitted.size());
+        // Released sequence must be sorted by checking order.
+        for (size_t i = 0; i + 1 < released.size(); ++i) {
+            EXPECT_FALSE(checkingOrderLess(released[i + 1], released[i]))
+                << "at " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace dth

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the tuning toolkit: trace encode/decode roundtrip, trace
+ * capture from a live run, trace-driven verification (iterative
+ * debugging without the DUT), offline analysis, and pipeline volume
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cosim/cosim.h"
+#include "tuning/analysis.h"
+#include "tuning/sweep.h"
+#include "tuning/trace.h"
+#include "workload/generators.h"
+
+namespace dth::tuning {
+namespace {
+
+workload::Program
+bootProgram(unsigned iterations = 300)
+{
+    workload::WorkloadOptions opts;
+    opts.seed = 31;
+    opts.iterations = iterations;
+    opts.bodyLength = 48;
+    return workload::makeBootLike(opts);
+}
+
+DutTrace
+captureTrace(const workload::Program &program)
+{
+    cosim::CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(cosim::OptLevel::BNSD);
+    cosim::CoSimulator sim(cfg, program);
+    DutTrace trace;
+    trace.workloadName = program.name;
+    sim.setMonitorTap([&trace](const CycleEvents &ce) {
+        trace.cycles.push_back(ce);
+    });
+    cosim::CosimResult r = sim.run(2'000'000);
+    EXPECT_TRUE(r.goodTrap);
+    return trace;
+}
+
+TEST(Trace, EncodeDecodeRoundTrip)
+{
+    workload::Program p = bootProgram(50);
+    DutTrace trace = captureTrace(p);
+    std::vector<u8> bytes = encodeTrace(trace);
+    DutTrace back;
+    ASSERT_TRUE(decodeTrace(&back, bytes));
+    ASSERT_EQ(back.cycles.size(), trace.cycles.size());
+    EXPECT_EQ(back.workloadName, trace.workloadName);
+    for (size_t c = 0; c < trace.cycles.size(); ++c) {
+        ASSERT_EQ(back.cycles[c].events.size(),
+                  trace.cycles[c].events.size());
+        for (size_t i = 0; i < trace.cycles[c].events.size(); ++i)
+            EXPECT_TRUE(back.cycles[c].events[i] ==
+                        trace.cycles[c].events[i]);
+    }
+}
+
+TEST(Trace, SaveLoadFile)
+{
+    workload::Program p = bootProgram(30);
+    DutTrace trace = captureTrace(p);
+    std::string path = ::testing::TempDir() + "dth_trace_test.bin";
+    ASSERT_TRUE(saveTrace(trace, path));
+    DutTrace back;
+    ASSERT_TRUE(loadTrace(&back, path));
+    EXPECT_EQ(back.totalEvents(), trace.totalEvents());
+    EXPECT_EQ(back.totalBytes(), trace.totalBytes());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DecodeRejectsGarbage)
+{
+    DutTrace t;
+    std::vector<u8> garbage = {1, 2, 3, 4, 5};
+    EXPECT_FALSE(decodeTrace(&t, garbage));
+}
+
+TEST(Analysis, VerifyTraceWithoutDut)
+{
+    workload::Program p = bootProgram(200);
+    DutTrace trace = captureTrace(p);
+    checker::MismatchReport report;
+    EXPECT_TRUE(verifyTrace(trace, p, 1, true, &report))
+        << report.describe();
+}
+
+TEST(Analysis, VerifyTraceDetectsTamperedEvent)
+{
+    workload::Program p = bootProgram(100);
+    DutTrace trace = captureTrace(p);
+    // Corrupt one commit's rd value mid-trace.
+    bool tampered = false;
+    for (size_t c = trace.cycles.size() / 2;
+         c < trace.cycles.size() && !tampered; ++c) {
+        for (Event &e : trace.cycles[c].events) {
+            if (e.type == EventType::InstrCommit) {
+                InstrCommitView v(e);
+                if (v.rfWen()) {
+                    v.set_rdVal(v.rdVal() ^ 0x40);
+                    tampered = true;
+                    break;
+                }
+            }
+        }
+    }
+    ASSERT_TRUE(tampered);
+    checker::MismatchReport report;
+    EXPECT_FALSE(verifyTrace(trace, p, 1, true, &report));
+    EXPECT_EQ(report.field, "rd-value");
+}
+
+TEST(Analysis, PerTypeStatsAndCsv)
+{
+    workload::Program p = bootProgram(200);
+    DutTrace trace = captureTrace(p);
+    TraceAnalysis a = analyzeTrace(trace);
+    EXPECT_EQ(a.cycles, trace.cycles.size());
+    EXPECT_EQ(a.events, trace.totalEvents());
+    EXPECT_EQ(a.bytes, trace.totalBytes());
+    // The CSR snapshot barely changes between commit cycles: high word
+    // repetitiveness is exactly what motivates differencing (§4.3.1).
+    const TypeStats &csr =
+        a.perType[static_cast<unsigned>(EventType::CsrState)];
+    ASSERT_GT(csr.count, 0u);
+    EXPECT_GT(csr.repetitiveness(), 0.9);
+    std::string csv = a.toCsv();
+    EXPECT_NE(csv.find("csr_state"), std::string::npos);
+    EXPECT_NE(csv.find("instr_commit"), std::string::npos);
+}
+
+TEST(Analysis, PipelineVolumeMatchesSquashBenefit)
+{
+    workload::Program p = bootProgram(200);
+    DutTrace trace = captureTrace(p);
+    SquashConfig with;
+    with.maxFuse = 32;
+    SquashConfig coupled = with;
+    coupled.orderCoupled = true;
+    PipelineVolume decoupled_v = simulatePipeline(trace, with, 4096);
+    PipelineVolume coupled_v = simulatePipeline(trace, coupled, 4096);
+    EXPECT_GT(decoupled_v.fusionRatio, coupled_v.fusionRatio);
+    EXPECT_LE(decoupled_v.wireBytes, coupled_v.wireBytes);
+    EXPECT_LT(decoupled_v.wireBytes, trace.totalBytes() / 4);
+}
+
+TEST(Sweep, RunsLabeledConfigsAndRanksThem)
+{
+    workload::Program p = bootProgram(120);
+    SweepRunner sweep(p, 400000);
+    for (auto level : {cosim::OptLevel::Z, cosim::OptLevel::BNSD}) {
+        cosim::CosimConfig cfg;
+        cfg.dut = dut::xsDefaultConfig();
+        cfg.platform = link::palladiumPlatform();
+        cfg.applyOptLevel(level);
+        sweep.run(level == cosim::OptLevel::Z ? "baseline" : "full", cfg);
+    }
+    ASSERT_EQ(sweep.rows().size(), 2u);
+    EXPECT_EQ(sweep.bestBySpeed(), "full");
+    std::string csv = sweep.csv();
+    EXPECT_NE(csv.find("baseline,"), std::string::npos);
+    EXPECT_NE(csv.find("full,"), std::string::npos);
+    EXPECT_EQ(sweep.table().rows(), 2u);
+}
+
+} // namespace
+} // namespace dth::tuning

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the mini-assembler, ProgramBuilder and workload generators:
+ * every generated workload must run to a good trap on the SoC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "riscv/core.h"
+#include "workload/generators.h"
+
+namespace dth::workload {
+namespace {
+
+using namespace dth::riscv;
+
+struct RunOutcome
+{
+    bool halted = false;
+    u64 haltCode = 0;
+    u64 steps = 0;
+    u64 retired = 0;
+    u64 interrupts = 0;
+    u64 mmioLoads = 0;
+};
+
+RunOutcome
+runOnSoc(const Program &p, u64 max_steps = 2000000, bool auto_irq = true)
+{
+    Soc soc(CoreConfig{.resetPc = p.base, .autoInterrupts = auto_irq});
+    soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    RunOutcome out;
+    while (!soc.core.halted() && out.steps < max_steps) {
+        StepResult r = soc.core.step();
+        soc.clint.tick();
+        ++out.steps;
+        if (r.retired)
+            ++out.retired;
+        if (r.interrupt)
+            ++out.interrupts;
+        for (unsigned i = 0; i < r.memCount; ++i)
+            if (r.mem[i].valid && r.mem[i].mmio && !r.mem[i].store)
+                ++out.mmioLoads;
+    }
+    out.halted = soc.core.halted();
+    out.haltCode = soc.core.haltCode();
+    return out;
+}
+
+TEST(ProgramBuilder, LiCoversFullRange)
+{
+    const u64 values[] = {0,
+                          1,
+                          2047,
+                          2048,
+                          0x7FFFFFFF,
+                          0x80000000,
+                          0xFFFFFFFF,
+                          0x123456789ABCDEF0,
+                          ~0ULL,
+                          0x8000000000000000,
+                          0xFFFFFFFF80000000};
+    for (u64 v : values) {
+        ProgramBuilder b;
+        b.li(5, v);
+        b.emitHalt(0);
+        Program p = b.assemble("li");
+        Soc soc;
+        soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+        while (!soc.core.halted())
+            soc.core.step();
+        EXPECT_EQ(soc.core.xreg(5), v) << std::hex << v;
+    }
+}
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b;
+    // for (x5 = 0; x5 != 10; ++x5) {}
+    b.emit(addi(5, 0, 0));
+    auto loop = b.hereLabel();
+    b.emit(addi(5, 5, 1));
+    b.li(6, 10);
+    b.emitBne(5, 6, loop);
+    auto end = b.newLabel();
+    b.emitJal(0, end);
+    b.emit(addi(5, 0, 99)); // skipped
+    b.bind(end);
+    b.emitHalt(0);
+    Program p = b.assemble("labels");
+    Soc soc;
+    soc.bus.ram().load(p.base, p.image.data(), p.image.size());
+    u64 guard = 0;
+    while (!soc.core.halted() && ++guard < 1000)
+        soc.core.step();
+    EXPECT_TRUE(soc.core.halted());
+    EXPECT_EQ(soc.core.xreg(5), 10u);
+}
+
+TEST(ProgramBuilder, UnboundLabelPanics)
+{
+    ProgramBuilder b;
+    auto l = b.newLabel();
+    b.emitJal(0, l);
+    EXPECT_DEATH(b.assemble("bad"), "never bound");
+}
+
+class GeneratorTest
+    : public ::testing::TestWithParam<std::tuple<const char *, u64>>
+{};
+
+TEST_P(GeneratorTest, RunsToGoodTrap)
+{
+    auto [kind, seed] = GetParam();
+    WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = 200;
+    opts.bodyLength = 48;
+    Program p;
+    std::string k = kind;
+    if (k == "microbench")
+        p = makeMicrobench(opts);
+    else if (k == "boot")
+        p = makeBootLike(opts);
+    else if (k == "compute")
+        p = makeComputeLike(opts);
+    else if (k == "vector")
+        p = makeVectorLike(opts);
+    else
+        p = makeIoHeavy(opts);
+
+    RunOutcome out = runOnSoc(p);
+    EXPECT_TRUE(out.halted) << k << " seed " << seed;
+    EXPECT_EQ(out.haltCode, 0u) << k;
+    EXPECT_GT(out.retired, opts.iterations * 10ull) << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, GeneratorTest,
+    ::testing::Combine(::testing::Values("microbench", "boot", "compute",
+                                         "vector", "io"),
+                       ::testing::Values(1u, 7u, 42u, 1234u)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Generators, BootLikeTakesInterruptsAndMmio)
+{
+    WorkloadOptions opts;
+    opts.seed = 3;
+    opts.iterations = 400;
+    opts.timerInterval = 2000;
+    Program p = makeBootLike(opts);
+    RunOutcome out = runOnSoc(p);
+    EXPECT_TRUE(out.halted);
+    EXPECT_GT(out.interrupts, 0u);
+    EXPECT_GT(out.mmioLoads, 0u);
+}
+
+TEST(Generators, ComputeLikeHasNoMmio)
+{
+    WorkloadOptions opts;
+    opts.seed = 3;
+    opts.iterations = 100;
+    Program p = makeComputeLike(opts);
+    RunOutcome out = runOnSoc(p);
+    EXPECT_TRUE(out.halted);
+    EXPECT_EQ(out.interrupts, 0u);
+    EXPECT_EQ(out.mmioLoads, 0u);
+}
+
+TEST(Generators, DeterministicAcrossRuns)
+{
+    WorkloadOptions opts;
+    opts.seed = 99;
+    opts.iterations = 10;
+    Program a = makeBootLike(opts);
+    Program b = makeBootLike(opts);
+    EXPECT_EQ(a.image, b.image);
+    opts.seed = 100;
+    Program c = makeBootLike(opts);
+    EXPECT_NE(a.image, c.image);
+}
+
+TEST(Generators, IoHeavyHasHigherMmioDensityThanBoot)
+{
+    WorkloadOptions opts;
+    opts.seed = 5;
+    opts.iterations = 200;
+    RunOutcome io = runOnSoc(makeIoHeavy(opts));
+    RunOutcome boot = runOnSoc(makeBootLike(opts));
+    ASSERT_TRUE(io.halted);
+    ASSERT_TRUE(boot.halted);
+    double io_rate = double(io.mmioLoads) / io.retired;
+    double boot_rate = double(boot.mmioLoads) / boot.retired;
+    EXPECT_GT(io_rate, boot_rate);
+}
+
+} // namespace
+} // namespace dth::workload
