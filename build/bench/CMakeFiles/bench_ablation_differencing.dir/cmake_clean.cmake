@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_differencing.dir/bench_ablation_differencing.cc.o"
+  "CMakeFiles/bench_ablation_differencing.dir/bench_ablation_differencing.cc.o.d"
+  "bench_ablation_differencing"
+  "bench_ablation_differencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_differencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

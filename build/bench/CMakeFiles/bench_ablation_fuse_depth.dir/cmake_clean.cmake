@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fuse_depth.dir/bench_ablation_fuse_depth.cc.o"
+  "CMakeFiles/bench_ablation_fuse_depth.dir/bench_ablation_fuse_depth.cc.o.d"
+  "bench_ablation_fuse_depth"
+  "bench_ablation_fuse_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fuse_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replay_debug.dir/bench_ablation_replay_debug.cc.o"
+  "CMakeFiles/bench_ablation_replay_debug.dir/bench_ablation_replay_debug.cc.o.d"
+  "bench_ablation_replay_debug"
+  "bench_ablation_replay_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replay_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_bug_detection.dir/bench_fig14_bug_detection.cc.o"
+  "CMakeFiles/bench_fig14_bug_detection.dir/bench_fig14_bug_detection.cc.o.d"
+  "bench_fig14_bug_detection"
+  "bench_fig14_bug_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_bug_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_resources.dir/bench_fig15_resources.cc.o"
+  "CMakeFiles/bench_fig15_resources.dir/bench_fig15_resources.cc.o.d"
+  "bench_fig15_resources"
+  "bench_fig15_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_event_profile.dir/bench_fig4_event_profile.cc.o"
+  "CMakeFiles/bench_fig4_event_profile.dir/bench_fig4_event_profile.cc.o.d"
+  "bench_fig4_event_profile"
+  "bench_fig4_event_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_event_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

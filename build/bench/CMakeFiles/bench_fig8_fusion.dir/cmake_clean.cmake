@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fusion.dir/bench_fig8_fusion.cc.o"
+  "CMakeFiles/bench_fig8_fusion.dir/bench_fig8_fusion.cc.o.d"
+  "bench_fig8_fusion"
+  "bench_fig8_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

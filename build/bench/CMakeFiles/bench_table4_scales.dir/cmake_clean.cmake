@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_scales.dir/bench_table4_scales.cc.o"
+  "CMakeFiles/bench_table4_scales.dir/bench_table4_scales.cc.o.d"
+  "bench_table4_scales"
+  "bench_table4_scales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_breakdown.cc" "bench/CMakeFiles/bench_table5_breakdown.dir/bench_table5_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_table5_breakdown.dir/bench_table5_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_squash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_dut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dut.dir/custom_dut.cc.o"
+  "CMakeFiles/custom_dut.dir/custom_dut.cc.o.d"
+  "custom_dut"
+  "custom_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

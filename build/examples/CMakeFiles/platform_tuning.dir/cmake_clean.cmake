@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_tuning.dir/platform_tuning.cc.o"
+  "CMakeFiles/platform_tuning.dir/platform_tuning.cc.o.d"
+  "platform_tuning"
+  "platform_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_area.dir/area/area.cc.o"
+  "CMakeFiles/dth_area.dir/area/area.cc.o.d"
+  "libdth_area.a"
+  "libdth_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_checker.dir/checker/checker.cc.o"
+  "CMakeFiles/dth_checker.dir/checker/checker.cc.o.d"
+  "libdth_checker.a"
+  "libdth_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

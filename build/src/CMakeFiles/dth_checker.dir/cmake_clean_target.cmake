@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdth_checker.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_common.dir/common/logging.cc.o"
+  "CMakeFiles/dth_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/dth_common.dir/common/table.cc.o"
+  "CMakeFiles/dth_common.dir/common/table.cc.o.d"
+  "libdth_common.a"
+  "libdth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_cosim.dir/cosim/cosim.cc.o"
+  "CMakeFiles/dth_cosim.dir/cosim/cosim.cc.o.d"
+  "libdth_cosim.a"
+  "libdth_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

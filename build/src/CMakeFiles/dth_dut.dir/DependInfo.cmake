@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dut/config.cc" "src/CMakeFiles/dth_dut.dir/dut/config.cc.o" "gcc" "src/CMakeFiles/dth_dut.dir/dut/config.cc.o.d"
+  "/root/repo/src/dut/dut.cc" "src/CMakeFiles/dth_dut.dir/dut/dut.cc.o" "gcc" "src/CMakeFiles/dth_dut.dir/dut/dut.cc.o.d"
+  "/root/repo/src/dut/fault.cc" "src/CMakeFiles/dth_dut.dir/dut/fault.cc.o" "gcc" "src/CMakeFiles/dth_dut.dir/dut/fault.cc.o.d"
+  "/root/repo/src/dut/texture.cc" "src/CMakeFiles/dth_dut.dir/dut/texture.cc.o" "gcc" "src/CMakeFiles/dth_dut.dir/dut/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_dut.dir/dut/config.cc.o"
+  "CMakeFiles/dth_dut.dir/dut/config.cc.o.d"
+  "CMakeFiles/dth_dut.dir/dut/dut.cc.o"
+  "CMakeFiles/dth_dut.dir/dut/dut.cc.o.d"
+  "CMakeFiles/dth_dut.dir/dut/fault.cc.o"
+  "CMakeFiles/dth_dut.dir/dut/fault.cc.o.d"
+  "CMakeFiles/dth_dut.dir/dut/texture.cc.o"
+  "CMakeFiles/dth_dut.dir/dut/texture.cc.o.d"
+  "libdth_dut.a"
+  "libdth_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_event.dir/event/event.cc.o"
+  "CMakeFiles/dth_event.dir/event/event.cc.o.d"
+  "CMakeFiles/dth_event.dir/event/event_type.cc.o"
+  "CMakeFiles/dth_event.dir/event/event_type.cc.o.d"
+  "libdth_event.a"
+  "libdth_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

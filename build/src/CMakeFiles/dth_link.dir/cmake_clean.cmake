@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_link.dir/link/link_sim.cc.o"
+  "CMakeFiles/dth_link.dir/link/link_sim.cc.o.d"
+  "CMakeFiles/dth_link.dir/link/platform.cc.o"
+  "CMakeFiles/dth_link.dir/link/platform.cc.o.d"
+  "libdth_link.a"
+  "libdth_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_pack.dir/pack/muxtree.cc.o"
+  "CMakeFiles/dth_pack.dir/pack/muxtree.cc.o.d"
+  "CMakeFiles/dth_pack.dir/pack/packer.cc.o"
+  "CMakeFiles/dth_pack.dir/pack/packer.cc.o.d"
+  "libdth_pack.a"
+  "libdth_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

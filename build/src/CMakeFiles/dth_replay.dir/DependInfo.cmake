@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/buffer.cc" "src/CMakeFiles/dth_replay.dir/replay/buffer.cc.o" "gcc" "src/CMakeFiles/dth_replay.dir/replay/buffer.cc.o.d"
+  "/root/repo/src/replay/undo_log.cc" "src/CMakeFiles/dth_replay.dir/replay/undo_log.cc.o" "gcc" "src/CMakeFiles/dth_replay.dir/replay/undo_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_replay.dir/replay/buffer.cc.o"
+  "CMakeFiles/dth_replay.dir/replay/buffer.cc.o.d"
+  "CMakeFiles/dth_replay.dir/replay/undo_log.cc.o"
+  "CMakeFiles/dth_replay.dir/replay/undo_log.cc.o.d"
+  "libdth_replay.a"
+  "libdth_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

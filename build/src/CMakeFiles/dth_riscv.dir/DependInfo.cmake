@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/core.cc" "src/CMakeFiles/dth_riscv.dir/riscv/core.cc.o" "gcc" "src/CMakeFiles/dth_riscv.dir/riscv/core.cc.o.d"
+  "/root/repo/src/riscv/devices.cc" "src/CMakeFiles/dth_riscv.dir/riscv/devices.cc.o" "gcc" "src/CMakeFiles/dth_riscv.dir/riscv/devices.cc.o.d"
+  "/root/repo/src/riscv/instr.cc" "src/CMakeFiles/dth_riscv.dir/riscv/instr.cc.o" "gcc" "src/CMakeFiles/dth_riscv.dir/riscv/instr.cc.o.d"
+  "/root/repo/src/riscv/mem.cc" "src/CMakeFiles/dth_riscv.dir/riscv/mem.cc.o" "gcc" "src/CMakeFiles/dth_riscv.dir/riscv/mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_riscv.dir/riscv/core.cc.o"
+  "CMakeFiles/dth_riscv.dir/riscv/core.cc.o.d"
+  "CMakeFiles/dth_riscv.dir/riscv/devices.cc.o"
+  "CMakeFiles/dth_riscv.dir/riscv/devices.cc.o.d"
+  "CMakeFiles/dth_riscv.dir/riscv/instr.cc.o"
+  "CMakeFiles/dth_riscv.dir/riscv/instr.cc.o.d"
+  "CMakeFiles/dth_riscv.dir/riscv/mem.cc.o"
+  "CMakeFiles/dth_riscv.dir/riscv/mem.cc.o.d"
+  "libdth_riscv.a"
+  "libdth_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdth_riscv.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/squash/fused_views.cc" "src/CMakeFiles/dth_squash.dir/squash/fused_views.cc.o" "gcc" "src/CMakeFiles/dth_squash.dir/squash/fused_views.cc.o.d"
+  "/root/repo/src/squash/squash.cc" "src/CMakeFiles/dth_squash.dir/squash/squash.cc.o" "gcc" "src/CMakeFiles/dth_squash.dir/squash/squash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_squash.dir/squash/fused_views.cc.o"
+  "CMakeFiles/dth_squash.dir/squash/fused_views.cc.o.d"
+  "CMakeFiles/dth_squash.dir/squash/squash.cc.o"
+  "CMakeFiles/dth_squash.dir/squash/squash.cc.o.d"
+  "libdth_squash.a"
+  "libdth_squash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_squash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

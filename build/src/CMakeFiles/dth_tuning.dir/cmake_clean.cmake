@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_tuning.dir/tuning/analysis.cc.o"
+  "CMakeFiles/dth_tuning.dir/tuning/analysis.cc.o.d"
+  "CMakeFiles/dth_tuning.dir/tuning/placeholder.cc.o"
+  "CMakeFiles/dth_tuning.dir/tuning/placeholder.cc.o.d"
+  "CMakeFiles/dth_tuning.dir/tuning/sweep.cc.o"
+  "CMakeFiles/dth_tuning.dir/tuning/sweep.cc.o.d"
+  "CMakeFiles/dth_tuning.dir/tuning/trace.cc.o"
+  "CMakeFiles/dth_tuning.dir/tuning/trace.cc.o.d"
+  "libdth_tuning.a"
+  "libdth_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

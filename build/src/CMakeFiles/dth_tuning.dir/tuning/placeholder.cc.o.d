@@ -1,0 +1,2 @@
+src/CMakeFiles/dth_tuning.dir/tuning/placeholder.cc.o: \
+ /root/repo/src/tuning/placeholder.cc /usr/include/stdc-predef.h

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/asm.cc" "src/CMakeFiles/dth_workload.dir/workload/asm.cc.o" "gcc" "src/CMakeFiles/dth_workload.dir/workload/asm.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/dth_workload.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/dth_workload.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/CMakeFiles/dth_workload.dir/workload/program.cc.o" "gcc" "src/CMakeFiles/dth_workload.dir/workload/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dth_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dth_workload.dir/workload/asm.cc.o"
+  "CMakeFiles/dth_workload.dir/workload/asm.cc.o.d"
+  "CMakeFiles/dth_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/dth_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/dth_workload.dir/workload/program.cc.o"
+  "CMakeFiles/dth_workload.dir/workload/program.cc.o.d"
+  "libdth_workload.a"
+  "libdth_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dth_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

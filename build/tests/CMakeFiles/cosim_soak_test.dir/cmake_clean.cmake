@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_soak_test.dir/cosim_soak_test.cc.o"
+  "CMakeFiles/cosim_soak_test.dir/cosim_soak_test.cc.o.d"
+  "cosim_soak_test"
+  "cosim_soak_test.pdb"
+  "cosim_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

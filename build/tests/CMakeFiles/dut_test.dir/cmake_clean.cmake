@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_test.dir/dut_test.cc.o"
+  "CMakeFiles/dut_test.dir/dut_test.cc.o.d"
+  "dut_test"
+  "dut_test.pdb"
+  "dut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_asm_test.dir/riscv_asm_test.cc.o"
+  "CMakeFiles/riscv_asm_test.dir/riscv_asm_test.cc.o.d"
+  "riscv_asm_test"
+  "riscv_asm_test.pdb"
+  "riscv_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

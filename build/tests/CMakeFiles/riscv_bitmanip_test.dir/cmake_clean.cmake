@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_bitmanip_test.dir/riscv_bitmanip_test.cc.o"
+  "CMakeFiles/riscv_bitmanip_test.dir/riscv_bitmanip_test.cc.o.d"
+  "riscv_bitmanip_test"
+  "riscv_bitmanip_test.pdb"
+  "riscv_bitmanip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_bitmanip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

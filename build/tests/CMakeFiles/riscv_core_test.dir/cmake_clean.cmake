@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_core_test.dir/riscv_core_test.cc.o"
+  "CMakeFiles/riscv_core_test.dir/riscv_core_test.cc.o.d"
+  "riscv_core_test"
+  "riscv_core_test.pdb"
+  "riscv_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

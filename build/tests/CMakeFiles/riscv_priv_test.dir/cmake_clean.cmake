@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_priv_test.dir/riscv_priv_test.cc.o"
+  "CMakeFiles/riscv_priv_test.dir/riscv_priv_test.cc.o.d"
+  "riscv_priv_test"
+  "riscv_priv_test.pdb"
+  "riscv_priv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_priv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_smode_test.dir/riscv_smode_test.cc.o"
+  "CMakeFiles/riscv_smode_test.dir/riscv_smode_test.cc.o.d"
+  "riscv_smode_test"
+  "riscv_smode_test.pdb"
+  "riscv_smode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_smode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_test.dir/squash_test.cc.o"
+  "CMakeFiles/squash_test.dir/squash_test.cc.o.d"
+  "squash_test"
+  "squash_test.pdb"
+  "squash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
