@@ -5,11 +5,23 @@
  * differencing, digest folding, and the mux-tree primitive. These bound
  * the *host* cost of running the co-simulation itself (distinct from
  * the modeled link timing).
+ *
+ * BM_CosimPipelineBNSD additionally measures real end-to-end host
+ * throughput (retired instructions per wall-clock second) of a full
+ * BNSD run, serial (hostThreads=0) vs the threaded two-stage pipeline
+ * (hostThreads=2). The best observed rates and their ratio are written
+ * to BENCH_pipeline.json in the working directory on exit.
  */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "cosim/cosim.h"
 #include "pack/muxtree.h"
 #include "pack/packer.h"
 #include "riscv/core.h"
@@ -147,6 +159,110 @@ BM_MuxTreeCompaction(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_MuxTreeCompaction);
+
+// ---- end-to-end host pipeline throughput -------------------------------
+
+struct PipelineThroughput
+{
+    double bestInstrsPerSec = 0;
+    double bestCyclesPerSec = 0;
+    u64 instrs = 0;
+    u64 cycles = 0;
+};
+
+PipelineThroughput g_serial;
+PipelineThroughput g_threaded;
+
+void
+writePipelineJson()
+{
+    if (g_serial.bestInstrsPerSec <= 0 || g_threaded.bestInstrsPerSec <= 0)
+        return;
+    std::FILE *f = std::fopen("BENCH_pipeline.json", "w");
+    if (!f)
+        return;
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"cosim_host_pipeline\",\n"
+        "  \"workload\": \"compute\",\n"
+        "  \"opt_level\": \"BNSD\",\n"
+        "  \"serial\": {\n"
+        "    \"host_threads\": 1,\n"
+        "    \"instrs\": %llu,\n"
+        "    \"dut_cycles\": %llu,\n"
+        "    \"instrs_per_sec\": %.1f,\n"
+        "    \"dut_cycles_per_sec\": %.1f\n"
+        "  },\n"
+        "  \"threaded\": {\n"
+        "    \"host_threads\": 2,\n"
+        "    \"instrs\": %llu,\n"
+        "    \"dut_cycles\": %llu,\n"
+        "    \"instrs_per_sec\": %.1f,\n"
+        "    \"dut_cycles_per_sec\": %.1f\n"
+        "  },\n"
+        "  \"threaded_speedup\": %.3f\n"
+        "}\n",
+        (unsigned long long)g_serial.instrs,
+        (unsigned long long)g_serial.cycles, g_serial.bestInstrsPerSec,
+        g_serial.bestCyclesPerSec, (unsigned long long)g_threaded.instrs,
+        (unsigned long long)g_threaded.cycles,
+        g_threaded.bestInstrsPerSec, g_threaded.bestCyclesPerSec,
+        g_threaded.bestInstrsPerSec / g_serial.bestInstrsPerSec);
+    std::fclose(f);
+}
+
+struct PipelineJsonAtExit
+{
+    PipelineJsonAtExit() { std::atexit(writePipelineJson); }
+} g_pipelineJsonAtExit;
+
+void
+BM_CosimPipelineBNSD(benchmark::State &state)
+{
+    auto host_threads = static_cast<unsigned>(state.range(0));
+    workload::WorkloadOptions opts;
+    opts.seed = 42;
+    opts.iterations = 2000;
+    opts.bodyLength = 48;
+    workload::Program p = workload::makeComputeLike(opts);
+    cosim::CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(cosim::OptLevel::BNSD);
+    cfg.hostThreads = host_threads;
+
+    PipelineThroughput &acc = host_threads >= 2 ? g_threaded : g_serial;
+    u64 instrs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        cosim::CoSimulator sim(cfg, p);
+        state.ResumeTiming();
+        auto t0 = std::chrono::steady_clock::now();
+        cosim::CosimResult r = sim.run(20'000'000);
+        double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        if (sec > 0) {
+            acc.bestInstrsPerSec =
+                std::max(acc.bestInstrsPerSec, r.instrs / sec);
+            acc.bestCyclesPerSec =
+                std::max(acc.bestCyclesPerSec, r.cycles / sec);
+        }
+        acc.instrs = r.instrs;
+        acc.cycles = r.cycles;
+        instrs += r.instrs;
+        benchmark::DoNotOptimize(r);
+    }
+    // items/sec in the report == host-side retired instructions/sec.
+    state.SetItemsProcessed(static_cast<i64>(instrs));
+    state.counters["instrs_per_sec_best"] = acc.bestInstrsPerSec;
+}
+BENCHMARK(BM_CosimPipelineBNSD)
+    ->Arg(0)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 } // namespace dth

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: normal build + full test suite, then a ThreadSanitizer
+# build running the concurrency tests (the SPSC ring and the threaded
+# cosim runtime). Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> normal build + full ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ThreadSanitizer build + concurrency tests"
+cmake -B build-tsan -S . -DDTH_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target host_pipeline_test
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/host_pipeline_test \
+    --gtest_filter='SpscRing.*:*ThreadedEquivalence*'
+
+echo "==> CI OK"

@@ -25,6 +25,14 @@ class ByteWriter
     ByteWriter() = default;
     explicit ByteWriter(std::vector<u8> *out) : external_(out) {}
 
+    /** Pre-size the buffer for @p n further bytes (known-size frames). */
+    void
+    reserve(size_t n)
+    {
+        auto &b = buf();
+        b.reserve(b.size() + n);
+    }
+
     void putU8(u8 v) { put(&v, 1); }
     void putU16(u16 v) { putLe(v, 2); }
     void putU32(u32 v) { putLe(v, 4); }

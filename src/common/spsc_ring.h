@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring used to back
+ * the NonBlock hardware/software pipeline with a *real* concurrent
+ * queue (DESIGN.md §5.6). The hardware-side producer thread publishes
+ * fixed slots in place (so slot-owned buffers are reused across laps
+ * instead of reallocated), the software-side consumer processes them in
+ * place and retires them; capacity is the run-ahead bound and full
+ * slots are the backpressure condition, mirroring the bounded
+ * speculative queue of the paper's NonBlock (§4.5).
+ *
+ * Memory ordering is the classic Lamport queue: the producer's
+ * release-store of head publishes the slot contents to the consumer's
+ * acquire-load; the consumer's release-store of tail returns the slot
+ * (and whatever buffers it still owns) to the producer. head and tail
+ * live on separate cache lines; each side additionally keeps a local
+ * cache of the opposite index so the uncontended fast path touches only
+ * its own line.
+ */
+
+#ifndef DTH_COMMON_SPSC_RING_H_
+#define DTH_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dth {
+
+/** Bounded SPSC ring of in-place slots. Exactly one producer thread may
+ *  call the push side and exactly one consumer thread the pop side. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity slot count; rounded up to a power of two. */
+    explicit SpscRing(size_t capacity)
+    {
+        dth_assert(capacity >= 2, "ring needs at least 2 slots");
+        size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    // ---- producer side --------------------------------------------------
+
+    /** Claim the next slot for in-place filling; nullptr when full. The
+     *  slot keeps whatever buffers it held on the previous lap. */
+    T *
+    tryBeginPush()
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        if (head - tailCache_ > mask_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head - tailCache_ > mask_)
+                return nullptr;
+        }
+        return &slots_[head & mask_];
+    }
+
+    /** Publish the slot claimed by the last tryBeginPush(). */
+    void
+    commitPush()
+    {
+        head_.store(head_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+    }
+
+    /** Producer signals end of stream (no further pushes). */
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    // ---- consumer side --------------------------------------------------
+
+    /** Peek the oldest unconsumed slot; nullptr when empty. */
+    T *
+    tryFront()
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == headCache_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (tail == headCache_)
+                return nullptr;
+        }
+        return &slots_[tail & mask_];
+    }
+
+    /** Retire the slot returned by the last tryFront(). */
+    void
+    pop()
+    {
+        tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+    }
+
+    /** True once the producer closed AND everything was consumed. */
+    bool
+    drained()
+    {
+        return closed_.load(std::memory_order_acquire) &&
+               tryFront() == nullptr;
+    }
+
+    // ---- either side ----------------------------------------------------
+
+    bool closed() const { return closed_.load(std::memory_order_acquire); }
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Approximate occupancy (exact only from a quiesced thread). */
+    size_t
+    size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    alignas(64) std::atomic<size_t> head_{0};
+    alignas(64) size_t tailCache_ = 0; //!< producer-owned
+    alignas(64) std::atomic<size_t> tail_{0};
+    alignas(64) size_t headCache_ = 0; //!< consumer-owned
+    alignas(64) std::atomic<bool> closed_{false};
+
+    size_t mask_ = 0;
+    std::vector<T> slots_;
+};
+
+/**
+ * Spin-then-yield helper for the ring's blocking call sites: spins a
+ * short budget, then yields the CPU so a single-core host still makes
+ * progress. Returns false once @p abort becomes true.
+ */
+template <typename TryFn, typename AbortFn>
+bool
+spscWait(TryFn &&ready, AbortFn &&abort)
+{
+    for (unsigned spin = 0;; ++spin) {
+        if (ready())
+            return true;
+        if (abort())
+            return false;
+        if (spin >= 64) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace dth
+
+#endif // DTH_COMMON_SPSC_RING_H_

@@ -1,5 +1,6 @@
 #include "cosim/cosim.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -155,6 +156,8 @@ CoSimulator::feedChecker(const Event &event)
 void
 CoSimulator::runReplay(unsigned core)
 {
+    // NOTE: runs on the software side (the consumer thread in threaded
+    // mode) — must not touch dut_/packer_/squash_ state.
     checker::CoreChecker &chk = *checkers_[core];
     const checker::MismatchReport &rep = chk.report();
     if (!config_.squash) {
@@ -180,7 +183,7 @@ CoSimulator::runReplay(unsigned core)
     work.eventsChecked = originals.size();
     work.instrsStepped = last - first + 1;
     work.bytesParsed = bytes;
-    link_->onTransfer(dut_->cycles(), bytes, work);
+    link_->onTransfer(swCycle_, bytes, work);
     replayBuffer_->counters().add("replay.retransmit_bytes", bytes);
     replayBuffer_->counters().add("replay.retransmit_events",
                                   originals.size());
@@ -190,7 +193,8 @@ CoSimulator::runReplay(unsigned core)
 void
 CoSimulator::processTransfer(const Transfer &transfer)
 {
-    std::vector<Event> events = unpacker_->unpack(transfer);
+    unpackScratch_.clear();
+    unpacker_->unpackInto(transfer, unpackScratch_);
 
     u64 instrs_before = 0, events_before = 0;
     for (const auto &c : checkers_) {
@@ -198,9 +202,13 @@ CoSimulator::processTransfer(const Transfer &transfer)
         events_before += c->eventsChecked();
     }
 
-    for (Event &e : events)
-        reorderer_->push(completer_->complete(e));
-    for (Event &e : reorderer_->drain())
+    for (Event &e : unpackScratch_) {
+        completer_->completeInPlace(e);
+        reorderer_->push(std::move(e));
+    }
+    drainScratch_.clear();
+    reorderer_->drainInto(drainScratch_);
+    for (Event &e : drainScratch_)
         feedChecker(e);
 
     u64 instrs_after = 0, events_after = 0;
@@ -222,35 +230,53 @@ CoSimulator::stampEmissionOrder(CycleEvents &cycle)
         e.emitSeq = emitCounters_[e.core]++;
 }
 
+void
+CoSimulator::hwPackCycle(CycleEvents &ce, std::vector<Transfer> &out)
+{
+    size_t before = out.size();
+    if (squash_) {
+        squash_->process(ce, squashScratch_);
+        stampEmissionOrder(squashScratch_);
+        packer_->packCycle(squashScratch_, out);
+    } else {
+        stampEmissionOrder(ce);
+        packer_->packCycle(ce, out);
+    }
+    if (out.size() > before) {
+        lastEmitCycle_ = dut_->cycles();
+    } else if (dut_->cycles() - lastEmitCycle_ >=
+               config_.packetFlushInterval) {
+        packer_->flush(out);
+        lastEmitCycle_ = dut_->cycles();
+    }
+}
+
 CosimResult
 CoSimulator::run(u64 max_cycles)
 {
+    lastEmitCycle_ = 0;
+    swCycle_ = 0;
+    if (config_.hostThreads >= 2)
+        return runThreaded(max_cycles);
+    return runSerial(max_cycles);
+}
+
+CosimResult
+CoSimulator::runSerial(u64 max_cycles)
+{
+    auto t0 = std::chrono::steady_clock::now();
     std::vector<Transfer> transfers;
-    u64 last_emit_cycle = 0;
 
     while (!dut_->done() && dut_->cycles() < max_cycles && !anyFailed()) {
         CycleEvents ce = dut_->cycle();
+        swCycle_ = dut_->cycles();
         if (monitorTap_)
             monitorTap_(ce);
         if (replayBuffer_) {
             for (const Event &e : ce.events)
                 replayBuffer_->record(e);
         }
-        if (squash_) {
-            CycleEvents squashed = squash_->process(ce);
-            stampEmissionOrder(squashed);
-            packer_->packCycle(squashed, transfers);
-        } else {
-            stampEmissionOrder(ce);
-            packer_->packCycle(ce, transfers);
-        }
-        if (!transfers.empty()) {
-            last_emit_cycle = dut_->cycles();
-        } else if (dut_->cycles() - last_emit_cycle >=
-                   config_.packetFlushInterval) {
-            packer_->flush(transfers);
-            last_emit_cycle = dut_->cycles();
-        }
+        hwPackCycle(ce, transfers);
         for (const Transfer &t : transfers)
             processTransfer(t);
         transfers.clear();
@@ -259,22 +285,38 @@ CoSimulator::run(u64 max_cycles)
     // Drain: flush open fusion windows and partial packets, then feed
     // everything that is still buffered on the software side.
     if (!anyFailed()) {
+        swCycle_ = dut_->cycles();
         if (squash_) {
-            CycleEvents tail = squash_->finish();
-            stampEmissionOrder(tail);
-            packer_->packCycle(tail, transfers);
+            squash_->finish(squashScratch_);
+            stampEmissionOrder(squashScratch_);
+            packer_->packCycle(squashScratch_, transfers);
         }
         packer_->flush(transfers);
         for (const Transfer &t : transfers)
             processTransfer(t);
         transfers.clear();
-        for (Event &e : reorderer_->drainAll())
+        drainScratch_.clear();
+        reorderer_->drainAllInto(drainScratch_);
+        for (Event &e : drainScratch_)
             feedChecker(e);
     }
 
+    hostStats_.add("host.threads", 1);
+    hostStats_.addReal(
+        "host.run_sec",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    return finishResult(dut_->cycles(), dut_->totalInstrsRetired(),
+                        nullptr);
+}
+
+CosimResult
+CoSimulator::finishResult(u64 cycles, u64 instrs,
+                          const PerfCounters *hw_override)
+{
     CosimResult result;
-    result.cycles = dut_->cycles();
-    result.instrs = dut_->totalInstrsRetired();
+    result.cycles = cycles;
+    result.instrs = instrs;
     result.timing = link_->finish(result.cycles);
     result.simSpeedHz =
         result.timing.totalSec > 0
@@ -291,18 +333,26 @@ CoSimulator::run(u64 max_cycles)
         }
     }
 
-    // Merge counters and derive the communication statistics.
+    // Merge counters and derive the communication statistics. On a
+    // threaded mismatch the hardware side has run ahead of the fatal
+    // transfer; hw_override is the dut/pack/squash snapshot taken at
+    // the cycle boundary the serial driver would have stopped at.
     if (replayBuffer_) {
         replayBuffer_->counters().trackMax("replay.buffered_bytes",
                                            replayBuffer_->bufferedBytes());
         result.counters.merge(replayBuffer_->counters());
     }
-    result.counters.merge(dut_->counters());
-    result.counters.merge(packer_->counters());
-    if (squash_)
-        result.counters.merge(squash_->counters());
+    if (hw_override) {
+        result.counters.merge(*hw_override);
+    } else {
+        result.counters.merge(dut_->counters());
+        result.counters.merge(packer_->counters());
+        if (squash_)
+            result.counters.merge(squash_->counters());
+    }
     for (const auto &c : checkers_)
         result.counters.merge(c->counters());
+    result.counters.merge(hostStats_);
     const PerfCounters &pc = result.counters;
     if (result.cycles > 0) {
         result.invokesPerCycle =

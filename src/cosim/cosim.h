@@ -18,12 +18,15 @@
 #ifndef DTH_COSIM_COSIM_H_
 #define DTH_COSIM_COSIM_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "checker/checker.h"
+#include "common/spsc_ring.h"
+#include "cosim/host_pipeline.h"
 #include "dut/dut.h"
 #include "link/link_sim.h"
 #include "pack/packer.h"
@@ -61,6 +64,20 @@ struct CosimConfig
     u64 packetFlushInterval = 1024;
 
     u64 seed = 0xD1FF;
+
+    /**
+     * Host execution model (orthogonal to the modeled-link `nonBlocking`
+     * flag): 0 or 1 runs the whole pipeline serially on the calling
+     * thread (the default); >= 2 runs a real two-stage pipeline — a
+     * hardware-side producer thread (DUT + Squash + Pack) overlapped
+     * with a software-side consumer thread (Unpack + Complete + Reorder
+     * + Check + Replay) over a bounded lock-free SPSC ring. Threaded
+     * runs are bit-deterministic with serial ones for the same seed,
+     * except for the wall-clock host.* telemetry counters.
+     */
+    unsigned hostThreads = 0;
+    /** SPSC ring depth in cycle bundles (run-ahead bound; power of 2). */
+    unsigned hostQueueDepth = 256;
 
     void applyOptLevel(OptLevel level);
 };
@@ -119,12 +136,31 @@ class CoSimulator
     const CosimConfig &config() const { return config_; }
 
   private:
-    void processTransfer(const Transfer &transfer);
+    // ---- shared hardware-side per-cycle work (either mode) -------------
+    /** Squash + stamp + pack one DUT cycle, appending emitted transfers;
+     *  applies the idle-flush policy. @p ce may be consumed. */
+    void hwPackCycle(CycleEvents &ce, std::vector<Transfer> &out);
+    /** Snapshot dut/pack/squash statistics at the current boundary. */
+    void snapshotHw(HwStatSnapshot &snap);
     void stampEmissionOrder(CycleEvents &cycle);
+
+    // ---- software-side processing (consumer thread in threaded mode) ---
+    void processTransfer(const Transfer &transfer);
     void feedChecker(const Event &event);
     void runReplay(unsigned core);
     bool anyFailed() const;
     bool allGoodTrap() const;
+
+    // ---- run drivers ----------------------------------------------------
+    CosimResult runSerial(u64 max_cycles);
+    CosimResult runThreaded(u64 max_cycles);
+    void hwProducerLoop(u64 max_cycles);
+    void swConsumerLoop();
+    /** Assemble the CosimResult; @p hw_override replaces the live
+     *  dut/pack/squash counters (fatal-bundle snapshot on a threaded
+     *  mismatch). */
+    CosimResult finishResult(u64 cycles, u64 instrs,
+                             const PerfCounters *hw_override);
 
     CosimConfig config_;
     workload::Program program_;
@@ -143,6 +179,28 @@ class CoSimulator
     bool replayComplete_ = false;
     std::vector<u64> emitCounters_;
     std::function<void(const CycleEvents &)> monitorTap_;
+
+    // Hardware-side state shared by both run drivers.
+    u64 lastEmitCycle_ = 0;
+    CycleEvents squashScratch_; //!< reused Squash output buffer
+
+    // Software-side scratch (single software thread in either mode).
+    std::vector<Event> unpackScratch_; //!< reused unpack output
+    std::vector<Event> drainScratch_;  //!< reused reorderer drain output
+    /** The software side's view of "now": the snapshot cycle count of
+     *  the bundle being processed (threaded) or dut_->cycles() (serial).
+     *  Replay retransmissions are timed against this. */
+    u64 swCycle_ = 0;
+
+    // Threaded-mode plumbing (see host_pipeline.h for the contract).
+    std::unique_ptr<SpscRing<CycleBundle>> ring_;
+    std::atomic<bool> swFailed_{false};   //!< consumer -> producer stop
+    std::atomic<bool> swCaughtUp_{false}; //!< consumer passed Barrier
+    bool failSnapshotValid_ = false;      //!< consumer-written, read
+    HwStatSnapshot failSnapshot_;         //!<   after thread join
+    ThreadTelemetry hwTele_;              //!< producer-thread-owned
+    ThreadTelemetry swTele_;              //!< consumer-thread-owned
+    PerfCounters hostStats_;              //!< wall-clock host telemetry
 };
 
 } // namespace dth::cosim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The threaded CoSimulator run driver: a hardware-side producer thread
+ * (DUT step + Squash + Pack) overlapped with a software-side consumer
+ * thread (Unpack + Complete + Reorder + Check + Replay control) over a
+ * bounded SpscRing<CycleBundle>. See host_pipeline.h for the handoff
+ * unit and the determinism contract, DESIGN.md §5.6 for the rationale.
+ *
+ * Thread ownership during a threaded run:
+ *   producer only:  dut_, squash_, packer_, emitCounters_,
+ *                   lastEmitCycle_, squashScratch_, hwTele_
+ *   consumer only:  unpacker_, completer_, reorderer_, checkers_, link_,
+ *                   replayBuffer_, unpackScratch_, drainScratch_,
+ *                   swCycle_, replayRan_, replayComplete_, failSnapshot_,
+ *                   failSnapshotValid_, swTele_
+ *   shared atomics: the ring, swFailed_, swCaughtUp_
+ * The join() in runThreaded orders everything for the main thread's
+ * result assembly.
+ */
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "cosim/cosim.h"
+
+namespace dth::cosim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+void
+CoSimulator::snapshotHw(HwStatSnapshot &snap)
+{
+    snap.cycles = dut_->cycles();
+    snap.instrs = dut_->totalInstrsRetired();
+    snap.hw.clear();
+    snap.hw.merge(dut_->counters());
+    snap.hw.merge(packer_->counters());
+    if (squash_)
+        snap.hw.merge(squash_->counters());
+}
+
+void
+CoSimulator::hwProducerLoop(u64 max_cycles)
+{
+    auto t0 = Clock::now();
+    auto aborted = [this] {
+        return swFailed_.load(std::memory_order_acquire);
+    };
+    // Claim the next ring slot, blocking on backpressure (full ring =
+    // the run-ahead bound is exhausted). nullptr once the consumer has
+    // reported a mismatch.
+    auto acquire_slot = [&]() -> CycleBundle * {
+        CycleBundle *slot = ring_->tryBeginPush();
+        if (slot)
+            return slot;
+        ++hwTele_.waits;
+        auto w0 = Clock::now();
+        spscWait(
+            [&] { return (slot = ring_->tryBeginPush()) != nullptr; },
+            aborted);
+        hwTele_.waitSec += secondsSince(w0);
+        return slot;
+    };
+
+    while (!dut_->done() && dut_->cycles() < max_cycles && !aborted()) {
+        CycleBundle *slot = acquire_slot();
+        if (!slot)
+            break;
+        slot->reset(CycleBundle::Kind::Cycle);
+        CycleEvents ce = dut_->cycle();
+        slot->cycle = ce.cycle;
+        if (monitorTap_)
+            monitorTap_(ce);
+        // Ship the pre-fusion originals to the consumer, which owns the
+        // replay buffer. Without Squash the packer path stamps emitSeq
+        // into ce.events, so copy first (serial records pre-stamp); with
+        // Squash the stamping happens on squashScratch_ and ce survives
+        // untouched, so the originals can be moved out afterwards.
+        if (replayBuffer_ && !squash_)
+            slot->originals = ce.events;
+        hwPackCycle(ce, slot->transfers);
+        if (replayBuffer_ && squash_)
+            slot->originals = std::move(ce.events);
+        if (!slot->transfers.empty()) {
+            slot->hasSnapshot = true;
+            snapshotHw(slot->snapshot);
+        }
+        ++hwTele_.items;
+        ring_->commitPush();
+    }
+
+    if (aborted()) {
+        hwTele_.loopSec = secondsSince(t0);
+        return;
+    }
+
+    // Barrier handshake: the serial driver only runs the end-of-run
+    // drain when no mismatch was found, and the drain mutates squash and
+    // packer counters. Learn the consumer's verdict on every main-loop
+    // bundle before deciding to emit it.
+    CycleBundle *slot = acquire_slot();
+    if (slot) {
+        slot->reset(CycleBundle::Kind::Barrier);
+        ++hwTele_.items;
+        ring_->commitPush();
+        auto w0 = Clock::now();
+        ++hwTele_.waits;
+        bool caught_up = spscWait(
+            [this] { return swCaughtUp_.load(std::memory_order_acquire); },
+            aborted);
+        hwTele_.waitSec += secondsSince(w0);
+        if (caught_up && (slot = acquire_slot()) != nullptr) {
+            slot->reset(CycleBundle::Kind::Final);
+            slot->cycle = dut_->cycles();
+            if (squash_) {
+                squash_->finish(squashScratch_);
+                stampEmissionOrder(squashScratch_);
+                packer_->packCycle(squashScratch_, slot->transfers);
+            }
+            packer_->flush(slot->transfers);
+            slot->hasSnapshot = true;
+            snapshotHw(slot->snapshot);
+            ++hwTele_.items;
+            ring_->commitPush();
+        }
+    }
+    hwTele_.loopSec = secondsSince(t0);
+}
+
+void
+CoSimulator::swConsumerLoop()
+{
+    auto t0 = Clock::now();
+    for (;;) {
+        CycleBundle *bundle = ring_->tryFront();
+        if (!bundle) {
+            if (ring_->drained())
+                break;
+            ++swTele_.waits;
+            auto w0 = Clock::now();
+            spscWait(
+                [&] { return (bundle = ring_->tryFront()) != nullptr; },
+                [this] { return ring_->drained(); });
+            swTele_.waitSec += secondsSince(w0);
+            if (!bundle)
+                break;
+        }
+
+        if (bundle->kind == CycleBundle::Kind::Barrier) {
+            // Everything the producer's main loop emitted has been
+            // checked without a mismatch; let it drain.
+            ring_->pop();
+            ++swTele_.items;
+            swCaughtUp_.store(true, std::memory_order_release);
+            continue;
+        }
+
+        if (replayBuffer_) {
+            for (const Event &e : bundle->originals)
+                replayBuffer_->record(e);
+        }
+        if (bundle->hasSnapshot)
+            swCycle_ = bundle->snapshot.cycles;
+        for (const Transfer &t : bundle->transfers)
+            processTransfer(t);
+        if (bundle->kind == CycleBundle::Kind::Final) {
+            // Mirrors the serial drain: release everything still held
+            // by the reorderer (feedChecker skips failed checkers).
+            drainScratch_.clear();
+            reorderer_->drainAllInto(drainScratch_);
+            for (Event &e : drainScratch_)
+                feedChecker(e);
+        }
+        ++swTele_.items;
+
+        bool final = bundle->kind == CycleBundle::Kind::Final;
+        if (anyFailed()) {
+            // First failure: freeze the hardware statistics at the
+            // boundary that emitted the fatal transfer (a failure can
+            // only appear on a transfer-carrying bundle, which always
+            // has a snapshot) and discard the run-ahead bundles behind
+            // this one, exactly as the serial driver never creates them.
+            if (bundle->hasSnapshot) {
+                failSnapshot_ = bundle->snapshot;
+                failSnapshotValid_ = true;
+            }
+            ring_->pop();
+            swFailed_.store(true, std::memory_order_release);
+            break;
+        }
+        ring_->pop();
+        if (final)
+            break;
+    }
+    swTele_.loopSec = secondsSince(t0);
+}
+
+CosimResult
+CoSimulator::runThreaded(u64 max_cycles)
+{
+    unsigned depth = config_.hostQueueDepth < 2 ? 2 : config_.hostQueueDepth;
+    ring_ = std::make_unique<SpscRing<CycleBundle>>(depth);
+    swFailed_.store(false, std::memory_order_relaxed);
+    swCaughtUp_.store(false, std::memory_order_relaxed);
+    failSnapshotValid_ = false;
+    hwTele_ = ThreadTelemetry{};
+    swTele_ = ThreadTelemetry{};
+
+    auto t0 = Clock::now();
+    std::thread software([this] { swConsumerLoop(); });
+    hwProducerLoop(max_cycles);
+    ring_->close();
+    software.join();
+
+    hostStats_.add("host.threads", 2);
+    hostStats_.add("host.queue_depth", ring_->capacity());
+    hostStats_.addReal("host.run_sec", secondsSince(t0));
+    hostStats_.addReal("host.hw_loop_sec", hwTele_.loopSec);
+    hostStats_.addReal("host.hw_wait_sec", hwTele_.waitSec);
+    hostStats_.add("host.hw_waits", hwTele_.waits);
+    hostStats_.add("host.hw_bundles", hwTele_.items);
+    hostStats_.addReal("host.sw_loop_sec", swTele_.loopSec);
+    hostStats_.addReal("host.sw_wait_sec", swTele_.waitSec);
+    hostStats_.add("host.sw_waits", swTele_.waits);
+    hostStats_.add("host.sw_bundles", swTele_.items);
+
+    if (failSnapshotValid_) {
+        return finishResult(failSnapshot_.cycles, failSnapshot_.instrs,
+                            &failSnapshot_.hw);
+    }
+    return finishResult(dut_->cycles(), dut_->totalInstrsRetired(),
+                        nullptr);
+}
+
+} // namespace dth::cosim

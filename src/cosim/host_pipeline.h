@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The threaded host runtime behind CoSimulator's hostThreads knob: the
+ * unit of hardware→software handoff (CycleBundle) and the snapshot that
+ * keeps threaded runs bit-deterministic with serial ones.
+ *
+ * One CycleBundle is produced per DUT cycle by the hardware-side thread
+ * (DUT step + Squash + Pack) and consumed in order by the software-side
+ * thread (Unpack + Complete + Reorder + Check + Replay control). The
+ * bundles travel through a bounded SpscRing<CycleBundle> whose slots are
+ * reused in place, so the steady-state handoff allocates nothing; the
+ * ring bound is the real run-ahead window (NonBlock's bounded
+ * speculative queue), and a full ring is backpressure on the DUT.
+ *
+ * Determinism contract: a mismatch can only be detected while the
+ * software side processes a transfer, and the serial driver stops the
+ * DUT at the cycle boundary that emitted the fatal transfer. A threaded
+ * producer has already run ahead by then, so every transfer-carrying
+ * bundle carries a snapshot of the hardware-side statistics (DUT
+ * cycles/instructions and the dut/pack/squash counters) taken at that
+ * boundary; on failure the result is assembled from the fatal bundle's
+ * snapshot and is bit-identical to the serial run. Wall-clock host.*
+ * telemetry is the one documented exception (DESIGN.md §5.6).
+ */
+
+#ifndef DTH_COSIM_HOST_PIPELINE_H_
+#define DTH_COSIM_HOST_PIPELINE_H_
+
+#include <vector>
+
+#include "common/counters.h"
+#include "event/event.h"
+#include "pack/wire.h"
+
+namespace dth::cosim {
+
+/** Hardware-side statistics at one cycle boundary (see file comment). */
+struct HwStatSnapshot
+{
+    u64 cycles = 0; //!< dut_->cycles() after this cycle
+    u64 instrs = 0; //!< dut_->totalInstrsRetired() after this cycle
+    /** dut + packer + squash counters at this boundary. */
+    PerfCounters hw;
+};
+
+/**
+ * Per-thread wall-clock telemetry, reported as host.* counters in the
+ * run result. These are the one documented exception to the threaded ==
+ * serial bit-determinism contract.
+ */
+struct ThreadTelemetry
+{
+    double loopSec = 0; //!< wall time inside the stage loop
+    double waitSec = 0; //!< wall time blocked on the ring
+    u64 waits = 0;      //!< blocking episodes (full/empty ring)
+    u64 items = 0;      //!< bundles produced/consumed
+};
+
+/** One DUT cycle's worth of hardware→software handoff. */
+struct CycleBundle
+{
+    enum class Kind : u8 {
+        Cycle,   //!< ordinary per-cycle bundle
+        Barrier, //!< producer main loop done; consumer acks catch-up
+        Final,   //!< end-of-run drain (squash finish + packet flush)
+    };
+
+    Kind kind = Kind::Cycle;
+    u64 cycle = 0;
+    /** Transfers emitted while packing this cycle (often empty). */
+    std::vector<Transfer> transfers;
+    /** Original pre-fusion events for the replay buffer (only when
+     *  replay is enabled); recorded by the consumer so the replay
+     *  buffer stays single-owner and eviction order matches serial. */
+    std::vector<Event> originals;
+    /** Present on transfer-carrying and Final bundles. */
+    bool hasSnapshot = false;
+    HwStatSnapshot snapshot;
+
+    /** Reset for slot reuse; keeps vector capacity. */
+    void
+    reset(Kind k)
+    {
+        kind = k;
+        cycle = 0;
+        transfers.clear();
+        originals.clear();
+        hasSnapshot = false;
+    }
+};
+
+} // namespace dth::cosim
+
+#endif // DTH_COSIM_HOST_PIPELINE_H_

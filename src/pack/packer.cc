@@ -17,6 +17,7 @@ PerEventPacker::packCycle(const CycleEvents &cycle,
 {
     for (const Event &e : cycle.events) {
         ByteWriter w;
+        w.reserve(2 + eventWireBytes(e));
         w.putU8(static_cast<u8>(e.type));
         w.putU8(e.core);
         writeEventBody(w, e);
@@ -30,16 +31,15 @@ PerEventPacker::packCycle(const CycleEvents &cycle,
     }
 }
 
-std::vector<Event>
-PerEventUnpacker::unpack(const Transfer &transfer)
+void
+PerEventUnpacker::unpackInto(const Transfer &transfer,
+                             std::vector<Event> &out)
 {
     ByteReader r(transfer.bytes);
     auto type = static_cast<EventType>(r.getU8());
     u8 core = r.getU8();
-    std::vector<Event> events;
-    events.push_back(readEventBody(r, type, core));
+    out.push_back(readEventBody(r, type, core));
     dth_assert(r.atEnd(), "trailing bytes in per-event transfer");
-    return events;
 }
 
 // ---------------------------------------------------------------------------
@@ -92,23 +92,28 @@ FixedOffsetPacker::packCycle(const CycleEvents &cycle,
     if (cycle.events.empty())
         return;
 
-    // Bucket events by (core, type), preserving order.
-    std::vector<const Event *> buckets[2][kNumEventTypes];
+    // Bucket events by (core, type), preserving order. The buckets are
+    // member scratch: clear() keeps each bucket's capacity across calls.
+    for (unsigned c = 0; c < cores_; ++c)
+        for (auto &bucket : buckets_[c])
+            bucket.clear();
     for (const Event &e : cycle.events) {
         dth_assert(e.core < cores_, "event from unknown core %u", e.core);
         dth_assert(static_cast<unsigned>(e.type) < kNumEventTypes &&
                        enabled_[static_cast<unsigned>(e.type)],
                    "event type %s not in fixed layout", e.info().name);
-        buckets[e.core][static_cast<unsigned>(e.type)].push_back(&e);
+        buckets_[e.core][static_cast<unsigned>(e.type)].push_back(&e);
     }
 
     u64 presence = 0;
     for (unsigned c = 0; c < cores_; ++c)
         for (unsigned t = 0; t < kNumEventTypes; ++t)
-            if (!buckets[c][t].empty())
+            if (!buckets_[c][t].empty())
                 presence |= 1ULL << (c * 8 + categoryOf(t));
 
-    ByteWriter w;
+    frame_.clear();
+    ByteWriter w(&frame_);
+    w.reserve(12 + cycle.totalBytes());
     w.putU32(0); // frameLen patched below
     w.putU64(presence);
     for (unsigned c = 0; c < cores_; ++c) {
@@ -117,7 +122,7 @@ FixedOffsetPacker::packCycle(const CycleEvents &cycle,
                 continue;
             if (!(presence & (1ULL << (c * 8 + categoryOf(t)))))
                 continue;
-            const auto &bucket = buckets[c][t];
+            const auto &bucket = buckets_[c][t];
             const EventTypeInfo &info = eventInfo(t);
             u16 count = static_cast<u16>(bucket.size());
             u16 capacity = std::max<u16>(count, info.entriesPerCore);
@@ -136,13 +141,12 @@ FixedOffsetPacker::packCycle(const CycleEvents &cycle,
             }
         }
     }
-    std::vector<u8> frame = w.take();
-    u32 len = static_cast<u32>(frame.size());
+    u32 len = static_cast<u32>(frame_.size());
     for (unsigned i = 0; i < 4; ++i)
-        frame[i] = static_cast<u8>(len >> (8 * i));
+        frame_[i] = static_cast<u8>(len >> (8 * i));
     counters_.add("pack.frames");
     lastFrameCycle_ = cycle.cycle;
-    emitFrameBytes(frame, out);
+    emitFrameBytes(frame_, out);
 }
 
 void
@@ -180,12 +184,12 @@ FixedOffsetUnpacker::FixedOffsetUnpacker(
     : enabled_(enabled), cores_(cores)
 {}
 
-std::vector<Event>
-FixedOffsetUnpacker::unpack(const Transfer &transfer)
+void
+FixedOffsetUnpacker::unpackInto(const Transfer &transfer,
+                                std::vector<Event> &events)
 {
     carry_.insert(carry_.end(), transfer.bytes.begin(),
                   transfer.bytes.end());
-    std::vector<Event> events;
     while (carry_.size() >= 4) {
         u32 frame_len = 0;
         for (unsigned i = 0; i < 4; ++i)
@@ -220,7 +224,6 @@ FixedOffsetUnpacker::unpack(const Transfer &transfer)
         dth_assert(r.atEnd(), "frame length mismatch");
         carry_.erase(carry_.begin(), carry_.begin() + frame_len);
     }
-    return events;
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +233,10 @@ FixedOffsetUnpacker::unpack(const Transfer &transfer)
 BatchPacker::BatchPacker(unsigned packet_bytes) : packetBytes_(packet_bytes)
 {
     dth_assert(packet_bytes >= 64, "packet too small: %u", packet_bytes);
+    // A packet never exceeds packetBytes_: size the construction buffers
+    // once so steady-state packing reallocates neither.
+    metas_.reserve(packet_bytes);
+    payload_.reserve(packet_bytes);
 }
 
 size_t
@@ -245,6 +252,7 @@ BatchPacker::emitPacket(std::vector<Transfer> &out)
     if (metas_.empty())
         return;
     ByteWriter w;
+    w.reserve(kBatchPacketHeaderBytes + metas_.size() + payload_.size());
     w.putU16(static_cast<u16>(metas_.size() / kBatchMetaBytes));
     w.putU16(0);
     w.putU32(static_cast<u32>(payload_.size()));
@@ -271,14 +279,20 @@ BatchPacker::packCycle(const CycleEvents &cycle, std::vector<Transfer> &out)
 
     // Level 1 (type-level): bucket the cycle's events by (type, core) in
     // order of first appearance. Within a bucket, relative order is the
-    // mux-tree compaction order (emission order).
-    std::vector<Group> groups;
+    // mux-tree compaction order (emission order). Group slots are a
+    // member pool: a reused slot keeps its pointer list's capacity.
+    groupsUsed_ = 0;
     auto find_group = [&](EventType type, u8 core) -> Group & {
-        for (Group &g : groups)
-            if (g.type == type && g.core == core)
-                return g;
-        groups.push_back(Group{type, core, {}});
-        return groups.back();
+        for (size_t i = 0; i < groupsUsed_; ++i)
+            if (groups_[i].type == type && groups_[i].core == core)
+                return groups_[i];
+        if (groupsUsed_ == groups_.size())
+            groups_.emplace_back();
+        Group &g = groups_[groupsUsed_++];
+        g.type = type;
+        g.core = core;
+        g.events.clear();
+        return g;
     };
     for (const Event &e : cycle.events)
         find_group(e.type, e.core).events.push_back(&e);
@@ -287,7 +301,8 @@ BatchPacker::packCycle(const CycleEvents &cycle, std::vector<Transfer> &out)
     // group's entries; the region offset is implicitly the running sum of
     // preceding group lengths. Split at entry boundaries when the packet
     // fills, generating a continuation meta in the next packet.
-    for (const Group &g : groups) {
+    for (size_t gi = 0; gi < groupsUsed_; ++gi) {
+        const Group &g = groups_[gi];
         size_t next = 0;
         while (next < g.events.size()) {
             size_t need =
@@ -329,24 +344,21 @@ BatchPacker::flush(std::vector<Transfer> &out)
     emitPacket(out);
 }
 
-std::vector<Event>
-BatchUnpacker::unpack(const Transfer &transfer)
+void
+BatchUnpacker::unpackInto(const Transfer &transfer, std::vector<Event> &out)
 {
     ByteReader r(transfer.bytes);
     u16 meta_count = r.getU16();
     r.skip(2);
     u32 payload_len = r.getU32();
-    struct Meta
-    {
-        EventType type;
-        u8 core;
-        u16 count;
-    };
-    std::vector<Meta> metas(meta_count);
-    for (Meta &m : metas) {
+    metas_.clear();
+    metas_.reserve(meta_count);
+    for (unsigned i = 0; i < meta_count; ++i) {
+        Meta m;
         m.type = static_cast<EventType>(r.getU8());
         m.core = r.getU8();
         m.count = r.getU16();
+        metas_.push_back(m);
     }
     dth_assert(r.remaining() == payload_len,
                "batch payload length mismatch: %zu vs %u", r.remaining(),
@@ -354,12 +366,10 @@ BatchUnpacker::unpack(const Transfer &transfer)
     // Dynamic unpacking: each meta tells the parser which reconstruction
     // function to run and how many entries to consume; offsets are the
     // running sums of the preceding entries' lengths.
-    std::vector<Event> events;
-    for (const Meta &m : metas)
+    for (const Meta &m : metas_)
         for (unsigned i = 0; i < m.count; ++i)
-            events.push_back(readEventBody(r, m.type, m.core));
+            out.push_back(readEventBody(r, m.type, m.core));
     dth_assert(r.atEnd(), "trailing bytes in batch packet");
-    return events;
 }
 
 } // namespace dth

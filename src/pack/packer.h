@@ -53,8 +53,22 @@ class Unpacker
   public:
     virtual ~Unpacker() = default;
 
-    /** Parse one transfer into reconstructed events (in wire order). */
-    virtual std::vector<Event> unpack(const Transfer &transfer) = 0;
+    /**
+     * Parse one transfer, appending reconstructed events (in wire
+     * order) to @p out. The hot path: callers reuse @p out across
+     * transfers so no per-transfer vector is allocated.
+     */
+    virtual void unpackInto(const Transfer &transfer,
+                            std::vector<Event> &out) = 0;
+
+    /** Convenience wrapper returning a fresh vector. */
+    std::vector<Event>
+    unpack(const Transfer &transfer)
+    {
+        std::vector<Event> out;
+        unpackInto(transfer, out);
+        return out;
+    }
 };
 
 /** Baseline: one transfer per event. */
@@ -72,7 +86,8 @@ class PerEventPacker : public Packer
 class PerEventUnpacker : public Unpacker
 {
   public:
-    std::vector<Event> unpack(const Transfer &transfer) override;
+    void unpackInto(const Transfer &transfer,
+                    std::vector<Event> &out) override;
 };
 
 /** Prior-work fixed-offset packing with padding bubbles. */
@@ -100,6 +115,11 @@ class FixedOffsetPacker : public Packer
     unsigned packetBytes_;
     std::vector<u8> pending_;
     u64 lastFrameCycle_ = 0;
+    // Per-call scratch, hoisted so packCycle allocates nothing steady
+    // state: (core, type) buckets and the frame under construction.
+    std::array<std::array<std::vector<const Event *>, kNumEventTypes>, 2>
+        buckets_;
+    std::vector<u8> frame_;
 };
 
 /** Unpacker for FixedOffsetPacker transfers. */
@@ -109,7 +129,8 @@ class FixedOffsetUnpacker : public Unpacker
     FixedOffsetUnpacker(const std::array<bool, kNumEventTypes> &enabled,
                         unsigned cores);
 
-    std::vector<Event> unpack(const Transfer &transfer) override;
+    void unpackInto(const Transfer &transfer,
+                    std::vector<Event> &out) override;
 
   private:
     std::array<bool, kNumEventTypes> enabled_;
@@ -145,13 +166,27 @@ class BatchPacker : public Packer
     std::vector<u8> metas_;
     std::vector<u8> payload_;
     u64 lastCycle_ = 0;
+    // Per-call scratch, hoisted so the per-cycle grouping pass reuses
+    // both the group table and each group's pointer list.
+    std::vector<Group> groups_;
+    size_t groupsUsed_ = 0;
 };
 
 /** Meta-guided dynamic unpacker for Batch packets. */
 class BatchUnpacker : public Unpacker
 {
   public:
-    std::vector<Event> unpack(const Transfer &transfer) override;
+    void unpackInto(const Transfer &transfer,
+                    std::vector<Event> &out) override;
+
+  private:
+    struct Meta
+    {
+        EventType type;
+        u8 core;
+        u16 count;
+    };
+    std::vector<Meta> metas_; //!< per-call scratch
 };
 
 // Batch packet layout constants.

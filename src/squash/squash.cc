@@ -180,10 +180,10 @@ SquashUnit::flushCore(u8 core, FlushReason reason, CycleEvents &out)
     }
 }
 
-CycleEvents
-SquashUnit::process(const CycleEvents &in)
+void
+SquashUnit::process(const CycleEvents &in, CycleEvents &out)
 {
-    CycleEvents out;
+    out.events.clear();
     out.cycle = in.cycle;
     cycle_ = in.cycle;
     for (const Event &e : in.events) {
@@ -219,17 +219,15 @@ SquashUnit::process(const CycleEvents &in)
         counters_.add("squash.passthrough");
         out.events.push_back(e);
     }
-    return out;
 }
 
-CycleEvents
-SquashUnit::finish()
+void
+SquashUnit::finish(CycleEvents &out)
 {
-    CycleEvents out;
+    out.events.clear();
     out.cycle = cycle_;
     for (unsigned c = 0; c < config_.cores; ++c)
         flushCore(static_cast<u8>(c), FlushReason::EndOfRun, out);
-    return out;
 }
 
 SquashCompleter::SquashCompleter(unsigned cores)
@@ -243,8 +241,8 @@ SquashCompleter::SquashCompleter(unsigned cores)
     }
 }
 
-Event
-SquashCompleter::complete(const Event &event)
+void
+SquashCompleter::completeInPlace(Event &event)
 {
     if (event.type == EventType::DiffState) {
         EventType base = diffBaseType(event.payload);
@@ -254,21 +252,15 @@ SquashCompleter::complete(const Event &event)
             completeSnapshot(prev, event.payload, &decoded);
         dth_assert(decoded == base, "diff base type mismatch");
         prev = full;
-        Event out;
-        out.type = base;
-        out.core = event.core;
-        out.index = event.index;
-        out.commitSeq = event.commitSeq;
-        out.emitSeq = event.emitSeq;
-        out.payload = std::move(full);
-        return out;
+        event.type = base;
+        event.payload = std::move(full);
+        return;
     }
     if (isRegSnapshot(event.type)) {
         // Undiffed snapshot: record it as the new completion baseline.
         lastSeen_[event.core][static_cast<unsigned>(event.type)] =
             event.payload;
     }
-    return event;
 }
 
 Reorderer::Reorderer(unsigned cores)
@@ -356,22 +348,27 @@ Reorderer::admit(Event event)
     held_[core].push_back(Item{std::move(event), arrivalCounter_++});
 }
 
-std::vector<Event>
-Reorderer::releaseCore(unsigned core, bool all)
+void
+Reorderer::releaseCoreInto(unsigned core, bool all, std::vector<Event> &out)
 {
+    // Sort the held buffer in place: releasable items first (ordered by
+    // order tag, then application priority, then arrival), the held-back
+    // remainder after them in arrival order. One sort, no per-call
+    // scratch vectors — this runs once per transfer on the hot path.
     auto &held = held_[core];
+    if (held.empty())
+        return;
     u64 wm = watermark_[core];
-    std::vector<Item> releasable;
-    std::vector<Item> keep;
-    for (Item &item : held) {
-        if (all || item.event.commitSeq <= wm)
-            releasable.push_back(std::move(item));
-        else
-            keep.push_back(std::move(item));
-    }
-    held = std::move(keep);
-    std::sort(releasable.begin(), releasable.end(),
-              [](const Item &a, const Item &b) {
+    auto releasable = [&](const Item &item) {
+        return all || item.event.commitSeq <= wm;
+    };
+    std::sort(held.begin(), held.end(),
+              [&](const Item &a, const Item &b) {
+                  bool ra = releasable(a), rb = releasable(b);
+                  if (ra != rb)
+                      return ra;
+                  if (!ra) // held-back suffix keeps arrival order
+                      return a.arrival < b.arrival;
                   if (a.event.commitSeq != b.event.commitSeq)
                       return a.event.commitSeq < b.event.commitSeq;
                   int pa = checkingPriority(a.event);
@@ -380,29 +377,25 @@ Reorderer::releaseCore(unsigned core, bool all)
                       return pa < pb;
                   return a.arrival < b.arrival;
               });
-    std::vector<Event> out;
-    out.reserve(releasable.size());
-    for (Item &item : releasable)
-        out.push_back(std::move(item.event));
-    return out;
+    auto first_kept = held.begin();
+    while (first_kept != held.end() && releasable(*first_kept))
+        ++first_kept;
+    out.reserve(out.size() + (first_kept - held.begin()));
+    for (auto it = held.begin(); it != first_kept; ++it)
+        out.push_back(std::move(it->event));
+    held.erase(held.begin(), first_kept);
 }
 
-std::vector<Event>
-Reorderer::drain()
+void
+Reorderer::drainInto(std::vector<Event> &out)
 {
-    std::vector<Event> out;
-    for (unsigned c = 0; c < held_.size(); ++c) {
-        std::vector<Event> part = releaseCore(c, false);
-        out.insert(out.end(), std::make_move_iterator(part.begin()),
-                   std::make_move_iterator(part.end()));
-    }
-    return out;
+    for (unsigned c = 0; c < held_.size(); ++c)
+        releaseCoreInto(c, false, out);
 }
 
-std::vector<Event>
-Reorderer::drainAll()
+void
+Reorderer::drainAllInto(std::vector<Event> &out)
 {
-    std::vector<Event> out;
     for (unsigned c = 0; c < held_.size(); ++c) {
         // End of stream: admit whatever is waiting, gaps included (a
         // stream truncated by a stopped run may have holes at the tail).
@@ -411,11 +404,8 @@ Reorderer::drainAll()
             admit(std::move(e));
         }
         awaiting_[c].clear();
-        std::vector<Event> part = releaseCore(c, true);
-        out.insert(out.end(), std::make_move_iterator(part.begin()),
-                   std::make_move_iterator(part.end()));
+        releaseCoreInto(c, true, out);
     }
-    return out;
 }
 
 size_t

@@ -59,11 +59,32 @@ class SquashUnit
   public:
     explicit SquashUnit(const SquashConfig &config);
 
-    /** Transform one cycle of monitor events; fused output may lag. */
-    CycleEvents process(const CycleEvents &in);
+    /**
+     * Transform one cycle of monitor events into @p out (cleared
+     * first); fused output may lag. The out-param form lets the driver
+     * reuse one CycleEvents across cycles.
+     */
+    void process(const CycleEvents &in, CycleEvents &out);
 
-    /** Flush all open windows (end of simulation). */
-    CycleEvents finish();
+    /** Convenience wrapper returning a fresh CycleEvents. */
+    CycleEvents
+    process(const CycleEvents &in)
+    {
+        CycleEvents out;
+        process(in, out);
+        return out;
+    }
+
+    /** Flush all open windows (end of simulation) into @p out. */
+    void finish(CycleEvents &out);
+
+    CycleEvents
+    finish()
+    {
+        CycleEvents out;
+        finish(out);
+        return out;
+    }
 
     PerfCounters &counters() { return counters_; }
     const SquashConfig &config() const { return config_; }
@@ -112,10 +133,21 @@ class SquashCompleter
     explicit SquashCompleter(unsigned cores = 1);
 
     /**
-     * Complete one event: DiffState events are expanded to their full
-     * snapshot (original type restored); everything else passes through.
+     * Complete one event in place: DiffState events are expanded to
+     * their full snapshot (original type restored); everything else
+     * passes through untouched. In-place completion avoids copying
+     * every event once per transfer on the software hot path.
      */
-    Event complete(const Event &event);
+    void completeInPlace(Event &event);
+
+    /** Copying wrapper around completeInPlace. */
+    Event
+    complete(const Event &event)
+    {
+        Event out = event;
+        completeInPlace(out);
+        return out;
+    }
 
   private:
     std::vector<std::array<std::vector<u8>, kNumEventTypes>> lastSeen_;
@@ -150,11 +182,30 @@ class Reorderer
     /** Enqueue one event from the unpacker/completer. */
     void push(Event event);
 
-    /** Pop all currently releasable events in checking order. */
-    std::vector<Event> drain();
+    /**
+     * Pop all currently releasable events in checking order, appending
+     * to @p out. Callers on the hot path reuse @p out across calls.
+     */
+    void drainInto(std::vector<Event> &out);
 
     /** Release everything regardless of watermark (end of stream). */
-    std::vector<Event> drainAll();
+    void drainAllInto(std::vector<Event> &out);
+
+    std::vector<Event>
+    drain()
+    {
+        std::vector<Event> out;
+        drainInto(out);
+        return out;
+    }
+
+    std::vector<Event>
+    drainAll()
+    {
+        std::vector<Event> out;
+        drainAllInto(out);
+        return out;
+    }
 
     /** Events still held back (both stages). */
     size_t pending() const;
@@ -168,7 +219,7 @@ class Reorderer
 
     void admit(Event event);
     void admitReadyPrefix(unsigned core);
-    std::vector<Event> releaseCore(unsigned core, bool all);
+    void releaseCoreInto(unsigned core, bool all, std::vector<Event> &out);
 
     // Stage 1: out-of-emission-order arrivals, keyed by emitSeq.
     std::vector<std::map<u64, Event>> awaiting_;

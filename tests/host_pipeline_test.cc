@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Threaded host runtime tests: SpscRing unit and two-thread stress
+ * coverage, plus the bit-determinism contract — a hostThreads=2 run must
+ * produce a CosimResult identical to the serial run for the same seed
+ * (fields, mismatch report, checker outcomes and every counter except
+ * the wall-clock host.* telemetry), including under fault injection.
+ *
+ * scripts/ci.sh additionally builds this binary under ThreadSanitizer.
+ */
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spsc_ring.h"
+#include "cosim/cosim.h"
+#include "workload/generators.h"
+
+namespace dth::cosim {
+namespace {
+
+using dut::BugArchetype;
+using dut::FaultSpec;
+using workload::Program;
+using workload::WorkloadOptions;
+
+// ---- SpscRing ----------------------------------------------------------
+
+TEST(SpscRing, RoundsCapacityToPowerOfTwo)
+{
+    EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscRing<int>(256).capacity(), 256u);
+    EXPECT_EQ(SpscRing<int>(300).capacity(), 512u);
+}
+
+TEST(SpscRing, PushPopSingleThread)
+{
+    SpscRing<int> ring(4);
+    EXPECT_EQ(ring.tryFront(), nullptr);
+    for (int i = 0; i < 4; ++i) {
+        int *slot = ring.tryBeginPush();
+        ASSERT_NE(slot, nullptr);
+        *slot = i;
+        ring.commitPush();
+    }
+    // Full: backpressure.
+    EXPECT_EQ(ring.tryBeginPush(), nullptr);
+    for (int i = 0; i < 4; ++i) {
+        int *front = ring.tryFront();
+        ASSERT_NE(front, nullptr);
+        EXPECT_EQ(*front, i);
+        ring.pop();
+    }
+    EXPECT_EQ(ring.tryFront(), nullptr);
+    EXPECT_FALSE(ring.drained());
+    ring.close();
+    EXPECT_TRUE(ring.drained());
+}
+
+TEST(SpscRing, SlotsAreReusedInPlace)
+{
+    SpscRing<std::vector<int>> ring(2);
+    for (int lap = 0; lap < 6; ++lap) {
+        std::vector<int> *slot = ring.tryBeginPush();
+        ASSERT_NE(slot, nullptr);
+        if (lap >= 4) {
+            // After one full lap the slot keeps its previous capacity.
+            EXPECT_GE(slot->capacity(), 100u);
+        }
+        slot->clear();
+        slot->resize(100, lap);
+        ring.commitPush();
+        ASSERT_NE(ring.tryFront(), nullptr);
+        EXPECT_EQ(ring.tryFront()->front(), lap);
+        ring.pop();
+    }
+}
+
+TEST(SpscRing, TwoThreadStressKeepsOrderAndContent)
+{
+    constexpr int kItems = 200000;
+    SpscRing<int> ring(64);
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i) {
+            int *slot;
+            spscWait([&] { return (slot = ring.tryBeginPush()) != nullptr; },
+                     [] { return false; });
+            *slot = i;
+            ring.commitPush();
+        }
+        ring.close();
+    });
+    long long sum = 0;
+    int expected = 0;
+    bool in_order = true;
+    for (;;) {
+        int *front;
+        bool got = spscWait(
+            [&] { return (front = ring.tryFront()) != nullptr; },
+            [&] { return ring.drained(); });
+        if (!got)
+            break;
+        in_order = in_order && (*front == expected++);
+        sum += *front;
+        ring.pop();
+    }
+    producer.join();
+    EXPECT_TRUE(in_order);
+    EXPECT_EQ(expected, kItems);
+    EXPECT_EQ(sum, (long long)kItems * (kItems - 1) / 2);
+}
+
+// ---- serial vs threaded bit-determinism --------------------------------
+
+Program
+workloadByName(const std::string &kind, u64 seed, unsigned iterations)
+{
+    WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = iterations;
+    opts.bodyLength = 48;
+    if (kind == "microbench")
+        return workload::makeMicrobench(opts);
+    if (kind == "boot")
+        return workload::makeBootLike(opts);
+    if (kind == "compute")
+        return workload::makeComputeLike(opts);
+    if (kind == "vector")
+        return workload::makeVectorLike(opts);
+    return workload::makeIoHeavy(opts);
+}
+
+bool
+isHostCounter(const std::string &name)
+{
+    return name.rfind("host.", 0) == 0;
+}
+
+const char *
+optShortName(int level)
+{
+    switch (level) {
+      case 0: return "Z";
+      case 1: return "B";
+      case 2: return "BN";
+      default: return "BNSD";
+    }
+}
+
+void
+expectSameResult(const CosimResult &serial, const CosimResult &threaded)
+{
+    EXPECT_EQ(serial.verified, threaded.verified);
+    EXPECT_EQ(serial.goodTrap, threaded.goodTrap);
+    EXPECT_EQ(serial.cycles, threaded.cycles);
+    EXPECT_EQ(serial.instrs, threaded.instrs);
+    EXPECT_EQ(serial.simSpeedHz, threaded.simSpeedHz);
+    EXPECT_EQ(serial.replayRan, threaded.replayRan);
+    EXPECT_EQ(serial.replayComplete, threaded.replayComplete);
+
+    EXPECT_EQ(serial.timing.totalSec, threaded.timing.totalSec);
+    EXPECT_EQ(serial.timing.hwEmulationSec, threaded.timing.hwEmulationSec);
+    EXPECT_EQ(serial.timing.startupSec, threaded.timing.startupSec);
+    EXPECT_EQ(serial.timing.transmitSec, threaded.timing.transmitSec);
+    EXPECT_EQ(serial.timing.softwareSec, threaded.timing.softwareSec);
+    EXPECT_EQ(serial.timing.stallSec, threaded.timing.stallSec);
+    EXPECT_EQ(serial.timing.transfers, threaded.timing.transfers);
+    EXPECT_EQ(serial.timing.bytes, threaded.timing.bytes);
+
+    EXPECT_EQ(serial.mismatch.valid, threaded.mismatch.valid);
+    EXPECT_EQ(serial.mismatch.core, threaded.mismatch.core);
+    EXPECT_EQ(serial.mismatch.seq, threaded.mismatch.seq);
+    EXPECT_EQ(serial.mismatch.refPc, threaded.mismatch.refPc);
+    EXPECT_EQ(serial.mismatch.eventType, threaded.mismatch.eventType);
+    EXPECT_EQ(serial.mismatch.field, threaded.mismatch.field);
+    EXPECT_EQ(serial.mismatch.expected, threaded.mismatch.expected);
+    EXPECT_EQ(serial.mismatch.actual, threaded.mismatch.actual);
+    EXPECT_EQ(serial.mismatch.component, threaded.mismatch.component);
+    EXPECT_EQ(serial.mismatch.fused, threaded.mismatch.fused);
+    EXPECT_EQ(serial.mismatch.replayed, threaded.mismatch.replayed);
+
+    EXPECT_EQ(serial.invokesPerCycle, threaded.invokesPerCycle);
+    EXPECT_EQ(serial.bytesPerCycle, threaded.bytesPerCycle);
+    EXPECT_EQ(serial.rawBytesPerInstr, threaded.rawBytesPerInstr);
+    EXPECT_EQ(serial.fusionRatio, threaded.fusionRatio);
+    EXPECT_EQ(serial.bubbleFraction, threaded.bubbleFraction);
+    EXPECT_EQ(serial.packetUtilization, threaded.packetUtilization);
+
+    // Every counter must match bit-for-bit except the wall-clock host.*
+    // telemetry (the documented exception). Compare both directions so a
+    // key present on one side only is also a failure.
+    for (const auto &[name, value] : serial.counters.integers()) {
+        if (isHostCounter(name))
+            continue;
+        EXPECT_EQ(value, threaded.counters.get(name)) << name;
+    }
+    for (const auto &[name, value] : threaded.counters.integers()) {
+        if (isHostCounter(name))
+            continue;
+        EXPECT_EQ(serial.counters.get(name), value) << name;
+    }
+    for (const auto &[name, value] : serial.counters.reals()) {
+        if (isHostCounter(name))
+            continue;
+        EXPECT_EQ(value, threaded.counters.getReal(name)) << name;
+    }
+    for (const auto &[name, value] : threaded.counters.reals()) {
+        if (isHostCounter(name))
+            continue;
+        EXPECT_EQ(serial.counters.getReal(name), value) << name;
+    }
+}
+
+CosimConfig
+makeConfig(OptLevel level, unsigned host_threads)
+{
+    CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(level);
+    cfg.hostThreads = host_threads;
+    return cfg;
+}
+
+CosimResult
+runOnce(OptLevel level, const char *kind, unsigned host_threads,
+        const FaultSpec *fault = nullptr)
+{
+    Program p = workloadByName(kind, 42, 300);
+    CosimConfig cfg = makeConfig(level, host_threads);
+    CoSimulator sim(cfg, p);
+    if (fault)
+        sim.armFault(*fault);
+    return sim.run(2'000'000);
+}
+
+class ThreadedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, const char *>>
+{};
+
+TEST_P(ThreadedEquivalenceTest, ThreadedMatchesSerialBitForBit)
+{
+    auto [level_int, kind] = GetParam();
+    auto level = static_cast<OptLevel>(level_int);
+    CosimResult serial = runOnce(level, kind, 0);
+    CosimResult threaded = runOnce(level, kind, 2);
+    ASSERT_TRUE(serial.goodTrap);
+    expectSameResult(serial, threaded);
+    EXPECT_EQ(threaded.counters.get("host.threads"), 2u);
+    EXPECT_GT(threaded.counters.get("host.hw_bundles"), 0u);
+    EXPECT_EQ(threaded.counters.get("host.hw_bundles"),
+              threaded.counters.get("host.sw_bundles"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, ThreadedEquivalenceTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values("microbench", "boot", "compute",
+                                         "vector", "io")),
+    [](const auto &info) {
+        return std::string(optShortName(std::get<0>(info.param))) + "_" +
+               std::get<1>(info.param);
+    });
+
+TEST(ThreadedEquivalence, FaultInjectionMatchesSerial)
+{
+    // A mismatch stops the serial driver at the cycle that emitted the
+    // fatal transfer while the threaded producer has run ahead; the
+    // snapshot protocol must still yield identical results, including
+    // the replay-refined mismatch report and the replay counters.
+    FaultSpec fault;
+    fault.archetype = BugArchetype::WrongRdValue;
+    fault.triggerSeq = 5000;
+    CosimResult serial = runOnce(OptLevel::BNSD, "boot", 0, &fault);
+    CosimResult threaded = runOnce(OptLevel::BNSD, "boot", 2, &fault);
+    ASSERT_FALSE(serial.verified);
+    ASSERT_TRUE(serial.mismatch.valid);
+    EXPECT_TRUE(serial.replayRan);
+    expectSameResult(serial, threaded);
+}
+
+TEST(ThreadedEquivalence, FaultInjectionWithoutSquashMatchesSerial)
+{
+    // Exercises the copy-before-stamp originals path (no Squash).
+    FaultSpec fault;
+    fault.archetype = BugArchetype::WrongRdValue;
+    fault.triggerSeq = 5000;
+    CosimResult serial = runOnce(OptLevel::BN, "boot", 0, &fault);
+    CosimResult threaded = runOnce(OptLevel::BN, "boot", 2, &fault);
+    ASSERT_FALSE(serial.verified);
+    expectSameResult(serial, threaded);
+}
+
+TEST(ThreadedEquivalence, ThreadedRunsAreDeterministic)
+{
+    CosimResult a = runOnce(OptLevel::BNSD, "compute", 2);
+    CosimResult b = runOnce(OptLevel::BNSD, "compute", 2);
+    expectSameResult(a, b);
+}
+
+TEST(ThreadedEquivalence, TinyQueueDepthStillMatches)
+{
+    // Depth 2 maximizes backpressure interleavings.
+    Program p = workloadByName("microbench", 42, 300);
+    CosimConfig serial_cfg = makeConfig(OptLevel::BNSD, 0);
+    CosimConfig tiny_cfg = makeConfig(OptLevel::BNSD, 2);
+    tiny_cfg.hostQueueDepth = 2;
+    CoSimulator serial_sim(serial_cfg, p);
+    CoSimulator tiny_sim(tiny_cfg, p);
+    CosimResult serial = serial_sim.run(2'000'000);
+    CosimResult threaded = tiny_sim.run(2'000'000);
+    ASSERT_TRUE(serial.goodTrap);
+    expectSameResult(serial, threaded);
+    EXPECT_GT(threaded.counters.get("host.hw_waits"), 0u);
+}
+
+} // namespace
+} // namespace dth::cosim
