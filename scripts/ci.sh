@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# CI entry point: normal build + full test suite, then a ThreadSanitizer
-# build running the concurrency tests (the SPSC ring and the threaded
-# cosim runtime). Usage: scripts/ci.sh [jobs]
+# CI entry point, mirroring the GitHub Actions matrix:
+#   1. warnings-as-errors build + dth_lint protocol gate + full ctest
+#   2. AddressSanitizer+UBSan build + full ctest (UB reports are fatal)
+#   3. ThreadSanitizer build + concurrency tests (SPSC ring, threaded
+#      cosim runtime)
+# Usage: scripts/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> normal build + full ctest"
-cmake -B build -S . >/dev/null
+echo "==> warnings-as-errors build + protocol lint + full ctest"
+cmake -B build -S . -DDTH_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
+# Blocking gate: the protocol tables must satisfy the full invariant
+# catalogue before any simulation-based test is worth running.
+./build/tools/dth_lint --verbose
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ASan+UBSan build + full ctest"
+cmake -B build-asan -S . -DDTH_SANITIZE=address,undefined \
+      -DDTH_WERROR=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+./build-asan/tools/dth_lint
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "==> ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DDTH_SANITIZE=thread >/dev/null

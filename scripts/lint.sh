@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: the dth_lint protocol gate, clang-tidy
+# over the sources, and a clang-format check. clang tools are optional
+# locally (skipped with a notice when absent); CI installs them, so a
+# skip here never hides a CI failure. Usage: scripts/lint.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+status=0
+
+echo "==> dth_lint: protocol invariant catalogue"
+if [ ! -x build/tools/dth_lint ]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target dth_lint
+fi
+./build/tools/dth_lint || status=1
+
+sources=$(git ls-files 'src/*.cc' 'src/*.h' 'tools/*.cc' 'tests/*.cc')
+
+echo "==> clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    # The compilation database drives include paths and the C++ level.
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        # shellcheck disable=SC2086
+        run-clang-tidy -p build -quiet -j "$JOBS" $sources || status=1
+    else
+        # shellcheck disable=SC2086
+        clang-tidy -p build $sources || status=1
+    fi
+else
+    echo "clang-tidy not installed; skipping (CI runs it)"
+fi
+
+echo "==> clang-format check"
+if command -v clang-format >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run --Werror $sources; then
+        echo "formatting drift: run clang-format -i on the files above"
+        status=1
+    fi
+else
+    echo "clang-format not installed; skipping (CI runs it)"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "==> lint OK"
+else
+    echo "==> lint FAILED"
+fi
+exit "$status"

@@ -1,0 +1,58 @@
+#include "analysis/layout_audit.h"
+
+namespace dth::analysis {
+
+namespace {
+
+constexpr unsigned
+id(EventType type)
+{
+    return static_cast<unsigned>(type);
+}
+
+constexpr LayoutFact kFacts[] = {
+    {id(EventType::InstrCommit), InstrCommitView::kPayloadBytes,
+     "InstrCommitView"},
+    {id(EventType::Trap), TrapView::kPayloadBytes, "TrapView"},
+    {id(EventType::ArchEvent), ArchEventView::kPayloadBytes,
+     "ArchEventView"},
+    {id(EventType::BranchEvent), BranchView::kPayloadBytes, "BranchView"},
+    {id(EventType::ArchIntRegState), RegFileView::kPayloadBytes,
+     "RegFileView"},
+    {id(EventType::ArchFpRegState), RegFileView::kPayloadBytes,
+     "RegFileView"},
+    {id(EventType::CsrState), CsrStateView::kPayloadBytes,
+     "CsrStateView"},
+    {id(EventType::FpCsrState), FpCsrView::kPayloadBytes, "FpCsrView"},
+    {id(EventType::ArchVecRegState), VecRegView::kPayloadBytes,
+     "VecRegView"},
+    {id(EventType::VecCsrState), VecCsrView::kPayloadBytes, "VecCsrView"},
+    {id(EventType::LoadEvent), LoadView::kPayloadBytes, "LoadView"},
+    {id(EventType::StoreEvent), StoreView::kPayloadBytes, "StoreView"},
+    {id(EventType::AtomicEvent), AtomicView::kPayloadBytes, "AtomicView"},
+    {id(EventType::SbufferEvent), SbufferView::kPayloadBytes,
+     "SbufferView"},
+    {id(EventType::L1DRefill), RefillView::kPayloadBytes, "RefillView"},
+    {id(EventType::L1IRefill), RefillView::kPayloadBytes, "RefillView"},
+    {id(EventType::L2Refill), RefillView::kPayloadBytes, "RefillView"},
+    {id(EventType::L1TlbEvent), TlbView::kL1PayloadBytes, "TlbView(L1)"},
+    {id(EventType::L2TlbEvent), TlbView::kL2PayloadBytes, "TlbView(L2)"},
+    {id(EventType::LrScEvent), LrScView::kPayloadBytes, "LrScView"},
+    {id(EventType::MmioEvent), MmioView::kPayloadBytes, "MmioView"},
+    {id(EventType::VtypeEvent), VtypeView::kPayloadBytes, "VtypeView"},
+    {id(EventType::UartIoEvent), UartIoView::kPayloadBytes, "UartIoView"},
+    {id(EventType::FusedCommit), FusedCommitView::kPayloadBytes,
+     "FusedCommitView"},
+    {id(EventType::FusedDigest), FusedDigestView::kPayloadBytes,
+     "FusedDigestView"},
+};
+
+} // namespace
+
+std::span<const LayoutFact>
+payloadLayoutFacts()
+{
+    return kFacts;
+}
+
+} // namespace dth::analysis

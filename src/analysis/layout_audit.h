@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Layout audit: the bridge between the typed payload views
+ * (src/event/payloads.h, src/squash/fused_views.h) and the protocol
+ * metadata table (src/event/event_table.h). Each fact pairs an event
+ * type id with the wire size its view encodes; the static_asserts below
+ * prove table/view agreement at compile time, and dth_lint re-checks the
+ * same facts against (possibly mutated) table copies at runtime.
+ */
+
+#ifndef DTH_ANALYSIS_LAYOUT_AUDIT_H_
+#define DTH_ANALYSIS_LAYOUT_AUDIT_H_
+
+#include <span>
+
+#include "event/event_table.h"
+#include "event/payloads.h"
+#include "squash/fused_views.h"
+
+namespace dth::analysis {
+
+/** One audited payload layout: type id -> view-declared wire size. */
+struct LayoutFact
+{
+    unsigned typeId;
+    size_t viewBytes;
+    const char *viewName;
+};
+
+/**
+ * Every type with a typed payload view. Types absent here (hcsr_state,
+ * debug_csr, trigger_csr, debug_mode, vec_writeback, hyp_ldst,
+ * guest_ptw, runahead, aia) are raw word arrays; dth_lint still checks
+ * their alignment and packet-budget fit.
+ */
+std::span<const LayoutFact> payloadLayoutFacts();
+
+/** Largest fixed serialized size in the table (the packet floor). */
+constexpr size_t
+maxFixedPayloadBytes()
+{
+    size_t best = 0;
+    for (const EventTypeInfo &info : kEventTable)
+        if (info.bytesPerEntry > best)
+            best = info.bytesPerEntry;
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time table/view agreement proofs. A size drift between a view
+// and its table row fails the build here; dth_lint reports the same
+// violation class (LintCheck::LayoutMismatch) for runtime table copies.
+// ---------------------------------------------------------------------------
+
+namespace audit_detail {
+
+constexpr size_t
+tableBytes(EventType type)
+{
+    return kEventTable[static_cast<unsigned>(type)].bytesPerEntry;
+}
+
+} // namespace audit_detail
+
+static_assert(audit_detail::tableBytes(EventType::InstrCommit) ==
+              InstrCommitView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::Trap) ==
+              TrapView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::ArchEvent) ==
+              ArchEventView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::BranchEvent) ==
+              BranchView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::ArchIntRegState) ==
+              RegFileView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::ArchFpRegState) ==
+              RegFileView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::CsrState) ==
+              CsrStateView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::FpCsrState) ==
+              FpCsrView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::LoadEvent) ==
+              LoadView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::StoreEvent) ==
+              StoreView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::AtomicEvent) ==
+              AtomicView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::SbufferEvent) ==
+              SbufferView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::L1DRefill) ==
+              RefillView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::L1IRefill) ==
+              RefillView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::L2Refill) ==
+              RefillView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::L1TlbEvent) ==
+              TlbView::kL1PayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::L2TlbEvent) ==
+              TlbView::kL2PayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::LrScEvent) ==
+              LrScView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::MmioEvent) ==
+              MmioView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::ArchVecRegState) ==
+              VecRegView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::VecCsrState) ==
+              VecCsrView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::VtypeEvent) ==
+              VtypeView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::UartIoEvent) ==
+              UartIoView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::FusedCommit) ==
+              FusedCommitView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::FusedDigest) ==
+              FusedDigestView::kPayloadBytes);
+static_assert(audit_detail::tableBytes(EventType::DiffState) == 0,
+              "DiffState is the only variable-length wire type");
+
+/** The structurally largest event must be the vector register file. */
+static_assert(maxFixedPayloadBytes() == VecRegView::kPayloadBytes);
+
+} // namespace dth::analysis
+
+#endif // DTH_ANALYSIS_LAYOUT_AUDIT_H_

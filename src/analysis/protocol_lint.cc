@@ -1,0 +1,635 @@
+#include "analysis/protocol_lint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "analysis/layout_audit.h"
+#include "common/logging.h"
+#include "pack/muxtree.h"
+#include "pack/packer.h"
+#include "pack/wire.h"
+#include "squash/squash.h"
+
+namespace dth::analysis {
+
+namespace {
+
+std::string
+formatv(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+#define DTH_LINT_MSG(...) formatv(__VA_ARGS__)
+
+class Linter
+{
+  public:
+    explicit Linter(const ProtocolTables &tables) : t_(tables) {}
+
+    LintReport
+    run()
+    {
+        checkTableConsistency();
+        checkWireFormat();
+        checkMuxTree();
+        checkSquashSafety();
+        checkReplayCoverage();
+        return std::move(report_);
+    }
+
+  private:
+    void
+    finding(LintCheck check, int type_id, std::string message)
+    {
+        report_.findings.push_back(
+            LintFinding{check, type_id, std::move(message)});
+    }
+
+    /** Evaluate one invariant instance; record a finding on failure. */
+    bool
+    expect(bool ok, LintCheck check, int type_id, std::string message)
+    {
+        ++report_.checksRun;
+        if (!ok)
+            finding(check, type_id, std::move(message));
+        return ok;
+    }
+
+    const char *
+    typeName(unsigned id) const
+    {
+        return id < t_.events.size() && t_.events[id].name
+                   ? t_.events[id].name
+                   : "<unknown>";
+    }
+
+    void checkTableConsistency();
+    void checkWireFormat();
+    void checkMuxTree();
+    void checkSquashSafety();
+    void checkReplayCoverage();
+
+    const ProtocolTables &t_;
+    LintReport report_;
+};
+
+// ---------------------------------------------------------------------------
+// 1. Event-type table consistency.
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkTableConsistency()
+{
+    expect(t_.events.size() == t_.numWireTypes, LintCheck::IdDensity, -1,
+           DTH_LINT_MSG("table has %zu rows but %u wire types declared",
+                        t_.events.size(), t_.numWireTypes));
+    expect(t_.numEventTypes <= t_.numWireTypes, LintCheck::IdDensity, -1,
+           DTH_LINT_MSG("%u monitor types exceed %u wire types",
+                        t_.numEventTypes, t_.numWireTypes));
+
+    std::set<std::string> names;
+    for (unsigned i = 0; i < t_.events.size(); ++i) {
+        const EventTypeInfo &row = t_.events[i];
+        int id = static_cast<int>(i);
+        expect(static_cast<unsigned>(row.type) == i, LintCheck::IdDensity,
+               id,
+               DTH_LINT_MSG("row %u declares stable id %u: ids must be "
+                            "dense and in table order",
+                            i, static_cast<unsigned>(row.type)));
+        bool named = expect(row.name && row.name[0] != '\0',
+                            LintCheck::EmptyName, id,
+                            DTH_LINT_MSG("row %u has no wire name", i));
+        if (named) {
+            expect(names.insert(row.name).second, LintCheck::DuplicateName,
+                   id,
+                   DTH_LINT_MSG("wire name '%s' used by more than one type",
+                                row.name));
+        }
+        expect(row.component && row.component[0] != '\0',
+               LintCheck::EmptyName, id,
+               DTH_LINT_MSG("type %s maps to no microarchitectural "
+                            "component",
+                            typeName(i)));
+        expect(static_cast<unsigned>(row.category) <=
+                   static_cast<unsigned>(EventCategory::Extension),
+               LintCheck::BadCategory, id,
+               DTH_LINT_MSG("type %s has category %u outside the "
+                            "catalogue",
+                            typeName(i),
+                            static_cast<unsigned>(row.category)));
+        expect(row.entriesPerCore >= 1, LintCheck::BadEntriesPerCore, id,
+               DTH_LINT_MSG("type %s allows zero entries per cycle",
+                            typeName(i)));
+        if (i < t_.numEventTypes) {
+            expect(row.bytesPerEntry != 0,
+                   LintCheck::VariableLengthMonitor, id,
+                   DTH_LINT_MSG("monitor type %s is variable-length; "
+                                "only wire pseudo-types may be",
+                                typeName(i)));
+        }
+        expect(row.bytesPerEntry % 8 == 0, LintCheck::MisalignedPayload,
+               id,
+               DTH_LINT_MSG("type %s payload (%u B) is not u64-aligned",
+                            typeName(i), row.bytesPerEntry));
+    }
+
+    // The typed payload views are the layout ground truth: a table row
+    // disagreeing with its view means the wire stream and the parser
+    // read different layouts.
+    for (const LayoutFact &fact : payloadLayoutFacts()) {
+        if (fact.typeId >= t_.events.size())
+            continue;
+        const EventTypeInfo &row = t_.events[fact.typeId];
+        expect(row.bytesPerEntry == fact.viewBytes,
+               LintCheck::LayoutMismatch, static_cast<int>(fact.typeId),
+               DTH_LINT_MSG("type %s: table serializedSize %u B != %zu B "
+                            "encoded by %s",
+                            typeName(fact.typeId), row.bytesPerEntry,
+                            fact.viewBytes, fact.viewName));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Wire-format soundness: packet budget + encode-probe round-trips.
+//
+// The probes always drive the *real* encoders with events built from the
+// real in-tree table, then compare measured sizes and reconstructed
+// events against the snapshot's constants, so a stale constant in the
+// snapshot (or a drifted encoder) is reported rather than crashing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** A probe event with a recognizable payload pattern. */
+Event
+probeEvent(EventType type, u8 core, u8 index, u64 seq, u64 emit)
+{
+    Event e = Event::make(type, core, index, seq);
+    e.emitSeq = emit;
+    for (size_t i = 0; i < e.payload.size(); ++i)
+        e.payload[i] = static_cast<u8>(0xA5u ^ (i * 31u) ^ seq);
+    return e;
+}
+
+} // namespace
+
+void
+Linter::checkWireFormat()
+{
+    expect(t_.numWireTypes == kNumWireTypes, LintCheck::WireTypeCount, -1,
+           DTH_LINT_MSG("snapshot declares %u wire types, build has %u: "
+                        "kNumWireTypes must cover every split/fused tag",
+                        t_.numWireTypes, kNumWireTypes));
+    expect(t_.numWireTypes > t_.numEventTypes, LintCheck::WireTypeCount,
+           -1,
+           DTH_LINT_MSG("no wire ids reserved for Squash pseudo-types "
+                        "(%u monitor vs %u wire)",
+                        t_.numEventTypes, t_.numWireTypes));
+
+    // Per-event wire cost must fit one packet after the Batch header and
+    // one metadata entry; otherwise BatchPacker can never emit it.
+    for (unsigned i = 0; i < t_.events.size(); ++i) {
+        const EventTypeInfo &row = t_.events[i];
+        size_t need = t_.batchPacketHeaderBytes + t_.batchMetaBytes +
+                      t_.eventWireHeaderBytes + row.bytesPerEntry +
+                      (row.bytesPerEntry == 0 ? t_.wireLengthPrefixBytes
+                                              : 0);
+        expect(need <= t_.packetBytes, LintCheck::PacketBudget,
+               static_cast<int>(i),
+               DTH_LINT_MSG("type %s needs %zu B on the wire but the "
+                            "packet budget is %u B",
+                            typeName(i), need, t_.packetBytes));
+    }
+
+    // Probe A: fixed-size header cost vs kEventWireHeaderBytes.
+    {
+        Event e = probeEvent(EventType::InstrCommit, 0, 3, 0x1234, 7);
+        ByteWriter w;
+        writeEventBody(w, e);
+        size_t measured = w.size() - e.payload.size();
+        expect(measured == t_.eventWireHeaderBytes,
+               LintCheck::StaleHeaderConstant, -1,
+               DTH_LINT_MSG("writeEventBody emits a %zu B header but "
+                            "kEventWireHeaderBytes says %zu",
+                            measured, t_.eventWireHeaderBytes));
+    }
+
+    // Probe B: variable-length types must carry the length prefix.
+    {
+        Event e;
+        e.type = EventType::DiffState;
+        e.commitSeq = 5;
+        e.emitSeq = 1;
+        e.payload.assign(24, 0x5Au);
+        ByteWriter w;
+        writeEventBody(w, e);
+        size_t measured = w.size() - e.payload.size();
+        expect(measured ==
+                   t_.eventWireHeaderBytes + t_.wireLengthPrefixBytes,
+               LintCheck::StaleHeaderConstant, -1,
+               DTH_LINT_MSG("variable-length wire overhead is %zu B but "
+                            "header+prefix constants say %zu",
+                            measured,
+                            t_.eventWireHeaderBytes +
+                                t_.wireLengthPrefixBytes));
+        ByteReader r(w.bytes());
+        Event back = readEventBody(r, EventType::DiffState, 0);
+        expect(r.atEnd() && back.payload == e.payload &&
+                   back.commitSeq == e.commitSeq,
+               LintCheck::RoundTripMismatch, -1,
+               "variable-length event did not survive a wire round-trip");
+    }
+
+    // Probe C: every monitor type round-trips bit-exactly.
+    for (unsigned i = 0; i < kNumEventTypes; ++i) {
+        auto type = static_cast<EventType>(i);
+        Event e = probeEvent(type, 1, 2, 0xBEEF + i, 40 + i);
+        ByteWriter w;
+        writeEventBody(w, e);
+        ByteReader r(w.bytes());
+        Event back = readEventBody(r, type, 1);
+        expect(r.atEnd() && back == e, LintCheck::RoundTripMismatch,
+               static_cast<int>(i),
+               DTH_LINT_MSG("type %s did not survive a wire round-trip",
+                            typeName(i)));
+    }
+
+    // Probe D: a real Batch packet's overhead must match the header and
+    // per-meta constants, and unpacking must reproduce the events.
+    if (t_.packetBytes >= 64) {
+        CycleEvents cycle;
+        cycle.cycle = 9;
+        cycle.events.push_back(
+            probeEvent(EventType::InstrCommit, 0, 0, 100, 0));
+        cycle.events.push_back(
+            probeEvent(EventType::StoreEvent, 0, 1, 100, 1));
+        BatchPacker packer(t_.packetBytes);
+        std::vector<Transfer> transfers;
+        packer.packCycle(cycle, transfers);
+        packer.flush(transfers);
+        bool emitted = expect(transfers.size() == 1 &&
+                                  !transfers[0].bytes.empty(),
+                              LintCheck::StaleHeaderConstant, -1,
+                              "Batch probe produced no packet");
+        if (emitted) {
+            size_t wire = 0;
+            for (const Event &e : cycle.events)
+                wire += eventWireBytes(e);
+            size_t overhead = transfers[0].size() - wire;
+            size_t expected = t_.batchPacketHeaderBytes +
+                              cycle.events.size() * t_.batchMetaBytes;
+            expect(overhead == expected, LintCheck::StaleHeaderConstant,
+                   -1,
+                   DTH_LINT_MSG("Batch packet overhead is %zu B but "
+                                "header/meta constants predict %zu",
+                                overhead, expected));
+            BatchUnpacker unpacker;
+            std::vector<Event> back;
+            unpacker.unpackInto(transfers[0], back);
+            expect(back.size() == cycle.events.size() &&
+                       std::equal(back.begin(), back.end(),
+                                  cycle.events.begin()),
+                   LintCheck::RoundTripMismatch, -1,
+                   "Batch packet did not survive a pack/unpack "
+                   "round-trip");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Mux-tree coverage.
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkMuxTree()
+{
+    // Slot table: every fusible type reaches exactly one slot, no slot
+    // serves two types, and each slot is wide enough for its payload.
+    std::vector<unsigned> slots_of_type(t_.events.size(), 0);
+    std::set<unsigned> used_slots;
+    for (const MuxSlot &slot : t_.muxSlots) {
+        if (slot.typeId < slots_of_type.size())
+            ++slots_of_type[slot.typeId];
+        expect(used_slots.insert(slot.slot).second,
+               LintCheck::MuxSlotAlias, static_cast<int>(slot.typeId),
+               DTH_LINT_MSG("mux slot %u claimed by %s and another type",
+                            slot.slot, typeName(slot.typeId)));
+        if (slot.typeId < t_.events.size()) {
+            const EventTypeInfo &row = t_.events[slot.typeId];
+            expect(slot.widthBytes >= row.bytesPerEntry,
+                   LintCheck::MuxWidthUnderflow,
+                   static_cast<int>(slot.typeId),
+                   DTH_LINT_MSG("mux slot %u is %zu B wide but %s "
+                                "payloads are %u B",
+                                slot.slot, slot.widthBytes,
+                                typeName(slot.typeId), row.bytesPerEntry));
+            expect(slot.lanes >= row.entriesPerCore,
+                   LintCheck::MuxLaneUnderflow,
+                   static_cast<int>(slot.typeId),
+                   DTH_LINT_MSG("mux slot %u has %u lanes but %s emits "
+                                "up to %u entries per cycle",
+                                slot.slot, slot.lanes,
+                                typeName(slot.typeId),
+                                row.entriesPerCore));
+        }
+    }
+    for (unsigned i = 0; i < t_.numEventTypes && i < t_.events.size();
+         ++i) {
+        if (!t_.events[i].fusible)
+            continue;
+        expect(slots_of_type[i] >= 1, LintCheck::MuxMissingSlot,
+               static_cast<int>(i),
+               DTH_LINT_MSG("fusible type %s reaches no mux slot",
+                            typeName(i)));
+        expect(slots_of_type[i] <= 1, LintCheck::MuxDuplicateSlot,
+               static_cast<int>(i),
+               DTH_LINT_MSG("fusible type %s claims %u mux slots",
+                            typeName(i), slots_of_type[i]));
+    }
+
+    // The compaction primitive itself: exhaustively prove the hardware
+    // selection rule (input i drives output k iff valid[i] and exactly k
+    // valid entries precede i) for every valid mask up to 8 lanes — the
+    // widest entriesPerCore in the table.
+    bool compaction_ok = true;
+    for (unsigned lanes = 1; lanes <= 8 && compaction_ok; ++lanes) {
+        for (unsigned mask = 0; mask < (1u << lanes); ++mask) {
+            std::vector<bool> valid(lanes);
+            for (unsigned i = 0; i < lanes; ++i)
+                valid[i] = (mask >> i) & 1;
+            std::vector<unsigned> prefix = prefixValidCounts(valid);
+            std::vector<unsigned> chosen = compactValidIndices(valid);
+            unsigned pop = std::popcount(mask);
+            if (chosen.size() != pop) {
+                compaction_ok = false;
+                break;
+            }
+            unsigned running = 0;
+            for (unsigned i = 0; i < lanes; ++i) {
+                if (prefix[i] != running) {
+                    compaction_ok = false;
+                    break;
+                }
+                if (valid[i]) {
+                    // Output `running` must select input i.
+                    if (chosen[running] != i) {
+                        compaction_ok = false;
+                        break;
+                    }
+                    ++running;
+                }
+            }
+            if (!compaction_ok)
+                break;
+        }
+    }
+    expect(compaction_ok, LintCheck::MuxCompactionBroken, -1,
+           "mux-tree compaction violates the prefix-counter selection "
+           "rule");
+}
+
+// ---------------------------------------------------------------------------
+// 4. Squash/NDE safety.
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkSquashSafety()
+{
+    for (unsigned i = 0; i < t_.numEventTypes && i < t_.events.size();
+         ++i) {
+        const EventTypeInfo &row = t_.events[i];
+        // An NDE must never be fused: fusion erases the per-event order
+        // tag the REF synchronizes on.
+        if (!expect(!(row.fusible && row.nde), LintCheck::FusibleNde,
+                    static_cast<int>(i),
+                    DTH_LINT_MSG("NDE type %s is marked fusible: fusion "
+                                 "would erase its order tag",
+                                 typeName(i)))) {
+            continue; // the class cross-check would double-report
+        }
+        // The SquashUnit's routing must agree with the table flags.
+        SquashClass cls = squashClassOf(static_cast<EventType>(i));
+        bool fused = cls == SquashClass::CommitFuse ||
+                     cls == SquashClass::SnapshotReduce ||
+                     cls == SquashClass::AuxFuse;
+        expect(row.fusible == fused, LintCheck::SquashClassMismatch,
+               static_cast<int>(i),
+               DTH_LINT_MSG("type %s: table fusible=%d but the "
+                            "SquashUnit %s it",
+                            typeName(i), row.fusible ? 1 : 0,
+                            fused ? "fuses" : "does not fuse"));
+        expect(row.nde == (cls == SquashClass::NdeAhead),
+               LintCheck::SquashClassMismatch, static_cast<int>(i),
+               DTH_LINT_MSG("type %s: table nde=%d but the SquashUnit "
+                            "%s it ahead",
+                            typeName(i), row.nde ? 1 : 0,
+                            cls == SquashClass::NdeAhead
+                                ? "schedules"
+                                : "does not schedule"));
+    }
+
+    // Every NDE keeps a lossless order-tag path: the tag survives the
+    // wire round-trip and the checking order applies the oracle before
+    // the REF executes the tagged instruction (ArchEvent is the
+    // documented exception: interrupts/exceptions apply after it).
+    for (unsigned i = 0; i < t_.numEventTypes && i < t_.events.size();
+         ++i) {
+        if (!t_.events[i].nde || i >= kNumEventTypes)
+            continue;
+        auto type = static_cast<EventType>(i);
+        u64 max_tag = (u64(1) << kWireOrderTagBits) - 1;
+        Event e = probeEvent(type, 0, 0, max_tag, 3);
+        ByteWriter w;
+        writeEventBody(w, e);
+        ByteReader r(w.bytes());
+        Event back = readEventBody(r, type, 0);
+        bool tag_ok = back.commitSeq == e.commitSeq;
+        int prio = checkingPriority(back);
+        bool prio_ok = prio == 0 || type == EventType::ArchEvent;
+        expect(tag_ok && prio_ok && prio >= 0 && prio <= 3,
+               LintCheck::NdeOrderTagPath, static_cast<int>(i),
+               DTH_LINT_MSG("NDE type %s loses its order-tag path "
+                            "(tag %s, priority %d)",
+                            typeName(i), tag_ok ? "kept" : "lost", prio));
+    }
+
+    // Fuse-depth arithmetic: a full window's count must fit the digest
+    // count field, and its span must fit the u32 wire order tag.
+    expect(t_.maxFuseDepth >= 1, LintCheck::FuseDepthOverflow, -1,
+           "fuse depth ceiling is zero");
+    u64 count_limit = (u64(1) << t_.digestCountBits) - 1;
+    expect(t_.maxFuseDepth <= count_limit, LintCheck::FuseDepthOverflow,
+           -1,
+           DTH_LINT_MSG("fuse depth %u overflows the %u-bit digest "
+                        "count field (max %llu)",
+                        t_.maxFuseDepth, t_.digestCountBits,
+                        static_cast<unsigned long long>(count_limit)));
+    u64 tag_limit = t_.wireOrderTagBits >= 64
+                        ? ~u64(0)
+                        : (u64(1) << t_.wireOrderTagBits) - 1;
+    expect(t_.maxFuseDepth <= tag_limit, LintCheck::FuseDepthOverflow, -1,
+           DTH_LINT_MSG("a fused window of %u commits cannot be spanned "
+                        "by %u-bit order tags",
+                        t_.maxFuseDepth, t_.wireOrderTagBits));
+}
+
+// ---------------------------------------------------------------------------
+// 5. Replay coverage.
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkReplayCoverage()
+{
+    std::set<replay::UndoKind> recorded(t_.undoKinds.begin(),
+                                        t_.undoKinds.end());
+    for (const TypeMutation &mut : t_.refMutations) {
+        for (replay::UndoKind domain : mut.domains) {
+            expect(recorded.count(domain) != 0,
+                   LintCheck::MissingUndoKind,
+                   static_cast<int>(mut.typeId),
+                   DTH_LINT_MSG("checking %s mutates REF %s state but "
+                                "the undo log records no %s entries: "
+                                "rollback would corrupt the REF",
+                                typeName(mut.typeId),
+                                replay::undoKindName(domain),
+                                replay::undoKindName(domain)));
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+const char *
+lintCheckName(LintCheck check)
+{
+    switch (check) {
+      case LintCheck::IdDensity: return "id-density";
+      case LintCheck::DuplicateName: return "duplicate-name";
+      case LintCheck::EmptyName: return "empty-name";
+      case LintCheck::BadCategory: return "bad-category";
+      case LintCheck::BadEntriesPerCore: return "bad-entries-per-core";
+      case LintCheck::VariableLengthMonitor:
+        return "variable-length-monitor";
+      case LintCheck::MisalignedPayload: return "misaligned-payload";
+      case LintCheck::LayoutMismatch: return "layout-mismatch";
+      case LintCheck::WireTypeCount: return "wire-type-count";
+      case LintCheck::PacketBudget: return "packet-budget";
+      case LintCheck::StaleHeaderConstant: return "stale-header-constant";
+      case LintCheck::RoundTripMismatch: return "round-trip-mismatch";
+      case LintCheck::MuxMissingSlot: return "mux-missing-slot";
+      case LintCheck::MuxDuplicateSlot: return "mux-duplicate-slot";
+      case LintCheck::MuxSlotAlias: return "mux-slot-alias";
+      case LintCheck::MuxWidthUnderflow: return "mux-width-underflow";
+      case LintCheck::MuxLaneUnderflow: return "mux-lane-underflow";
+      case LintCheck::MuxCompactionBroken: return "mux-compaction-broken";
+      case LintCheck::FusibleNde: return "fusible-nde";
+      case LintCheck::SquashClassMismatch: return "squash-class-mismatch";
+      case LintCheck::NdeOrderTagPath: return "nde-order-tag-path";
+      case LintCheck::FuseDepthOverflow: return "fuse-depth-overflow";
+      case LintCheck::MissingUndoKind: return "missing-undo-kind";
+    }
+    return "?";
+}
+
+bool
+LintReport::has(LintCheck check) const
+{
+    return count(check) != 0;
+}
+
+unsigned
+LintReport::count(LintCheck check) const
+{
+    unsigned n = 0;
+    for (const LintFinding &f : findings)
+        if (f.check == check)
+            ++n;
+    return n;
+}
+
+std::string
+LintReport::summary() const
+{
+    if (passed())
+        return formatv("protocol lint: %u checks, no violations",
+                       checksRun);
+    return formatv("protocol lint: %u checks, %zu violation%s", checksRun,
+                   findings.size(), findings.size() == 1 ? "" : "s");
+}
+
+std::vector<MuxSlot>
+buildMuxSlots(const std::vector<EventTypeInfo> &events,
+              unsigned num_event_types)
+{
+    std::vector<MuxSlot> slots;
+    slots.reserve(num_event_types);
+    for (unsigned i = 0; i < num_event_types && i < events.size(); ++i) {
+        slots.push_back(MuxSlot{i, i, events[i].entriesPerCore,
+                                events[i].bytesPerEntry});
+    }
+    return slots;
+}
+
+ProtocolTables
+currentTables()
+{
+    ProtocolTables t;
+    t.events.assign(kEventTable.begin(), kEventTable.end());
+    t.numEventTypes = kNumEventTypes;
+    t.numWireTypes = kNumWireTypes;
+    t.eventWireHeaderBytes = kEventWireHeaderBytes;
+    t.wireLengthPrefixBytes = kWireLengthPrefixBytes;
+    t.batchPacketHeaderBytes = kBatchPacketHeaderBytes;
+    t.batchMetaBytes = kBatchMetaBytes;
+    t.wireOrderTagBits = kWireOrderTagBits;
+    t.packetBytes = 4096; // BatchPacker's default transmission budget
+    t.maxFuseDepth = kMaxFuseDepth;
+    t.digestCountBits = FusedDigestView::kCountBits;
+    t.muxSlots = buildMuxSlots(t.events, t.numEventTypes);
+
+    // The analyzer's checking model: REF state domains each event type
+    // mutates when the checker processes it. Stepping (and therefore
+    // every domain) is attributed to the commit types that drive it;
+    // NDE oracles are attributed to the state their synchronization
+    // touches when the REF consumes them.
+    using replay::UndoKind;
+    auto all = std::vector<UndoKind>{
+        UndoKind::XReg, UndoKind::FReg, UndoKind::VReg, UndoKind::Csr,
+        UndoKind::Mem,  UndoKind::Pc,   UndoKind::Reservation};
+    t.refMutations = {
+        {static_cast<unsigned>(EventType::InstrCommit), all},
+        {static_cast<unsigned>(EventType::FusedCommit), all},
+        {static_cast<unsigned>(EventType::ArchEvent),
+         {UndoKind::Pc, UndoKind::Csr}},
+        {static_cast<unsigned>(EventType::LrScEvent),
+         {UndoKind::Reservation}},
+        {static_cast<unsigned>(EventType::MmioEvent),
+         {UndoKind::XReg, UndoKind::Mem}},
+    };
+
+    auto kinds = replay::UndoLog::recordedKinds();
+    t.undoKinds.assign(kinds.begin(), kinds.end());
+    return t;
+}
+
+LintReport
+runProtocolLint(const ProtocolTables &tables)
+{
+    return Linter(tables).run();
+}
+
+} // namespace dth::analysis

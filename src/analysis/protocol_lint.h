@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Protocol-invariant static analyzer (the dth_lint core). It captures
+ * every hand-maintained metadata table — the event-type table, the wire
+ * and Batch header constants, the mux-tree slot assignment, the Squash
+ * fusibility/NDE classification and the Replay undo-log coverage — into
+ * one ProtocolTables snapshot and proves a catalogue of invariants over
+ * it *before any simulation runs*:
+ *
+ *  1. Event-type table consistency: ids dense, names unique, sizes match
+ *     the typed payload views, variable length only for wire
+ *     pseudo-types, categories/components total.
+ *  2. Wire-format soundness: every event (+meta) fits the packet budget
+ *     and the header constants agree with the actual encoders, verified
+ *     by encode-probe round-trips through writeEventBody/BatchPacker.
+ *  3. Mux-tree coverage: every fusible type reaches exactly one slot, no
+ *     two types alias a slot, slot widths cover the payload, and the
+ *     compaction primitive is exhaustively correct up to 8 lanes.
+ *  4. Squash/NDE safety: no fusible NDE, the SquashUnit's classification
+ *     matches the table flags, NDEs keep a lossless order-tag path, and
+ *     the fuse depth fits both the digest count field and the u32 wire
+ *     order tag.
+ *  5. Replay coverage: every event type whose checking mutates REF state
+ *     maps onto undo-log entry kinds the compensation log records.
+ *
+ * Tests seed violations into a mutated ProtocolTables copy and assert
+ * the analyzer reports exactly that class; `tools/dth_lint.cc` runs the
+ * same catalogue over the in-tree tables as a blocking CI step.
+ */
+
+#ifndef DTH_ANALYSIS_PROTOCOL_LINT_H_
+#define DTH_ANALYSIS_PROTOCOL_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "event/event_type.h"
+#include "replay/undo_log.h"
+
+namespace dth::analysis {
+
+/** Violation classes the analyzer can report. */
+enum class LintCheck : u8 {
+    // 1. Event-type table consistency.
+    IdDensity,            //!< row index != stable type id / bad row count
+    DuplicateName,        //!< two types share a wire name
+    EmptyName,            //!< missing name or component string
+    BadCategory,          //!< category outside the paper's five
+    BadEntriesPerCore,    //!< zero entries per core per cycle
+    VariableLengthMonitor, //!< monitor type without a fixed size
+    MisalignedPayload,    //!< fixed size not u64-word aligned
+    LayoutMismatch,       //!< table size != typed view's encoded size
+    // 2. Wire-format soundness.
+    WireTypeCount,        //!< kNumWireTypes doesn't cover the table
+    PacketBudget,         //!< header+meta+event exceeds the packet bytes
+    StaleHeaderConstant,  //!< header constant != what the encoder emits
+    RoundTripMismatch,    //!< readEventBody(writeEventBody(e)) != e
+    // 3. Mux-tree coverage.
+    MuxMissingSlot,       //!< fusible type reaches no slot
+    MuxDuplicateSlot,     //!< one type claims two slots
+    MuxSlotAlias,         //!< two types claim the same slot
+    MuxWidthUnderflow,    //!< slot narrower than the payload it carries
+    MuxLaneUnderflow,     //!< fewer mux lanes than entries per cycle
+    MuxCompactionBroken,  //!< prefix-counter selection rule violated
+    // 4. Squash/NDE safety.
+    FusibleNde,           //!< type flagged both fusible and NDE
+    SquashClassMismatch,  //!< SquashUnit path disagrees with table flags
+    NdeOrderTagPath,      //!< NDE loses its order tag on the wire
+    FuseDepthOverflow,    //!< fuse depth overflows count/order-tag width
+    // 5. Replay coverage.
+    MissingUndoKind,      //!< mutating type without an undo-log kind
+};
+
+const char *lintCheckName(LintCheck check);
+
+/** One reported violation. */
+struct LintFinding
+{
+    LintCheck check;
+    /** Wire type id the finding is about, or -1 for table-wide. */
+    int typeId;
+    std::string message;
+};
+
+/** Result of one analyzer run. */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+    /** Individual invariant evaluations performed. */
+    unsigned checksRun = 0;
+
+    bool passed() const { return findings.empty(); }
+    bool has(LintCheck check) const;
+    unsigned count(LintCheck check) const;
+    std::string summary() const;
+};
+
+/** One slot of the Batch mux-tree crossbar (type-level compaction). */
+struct MuxSlot
+{
+    unsigned slot;      //!< slot index in the crossbar
+    unsigned typeId;    //!< event type the slot serves
+    unsigned lanes;     //!< mux-tree inputs (entries per core per cycle)
+    size_t widthBytes;  //!< slot width; must cover the payload
+};
+
+/** REF state domains checking an event type may mutate. */
+struct TypeMutation
+{
+    unsigned typeId;
+    std::vector<replay::UndoKind> domains;
+};
+
+/**
+ * Snapshot of every protocol metadata table. `currentTables()` captures
+ * the in-tree definitions; tests mutate copies to seed violations.
+ */
+struct ProtocolTables
+{
+    /** One row per wire type; index must equal the stable id. */
+    std::vector<EventTypeInfo> events;
+    unsigned numEventTypes = 0;
+    unsigned numWireTypes = 0;
+    // Wire/Batch layout constants (pack/wire.h, pack/packer.h).
+    size_t eventWireHeaderBytes = 0;
+    size_t wireLengthPrefixBytes = 0;
+    size_t batchPacketHeaderBytes = 0;
+    size_t batchMetaBytes = 0;
+    unsigned wireOrderTagBits = 0;
+    /** Transmission packet budget the wire costs must fit. */
+    unsigned packetBytes = 0;
+    /** Squash fusion-depth ceiling (squash.h kMaxFuseDepth). */
+    unsigned maxFuseDepth = 0;
+    /** Width of the FusedDigest count field in bits. */
+    unsigned digestCountBits = 0;
+    /** Mux-tree slot assignment (type-level compaction crossbar). */
+    std::vector<MuxSlot> muxSlots;
+    /** Per-type REF mutation domains (the analyzer's checking model). */
+    std::vector<TypeMutation> refMutations;
+    /** Undo-log kinds the compensation log records. */
+    std::vector<replay::UndoKind> undoKinds;
+};
+
+/**
+ * Canonical mux-slot derivation: one slot per monitor type, slot index =
+ * stable type id, lanes = entriesPerCore, width = serialized size.
+ */
+std::vector<MuxSlot> buildMuxSlots(const std::vector<EventTypeInfo> &events,
+                                   unsigned num_event_types);
+
+/** Capture the in-tree metadata tables. */
+ProtocolTables currentTables();
+
+/** Run the full invariant catalogue over @p tables. */
+LintReport runProtocolLint(const ProtocolTables &tables);
+
+} // namespace dth::analysis
+
+#endif // DTH_ANALYSIS_PROTOCOL_LINT_H_

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The in-tree protocol metadata table as a constexpr object: one row per
+ * monitor event type (paper Table 1) plus the Squash wire-level
+ * pseudo-types, indexed by the stable on-wire type id. Keeping the table
+ * constexpr lets the layout audit (src/analysis/layout_audit.h) prove
+ * structural invariants with static_assert, so a violation fails the
+ * build rather than the dth_lint run.
+ */
+
+#ifndef DTH_EVENT_EVENT_TABLE_H_
+#define DTH_EVENT_EVENT_TABLE_H_
+
+#include <array>
+
+#include "event/event_type.h"
+
+namespace dth {
+
+namespace detail {
+
+constexpr EventCategory kCF = EventCategory::ControlFlow;
+constexpr EventCategory kRU = EventCategory::RegisterUpdate;
+constexpr EventCategory kMA = EventCategory::MemoryAccess;
+constexpr EventCategory kMH = EventCategory::MemoryHierarchy;
+constexpr EventCategory kEX = EventCategory::Extension;
+
+} // namespace detail
+
+/**
+ * One row per wire type id. Sizes are calibrated so the aggregate
+ * interface is ~11.5 KB and the structural size range is 170x (paper
+ * §2.2, §4.2.1). Rows 32..34 are the Squash pseudo-types: produced by
+ * the acceleration unit, never by a monitor probe.
+ */
+inline constexpr std::array<EventTypeInfo, kNumWireTypes> kEventTable = {{
+    {EventType::InstrCommit, "instr_commit", 128, 6, true, false,
+     detail::kCF, "ROB/commit stage"},
+    {EventType::Trap, "trap", 80, 1, false, false, detail::kCF,
+     "trap unit"},
+    {EventType::ArchEvent, "arch_event", 48, 1, false, true, detail::kCF,
+     "exception/interrupt unit"},
+    {EventType::BranchEvent, "branch", 32, 6, true, false, detail::kCF,
+     "branch unit/BPU"},
+    {EventType::DebugMode, "debug_mode", 32, 1, false, false, detail::kCF,
+     "debug module"},
+
+    {EventType::ArchIntRegState, "int_regfile", 256, 1, true, false,
+     detail::kRU, "integer register file"},
+    {EventType::ArchFpRegState, "fp_regfile", 256, 1, true, false,
+     detail::kRU, "floating-point register file"},
+    {EventType::CsrState, "csr_state", 968, 1, true, false, detail::kRU,
+     "CSR file"},
+    {EventType::FpCsrState, "fcsr_state", 16, 1, true, false, detail::kRU,
+     "FCSR"},
+    {EventType::HCsrState, "hcsr_state", 304, 1, true, false, detail::kRU,
+     "hypervisor CSR file"},
+    {EventType::DebugCsrState, "debug_csr", 80, 1, true, false,
+     detail::kRU, "debug CSRs"},
+    {EventType::TriggerCsrState, "trigger_csr", 128, 1, true, false,
+     detail::kRU, "trigger CSRs"},
+    {EventType::ArchVecRegState, "vec_regfile", 2720, 1, true, false,
+     detail::kRU, "vector register file"},
+    {EventType::VecCsrState, "vec_csr", 136, 1, true, false, detail::kRU,
+     "vector CSRs"},
+
+    {EventType::LoadEvent, "load", 112, 6, true, false, detail::kMA,
+     "LSU load pipeline"},
+    {EventType::StoreEvent, "store", 48, 2, true, false, detail::kMA,
+     "store queue"},
+    {EventType::AtomicEvent, "atomic", 96, 1, false, false, detail::kMA,
+     "AMO unit"},
+
+    {EventType::SbufferEvent, "sbuffer", 208, 4, false, false, detail::kMH,
+     "store buffer"},
+    {EventType::L1DRefill, "l1d_refill", 136, 1, false, false, detail::kMH,
+     "L1D cache"},
+    {EventType::L1IRefill, "l1i_refill", 136, 1, false, false, detail::kMH,
+     "L1I cache"},
+    {EventType::L2Refill, "l2_refill", 136, 1, false, false, detail::kMH,
+     "L2 cache"},
+    {EventType::L1TlbEvent, "l1_tlb", 96, 8, false, false, detail::kMH,
+     "L1 TLB"},
+    {EventType::L2TlbEvent, "l2_tlb", 176, 2, false, false, detail::kMH,
+     "L2 TLB/PTW"},
+
+    {EventType::LrScEvent, "lr_sc", 48, 1, false, true, detail::kEX,
+     "LR/SC monitor"},
+    {EventType::MmioEvent, "mmio", 80, 2, false, true, detail::kEX,
+     "MMIO bridge"},
+    {EventType::VecWriteback, "vec_writeback", 256, 6, true, false,
+     detail::kEX, "vector execution unit"},
+    {EventType::VtypeEvent, "vtype", 48, 1, true, false, detail::kEX,
+     "vector config unit"},
+    {EventType::HldStEvent, "hyp_ldst", 112, 1, false, false, detail::kEX,
+     "hypervisor load/store unit"},
+    {EventType::GuestPtwEvent, "guest_ptw", 224, 1, false, false,
+     detail::kEX, "two-stage PTW"},
+    {EventType::AiaEvent, "aia", 64, 1, false, true, detail::kEX,
+     "AIA/IMSIC"},
+    {EventType::RunaheadEvent, "runahead", 64, 1, false, false,
+     detail::kEX, "runahead checkpoint unit"},
+    {EventType::UartIoEvent, "uart_io", 16, 1, false, true, detail::kEX,
+     "UART/device bridge"},
+
+    {EventType::FusedCommit, "fused_commit", 48, 1, false, false,
+     detail::kCF, "ROB/commit stage"},
+    {EventType::DiffState, "diff_state", 0, 1, false, false, detail::kRU,
+     "register state"},
+    {EventType::FusedDigest, "fused_digest", 32, 1, false, false,
+     detail::kCF, "fused event window"},
+}};
+
+// ---------------------------------------------------------------------------
+// Compile-time table proofs. These mirror the dth_lint table-consistency
+// catalogue for the properties that are provable without probing the
+// encoders; dth_lint re-checks them at runtime so mutated table copies
+// (tests, future dynamically-loaded tables) get the same diagnostics.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/** Stable ids are dense: row i describes wire type id i. */
+constexpr bool
+tableIdsDense()
+{
+    for (unsigned i = 0; i < kNumWireTypes; ++i)
+        if (static_cast<unsigned>(kEventTable[i].type) != i)
+            return false;
+    return true;
+}
+
+/** An NDE carries its own order tag and is never fused (paper §4.3). */
+constexpr bool
+noFusibleNde()
+{
+    for (const EventTypeInfo &info : kEventTable)
+        if (info.fusible && info.nde)
+            return false;
+    return true;
+}
+
+/** Fixed-size payloads are u64-word aligned (PayloadView contract). */
+constexpr bool
+fixedPayloadsWordAligned()
+{
+    for (const EventTypeInfo &info : kEventTable)
+        if (info.bytesPerEntry % 8 != 0)
+            return false;
+    return true;
+}
+
+/** Only wire-level pseudo-types may be variable-length. */
+constexpr bool
+monitorTypesFixedSize()
+{
+    for (unsigned i = 0; i < kNumEventTypes; ++i)
+        if (kEventTable[i].bytesPerEntry == 0)
+            return false;
+    return true;
+}
+
+} // namespace detail
+
+static_assert(kNumWireTypes == kEventTable.size(),
+              "kNumWireTypes must cover every table row");
+static_assert(detail::tableIdsDense(),
+              "event table out of order: row index must equal type id");
+static_assert(detail::noFusibleNde(),
+              "a non-deterministic event type must not be fusible");
+static_assert(detail::fixedPayloadsWordAligned(),
+              "payload sizes must be multiples of 8 bytes");
+static_assert(detail::monitorTypesFixedSize(),
+              "monitor event types must have a fixed serialized size");
+
+} // namespace dth
+
+#endif // DTH_EVENT_EVENT_TABLE_H_

@@ -1,100 +1,11 @@
 #include "event/event_type.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "event/event_table.h"
 
 namespace dth {
-
-namespace {
-
-constexpr EventCategory CF = EventCategory::ControlFlow;
-constexpr EventCategory RU = EventCategory::RegisterUpdate;
-constexpr EventCategory MA = EventCategory::MemoryAccess;
-constexpr EventCategory MH = EventCategory::MemoryHierarchy;
-constexpr EventCategory EX = EventCategory::Extension;
-
-// One row per event type. Sizes are calibrated so the aggregate interface
-// is ~11.5 KB and the structural size range is 170x (paper §2.2, §4.2.1).
-const EventTypeInfo kEventTable[kNumEventTypes] = {
-    {EventType::InstrCommit, "instr_commit", 128, 6, true, false, CF,
-     "ROB/commit stage"},
-    {EventType::Trap, "trap", 80, 1, false, false, CF, "trap unit"},
-    {EventType::ArchEvent, "arch_event", 48, 1, false, true, CF,
-     "exception/interrupt unit"},
-    {EventType::BranchEvent, "branch", 32, 6, true, false, CF,
-     "branch unit/BPU"},
-    {EventType::DebugMode, "debug_mode", 32, 1, false, false, CF,
-     "debug module"},
-
-    {EventType::ArchIntRegState, "int_regfile", 256, 1, true, false, RU,
-     "integer register file"},
-    {EventType::ArchFpRegState, "fp_regfile", 256, 1, true, false, RU,
-     "floating-point register file"},
-    {EventType::CsrState, "csr_state", 968, 1, true, false, RU,
-     "CSR file"},
-    {EventType::FpCsrState, "fcsr_state", 16, 1, true, false, RU,
-     "FCSR"},
-    {EventType::HCsrState, "hcsr_state", 304, 1, true, false, RU,
-     "hypervisor CSR file"},
-    {EventType::DebugCsrState, "debug_csr", 80, 1, true, false, RU,
-     "debug CSRs"},
-    {EventType::TriggerCsrState, "trigger_csr", 128, 1, true, false, RU,
-     "trigger CSRs"},
-    {EventType::ArchVecRegState, "vec_regfile", 2720, 1, true, false, RU,
-     "vector register file"},
-    {EventType::VecCsrState, "vec_csr", 136, 1, true, false, RU,
-     "vector CSRs"},
-
-    {EventType::LoadEvent, "load", 112, 6, true, false, MA,
-     "LSU load pipeline"},
-    {EventType::StoreEvent, "store", 48, 2, true, false, MA,
-     "store queue"},
-    {EventType::AtomicEvent, "atomic", 96, 1, false, false, MA,
-     "AMO unit"},
-
-    {EventType::SbufferEvent, "sbuffer", 208, 4, false, false, MH,
-     "store buffer"},
-    {EventType::L1DRefill, "l1d_refill", 136, 1, false, false, MH,
-     "L1D cache"},
-    {EventType::L1IRefill, "l1i_refill", 136, 1, false, false, MH,
-     "L1I cache"},
-    {EventType::L2Refill, "l2_refill", 136, 1, false, false, MH,
-     "L2 cache"},
-    {EventType::L1TlbEvent, "l1_tlb", 96, 8, false, false, MH,
-     "L1 TLB"},
-    {EventType::L2TlbEvent, "l2_tlb", 176, 2, false, false, MH,
-     "L2 TLB/PTW"},
-
-    {EventType::LrScEvent, "lr_sc", 48, 1, false, true, EX,
-     "LR/SC monitor"},
-    {EventType::MmioEvent, "mmio", 80, 2, false, true, EX,
-     "MMIO bridge"},
-    {EventType::VecWriteback, "vec_writeback", 256, 6, true, false, EX,
-     "vector execution unit"},
-    {EventType::VtypeEvent, "vtype", 48, 1, true, false, EX,
-     "vector config unit"},
-    {EventType::HldStEvent, "hyp_ldst", 112, 1, false, false, EX,
-     "hypervisor load/store unit"},
-    {EventType::GuestPtwEvent, "guest_ptw", 224, 1, false, false, EX,
-     "two-stage PTW"},
-    {EventType::AiaEvent, "aia", 64, 1, false, true, EX,
-     "AIA/IMSIC"},
-    {EventType::RunaheadEvent, "runahead", 64, 1, false, false, EX,
-     "runahead checkpoint unit"},
-    {EventType::UartIoEvent, "uart_io", 16, 1, false, true, EX,
-     "UART/device bridge"},
-};
-
-// Squash wire-level pseudo-types (ids 32..34).
-const EventTypeInfo kWireTable[kNumWireTypes - kNumEventTypes] = {
-    {EventType::FusedCommit, "fused_commit", 48, 1, false, false, CF,
-     "ROB/commit stage"},
-    {EventType::DiffState, "diff_state", 0, 1, false, false, RU,
-     "register state"},
-    {EventType::FusedDigest, "fused_digest", 32, 1, false, false, CF,
-     "fused event window"},
-};
-
-} // namespace
 
 const EventTypeInfo &
 eventInfo(EventType type)
@@ -106,12 +17,8 @@ const EventTypeInfo &
 eventInfo(unsigned id)
 {
     dth_assert(id < kNumWireTypes, "bad event type id %u", id);
-    const EventTypeInfo &info = id < kNumEventTypes
-                                    ? kEventTable[id]
-                                    : kWireTable[id - kNumEventTypes];
-    dth_assert(static_cast<unsigned>(info.type) == id,
-               "event table out of order at %u", id);
-    return info;
+    // Row order is proven at compile time (event_table.h static_asserts).
+    return kEventTable[id];
 }
 
 const char *

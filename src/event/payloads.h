@@ -70,11 +70,23 @@ class PayloadView
     u8 name() const { return byte(offset); }                               \
     void set_##name(u8 v) { setByte(offset, v); }
 
+/**
+ * Every typed view declares its wire contract as compile-time constants:
+ * kPayloadBytes is the serialized size the event table must agree with
+ * (checked by static_assert in src/analysis/layout_audit.h and at runtime
+ * by dth_lint), and kFieldsEndBytes is one past the last declared field,
+ * which must fit inside the payload (checked right below each view).
+ */
+#define DTH_VIEW_LAYOUT(payload_bytes, fields_end)                         \
+    static constexpr size_t kPayloadBytes = payload_bytes;                 \
+    static constexpr size_t kFieldsEndBytes = fields_end;
+
 /** InstrCommit (128 B): one retired instruction. */
 class InstrCommitView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(128, 64)
     DTH_FIELD_U64(pc, 0)
     DTH_FIELD_U64(instr, 8) //!< raw 32-bit encoding in low bits
     DTH_FIELD_U64(rdVal, 16)
@@ -99,6 +111,7 @@ class TrapView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(80, 40)
     DTH_FIELD_U64(hasTrap, 0)
     DTH_FIELD_U64(pc, 8)
     DTH_FIELD_U64(code, 16)
@@ -111,6 +124,7 @@ class ArchEventView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(48, 40)
     /** bit0: interrupt, bit1: exception. */
     DTH_FIELD_U64(kind, 0)
     DTH_FIELD_U64(cause, 8)
@@ -122,11 +136,24 @@ class ArchEventView : public PayloadView
     bool isException() const { return kind() & 2; }
 };
 
+/** BranchEvent (32 B): one resolved branch. */
+class BranchView : public PayloadView
+{
+  public:
+    using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(32, 32)
+    DTH_FIELD_U64(pc, 0)
+    DTH_FIELD_U64(taken, 8)
+    DTH_FIELD_U64(target, 16)
+    DTH_FIELD_U64(seqNo, 24)
+};
+
 /** Full 32-entry register file snapshot (256 B); int and fp share it. */
 class RegFileView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(32 * 8, 32 * 8)
     u64 reg(unsigned i) const { return word(i * 8); }
     void setReg(unsigned i, u64 v) { setWord(i * 8, v); }
 };
@@ -164,6 +191,7 @@ class CsrStateView : public PayloadView
   public:
     using PayloadView::PayloadView;
     static constexpr unsigned kSlots = 121;
+    DTH_VIEW_LAYOUT(kSlots * 8, kSlots * 8)
 
     u64 slot(unsigned i) const { return word(i * 8); }
     void setSlot(unsigned i, u64 v) { setWord(i * 8, v); }
@@ -186,6 +214,7 @@ class FpCsrView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(16, 8)
     DTH_FIELD_U64(fcsr, 0)
 };
 
@@ -194,6 +223,7 @@ class LoadView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(112, 35)
     DTH_FIELD_U64(paddr, 0)
     DTH_FIELD_U64(vaddr, 8)
     DTH_FIELD_U64(data, 16)
@@ -208,6 +238,7 @@ class StoreView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(48, 33)
     DTH_FIELD_U64(addr, 0)
     DTH_FIELD_U64(data, 8)
     DTH_FIELD_U64(mask, 16)
@@ -220,6 +251,7 @@ class AtomicView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(96, 49)
     DTH_FIELD_U64(addr, 0)
     DTH_FIELD_U64(operand, 8)
     DTH_FIELD_U64(mask, 16)
@@ -234,6 +266,7 @@ class MmioView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(80, 26)
     DTH_FIELD_U64(addr, 0)
     DTH_FIELD_U64(data, 8)
     DTH_FIELD_U64(seqNo, 16) //!< order tag
@@ -246,6 +279,7 @@ class LrScView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(48, 24)
     DTH_FIELD_U64(addr, 0)
     DTH_FIELD_U64(success, 8)
     DTH_FIELD_U64(seqNo, 16)
@@ -256,6 +290,7 @@ class RefillView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(136, 88)
     DTH_FIELD_U64(addr, 0)
     u64 lineWord(unsigned i) const { return word(8 + i * 8); }
     void setLineWord(unsigned i, u64 v) { setWord(8 + i * 8, v); }
@@ -268,6 +303,7 @@ class SbufferView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(208, 80)
     DTH_FIELD_U64(addr, 0)
     DTH_FIELD_U64(mask, 8)
     u64 dataWord(unsigned i) const { return word(16 + i * 8); }
@@ -279,6 +315,10 @@ class TlbView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    /** Shared leading fields; per-level payload sizes differ. */
+    static constexpr size_t kL1PayloadBytes = 96;
+    static constexpr size_t kL2PayloadBytes = 176;
+    static constexpr size_t kFieldsEndBytes = 40;
     DTH_FIELD_U64(vpn, 0)
     DTH_FIELD_U64(ppn, 8)
     DTH_FIELD_U64(perm, 16)
@@ -291,6 +331,7 @@ class VecCsrView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(136, 56)
     DTH_FIELD_U64(vstart, 0)
     DTH_FIELD_U64(vxsat, 8)
     DTH_FIELD_U64(vxrm, 16)
@@ -311,6 +352,9 @@ class VecRegView : public PayloadView
     using PayloadView::PayloadView;
     static constexpr size_t kHeaderBytes = 160;
     static constexpr size_t kBytesPerReg = 80;
+    static constexpr unsigned kNumRegs = 32;
+    DTH_VIEW_LAYOUT(kHeaderBytes + kNumRegs * kBytesPerReg,
+                    kHeaderBytes + kNumRegs * kBytesPerReg)
 
     DTH_FIELD_U64(vstart, 0)
     DTH_FIELD_U64(vl, 8)
@@ -336,6 +380,7 @@ class VtypeView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(48, 24)
     DTH_FIELD_U64(vtype, 0)
     DTH_FIELD_U64(vl, 8)
     DTH_FIELD_U64(seqNo, 16)
@@ -346,12 +391,56 @@ class UartIoView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    DTH_VIEW_LAYOUT(16, 16)
     DTH_FIELD_U64(ch, 0)
     DTH_FIELD_U64(flags, 8)
 };
 
 #undef DTH_FIELD_U64
 #undef DTH_FIELD_U8
+#undef DTH_VIEW_LAYOUT
+
+// ---------------------------------------------------------------------------
+// Compile-time layout proofs: every view's declared fields must fit its
+// wire size. The table-vs-view size cross-check (serializedSize ==
+// kPayloadBytes) lives in src/analysis/layout_audit.h, next to the other
+// protocol invariants.
+// ---------------------------------------------------------------------------
+
+namespace payload_layout_detail {
+
+template <typename View>
+constexpr bool
+fieldsFit()
+{
+    return View::kFieldsEndBytes <= View::kPayloadBytes;
+}
+
+static_assert(fieldsFit<InstrCommitView>(), "InstrCommit fields overflow");
+static_assert(fieldsFit<TrapView>(), "Trap fields overflow");
+static_assert(fieldsFit<ArchEventView>(), "ArchEvent fields overflow");
+static_assert(fieldsFit<BranchView>(), "Branch fields overflow");
+static_assert(fieldsFit<RegFileView>(), "RegFile fields overflow");
+static_assert(fieldsFit<CsrStateView>(), "CsrState fields overflow");
+static_assert(fieldsFit<FpCsrView>(), "FpCsr fields overflow");
+static_assert(fieldsFit<LoadView>(), "Load fields overflow");
+static_assert(fieldsFit<StoreView>(), "Store fields overflow");
+static_assert(fieldsFit<AtomicView>(), "Atomic fields overflow");
+static_assert(fieldsFit<MmioView>(), "Mmio fields overflow");
+static_assert(fieldsFit<LrScView>(), "LrSc fields overflow");
+static_assert(fieldsFit<RefillView>(), "Refill fields overflow");
+static_assert(fieldsFit<SbufferView>(), "Sbuffer fields overflow");
+static_assert(fieldsFit<VecCsrView>(), "VecCsr fields overflow");
+static_assert(fieldsFit<VecRegView>(), "VecReg fields overflow");
+static_assert(fieldsFit<VtypeView>(), "Vtype fields overflow");
+static_assert(fieldsFit<UartIoView>(), "UartIo fields overflow");
+static_assert(TlbView::kFieldsEndBytes <= TlbView::kL1PayloadBytes,
+              "Tlb fields overflow the L1 payload");
+static_assert(CsrStateView::kSlots >=
+                  static_cast<unsigned>(CsrSlot::NumNamed),
+              "named CSR slots exceed the CsrState payload");
+
+} // namespace payload_layout_detail
 
 } // namespace dth
 

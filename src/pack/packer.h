@@ -193,6 +193,13 @@ class BatchUnpacker : public Unpacker
 inline constexpr size_t kBatchPacketHeaderBytes = 8; // metaCount, payloadLen
 inline constexpr size_t kBatchMetaBytes = 4; // typeId, core, count(u16)
 
+static_assert(kBatchPacketHeaderBytes ==
+                  sizeof(u16) + sizeof(u16) + sizeof(u32),
+              "batch header is metaCount(u16) + reserved(u16) + "
+              "payloadLen(u32)");
+static_assert(kBatchMetaBytes == sizeof(u8) + sizeof(u8) + sizeof(u16),
+              "batch meta is typeId(u8) + core(u8) + count(u16)");
+
 } // namespace dth
 
 #endif // DTH_PACK_PACKER_H_

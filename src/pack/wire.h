@@ -30,12 +30,26 @@ struct Transfer
 /** Per-event wire header: u32 order tag, u32 emission index, u8 slot. */
 inline constexpr size_t kEventWireHeaderBytes = 9;
 
+/** Order tags travel as u32: a run is bounded to 2^32 commit seqs. */
+inline constexpr unsigned kWireOrderTagBits = 32;
+
+/** Length prefix carried by variable-length wire types. */
+inline constexpr size_t kWireLengthPrefixBytes = 2;
+
+static_assert(kEventWireHeaderBytes ==
+                  sizeof(u32) + sizeof(u32) + sizeof(u8),
+              "kEventWireHeaderBytes must match writeEventBody's header "
+              "(order tag + emission index + slot)");
+static_assert(kWireOrderTagBits == 8 * sizeof(u32),
+              "order tags are serialized as u32");
+
 /** Wire cost of one event under tight packing (header + payload;
  *  variable-length wire types carry an extra u16 length prefix). */
 inline size_t
 eventWireBytes(const Event &event)
 {
-    return kEventWireHeaderBytes + (isVariableLength(event.type) ? 2 : 0) +
+    return kEventWireHeaderBytes +
+           (isVariableLength(event.type) ? kWireLengthPrefixBytes : 0) +
            event.payload.size();
 }
 

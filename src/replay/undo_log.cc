@@ -1,8 +1,39 @@
 #include "replay/undo_log.h"
 
+#include <iterator>
+
 #include "common/logging.h"
 
 namespace dth::replay {
+
+const char *
+undoKindName(UndoKind kind)
+{
+    switch (kind) {
+      case UndoKind::XReg: return "xreg";
+      case UndoKind::FReg: return "freg";
+      case UndoKind::VReg: return "vreg";
+      case UndoKind::Csr: return "csr";
+      case UndoKind::Mem: return "mem";
+      case UndoKind::Pc: return "pc";
+      case UndoKind::Reservation: return "reservation";
+    }
+    return "?";
+}
+
+std::span<const UndoKind>
+UndoLog::recordedKinds()
+{
+    // One entry per StateObserver hook above; keep in sync with the
+    // on*Write overrides and the revertToMark switch.
+    static constexpr UndoKind kKinds[] = {
+        UndoKind::XReg, UndoKind::FReg, UndoKind::VReg, UndoKind::Csr,
+        UndoKind::Mem,  UndoKind::Pc,   UndoKind::Reservation,
+    };
+    static_assert(std::size(kKinds) == kNumUndoKinds,
+                  "recordedKinds must enumerate every UndoKind");
+    return kKinds;
+}
 
 void
 UndoLog::onXRegWrite(u8 rd, u64 old_val)

@@ -9,11 +9,25 @@
 #ifndef DTH_REPLAY_UNDO_LOG_H_
 #define DTH_REPLAY_UNDO_LOG_H_
 
+#include <span>
 #include <vector>
 
 #include "riscv/core.h"
 
 namespace dth::replay {
+
+/**
+ * The REF state domains the compensation log can capture and revert.
+ * Every event type whose checking mutates REF state must map onto these
+ * kinds — dth_lint proves that coverage against the analyzer's
+ * per-event-type mutation model.
+ */
+enum class UndoKind : u8 { XReg, FReg, VReg, Csr, Mem, Pc, Reservation };
+
+inline constexpr unsigned kNumUndoKinds = 7;
+
+/** Printable undo-kind name (lint diagnostics). */
+const char *undoKindName(UndoKind kind);
 
 /** Records REF mutations and can revert them to the last mark. */
 class UndoLog : public riscv::StateObserver
@@ -45,8 +59,15 @@ class UndoLog : public riscv::StateObserver
     size_t entries() const { return entries_.size(); }
     u64 bytesRetained() const;
 
+    /**
+     * The state domains this log records through StateObserver hooks —
+     * the Replay-coverage ground truth dth_lint checks event-type
+     * mutation domains against.
+     */
+    static std::span<const UndoKind> recordedKinds();
+
   private:
-    enum class Kind : u8 { XReg, FReg, VReg, Csr, Mem, Pc, Reservation };
+    using Kind = UndoKind;
 
     struct Entry
     {

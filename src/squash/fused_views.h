@@ -24,6 +24,8 @@ class FusedCommitView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    static constexpr size_t kPayloadBytes = 48;
+    static constexpr size_t kFieldsEndBytes = 48;
     DTH_SQ_FIELD(firstSeq, 0)
     DTH_SQ_FIELD(count, 8)
     DTH_SQ_FIELD(lastPc, 16)
@@ -39,6 +41,10 @@ class FusedDigestView : public PayloadView
 {
   public:
     using PayloadView::PayloadView;
+    static constexpr size_t kPayloadBytes = 32;
+    static constexpr size_t kFieldsEndBytes = 28;
+    /** Width of the count field (byte 26/27): bounds the fuse depth. */
+    static constexpr unsigned kCountBits = 16;
     DTH_SQ_FIELD(digest, 0)
     DTH_SQ_FIELD(firstSeq, 8)
     DTH_SQ_FIELD(lastSeq, 16)
@@ -62,6 +68,13 @@ class FusedDigestView : public PayloadView
 };
 
 #undef DTH_SQ_FIELD
+
+static_assert(FusedCommitView::kFieldsEndBytes <=
+                  FusedCommitView::kPayloadBytes,
+              "FusedCommit fields overflow");
+static_assert(FusedDigestView::kFieldsEndBytes <=
+                  FusedDigestView::kPayloadBytes,
+              "FusedDigest fields overflow");
 
 /**
  * DiffState layout (variable length):

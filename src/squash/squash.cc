@@ -11,35 +11,7 @@ namespace {
 bool
 isRegSnapshot(EventType t)
 {
-    switch (t) {
-      case EventType::ArchIntRegState:
-      case EventType::ArchFpRegState:
-      case EventType::CsrState:
-      case EventType::FpCsrState:
-      case EventType::HCsrState:
-      case EventType::DebugCsrState:
-      case EventType::TriggerCsrState:
-      case EventType::ArchVecRegState:
-      case EventType::VecCsrState:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isAuxFusible(EventType t)
-{
-    switch (t) {
-      case EventType::LoadEvent:
-      case EventType::StoreEvent:
-      case EventType::BranchEvent:
-      case EventType::VecWriteback:
-      case EventType::VtypeEvent:
-        return true;
-      default:
-        return false;
-    }
+    return squashClassOf(t) == SquashClass::SnapshotReduce;
 }
 
 u64
@@ -73,9 +45,46 @@ auxDigestTerm(const Event &e)
 
 } // namespace
 
+SquashClass
+squashClassOf(EventType type)
+{
+    switch (type) {
+      case EventType::ArchEvent:
+      case EventType::LrScEvent:
+      case EventType::MmioEvent:
+      case EventType::AiaEvent:
+      case EventType::UartIoEvent:
+        return SquashClass::NdeAhead;
+      case EventType::InstrCommit:
+        return SquashClass::CommitFuse;
+      case EventType::ArchIntRegState:
+      case EventType::ArchFpRegState:
+      case EventType::CsrState:
+      case EventType::FpCsrState:
+      case EventType::HCsrState:
+      case EventType::DebugCsrState:
+      case EventType::TriggerCsrState:
+      case EventType::ArchVecRegState:
+      case EventType::VecCsrState:
+        return SquashClass::SnapshotReduce;
+      case EventType::LoadEvent:
+      case EventType::StoreEvent:
+      case EventType::BranchEvent:
+      case EventType::VecWriteback:
+      case EventType::VtypeEvent:
+        return SquashClass::AuxFuse;
+      case EventType::Trap:
+        return SquashClass::TrapFlush;
+      default:
+        return SquashClass::Passthrough;
+    }
+}
+
 SquashUnit::SquashUnit(const SquashConfig &config) : config_(config)
 {
-    dth_assert(config_.maxFuse >= 1, "maxFuse must be positive");
+    dth_assert(config_.maxFuse >= 1 && config_.maxFuse <= kMaxFuseDepth,
+               "maxFuse must be in [1, %u], got %u", kMaxFuseDepth,
+               config_.maxFuse);
     cores_.resize(config_.cores);
     for (CoreState &cs : cores_) {
         for (unsigned t = 0; t < kNumEventTypes; ++t) {
@@ -187,37 +196,37 @@ SquashUnit::process(const CycleEvents &in, CycleEvents &out)
     out.cycle = in.cycle;
     cycle_ = in.cycle;
     for (const Event &e : in.events) {
-        if (e.isNde()) {
+        switch (squashClassOf(e.type)) {
+          case SquashClass::NdeAhead:
             if (config_.orderCoupled)
                 flushCore(e.core, FlushReason::NdeBreak, out);
             counters_.add("squash.nde_ahead");
             out.events.push_back(e);
-            continue;
-        }
-        if (e.type == EventType::InstrCommit) {
+            break;
+          case SquashClass::CommitFuse: {
             CoreState &cs = cores_[e.core];
             absorbCommit(cs, e);
             if (cs.count >= config_.maxFuse)
                 flushCore(e.core, FlushReason::WindowFull, out);
-            continue;
-        }
-        if (isRegSnapshot(e.type)) {
+            break;
+          }
+          case SquashClass::SnapshotReduce:
             cores_[e.core].latest[static_cast<unsigned>(e.type)] = e;
             counters_.add("squash.snapshots_absorbed");
-            continue;
-        }
-        if (isAuxFusible(e.type)) {
+            break;
+          case SquashClass::AuxFuse:
             absorbAux(cores_[e.core], e);
-            continue;
-        }
-        if (e.type == EventType::Trap) {
+            break;
+          case SquashClass::TrapFlush:
             flushCore(e.core, FlushReason::Trap, out);
             out.events.push_back(e);
-            continue;
+            break;
+          case SquashClass::Passthrough:
+            // Non-fusible deterministic events keep their tags.
+            counters_.add("squash.passthrough");
+            out.events.push_back(e);
+            break;
         }
-        // Non-fusible deterministic events pass through with their tags.
-        counters_.add("squash.passthrough");
-        out.events.push_back(e);
     }
 }
 

@@ -33,10 +33,36 @@
 
 namespace dth {
 
+/**
+ * Hard ceiling on the fusion-window depth. The FusedDigest count field
+ * is 16 bits and the wire order tag 32 bits, so a window may never span
+ * more entries than either can represent; dth_lint checks this bound
+ * against both widths.
+ */
+inline constexpr unsigned kMaxFuseDepth = 4096;
+
+/**
+ * How the SquashUnit treats one event type (paper §4.3). The protocol
+ * lint cross-checks this classification against the event table's
+ * fusible/NDE flags: every fusible type must be fused (commit, snapshot
+ * or aux path) and every NDE must be scheduled ahead, unfused.
+ */
+enum class SquashClass : u8 {
+    NdeAhead,       //!< non-deterministic: sent immediately with its tag
+    CommitFuse,     //!< InstrCommit: fused into FusedCommit
+    SnapshotReduce, //!< register snapshot: latest-wins + differencing
+    AuxFuse,        //!< fused into a per-type FusedDigest window
+    TrapFlush,      //!< flushes the window, then passes through
+    Passthrough,    //!< deterministic, unfused
+};
+
+/** The squash path events of @p type take (monitor types only). */
+SquashClass squashClassOf(EventType type);
+
 /** Squash configuration. */
 struct SquashConfig
 {
-    /** Maximum commits fused into one FusedCommit. */
+    /** Maximum commits fused into one FusedCommit (<= kMaxFuseDepth). */
     unsigned maxFuse = 32;
     /** Apply differencing to register-state snapshots. */
     bool differencing = true;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the protocol-invariant static analyzer (dth_lint core).
+ * The in-tree tables must pass the full catalogue; each seeded-violation
+ * test mutates a ProtocolTables copy to plant exactly one invariant
+ * violation class and asserts the analyzer reports that class and no
+ * other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/layout_audit.h"
+#include "analysis/protocol_lint.h"
+#include "pack/wire.h"
+#include "squash/squash.h"
+
+namespace dth::analysis {
+namespace {
+
+/** Assert a report contains findings of exactly one violation class. */
+void
+expectOnly(const LintReport &report, LintCheck check)
+{
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(report.has(check)) << "expected a " << lintCheckName(check)
+                                   << " finding";
+    for (const LintFinding &f : report.findings) {
+        EXPECT_EQ(static_cast<int>(f.check), static_cast<int>(check))
+            << "unexpected extra " << lintCheckName(f.check)
+            << " finding: " << f.message;
+    }
+    EXPECT_EQ(report.count(check), report.findings.size());
+}
+
+TEST(ProtocolLint, InTreeTablesPass)
+{
+    LintReport report = runProtocolLint(currentTables());
+    for (const LintFinding &f : report.findings)
+        ADD_FAILURE() << lintCheckName(f.check) << ": " << f.message;
+    EXPECT_TRUE(report.passed());
+    // The catalogue is substantial: a stub analyzer can't fake this.
+    EXPECT_GT(report.checksRun, 200u);
+    EXPECT_NE(report.summary().find("no violations"), std::string::npos);
+}
+
+TEST(ProtocolLint, SnapshotMatchesBuildConstants)
+{
+    ProtocolTables t = currentTables();
+    EXPECT_EQ(t.numEventTypes, kNumEventTypes);
+    EXPECT_EQ(t.numWireTypes, kNumWireTypes);
+    EXPECT_EQ(t.events.size(), kNumWireTypes);
+    EXPECT_EQ(t.eventWireHeaderBytes, kEventWireHeaderBytes);
+    EXPECT_EQ(t.maxFuseDepth, kMaxFuseDepth);
+    EXPECT_EQ(t.undoKinds.size(), replay::kNumUndoKinds);
+    // One canonical mux slot per monitor type.
+    EXPECT_EQ(t.muxSlots.size(), kNumEventTypes);
+    for (unsigned i = 0; i < t.muxSlots.size(); ++i) {
+        EXPECT_EQ(t.muxSlots[i].slot, i);
+        EXPECT_EQ(t.muxSlots[i].typeId, i);
+        EXPECT_EQ(t.muxSlots[i].lanes, t.events[i].entriesPerCore);
+        EXPECT_EQ(t.muxSlots[i].widthBytes, t.events[i].bytesPerEntry);
+    }
+}
+
+TEST(ProtocolLint, LayoutFactsCoverViewBackedTypes)
+{
+    auto facts = payloadLayoutFacts();
+    EXPECT_GE(facts.size(), 25u);
+    for (const LayoutFact &fact : facts) {
+        EXPECT_LT(fact.typeId, kNumWireTypes);
+        EXPECT_NE(fact.viewName, nullptr);
+    }
+    // Compile-time and runtime agree on the packet floor.
+    EXPECT_EQ(maxFixedPayloadBytes(), VecRegView::kPayloadBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded violation classes: each must be detected, and detected alone.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolLintSeeded, BadSerializedSize)
+{
+    ProtocolTables t = currentTables();
+    // Shrink InstrCommit's declared size out from under its view (still
+    // word-aligned so only the layout check can catch it).
+    auto id = static_cast<unsigned>(EventType::InstrCommit);
+    t.events[id].bytesPerEntry = InstrCommitView::kPayloadBytes - 8;
+    // Keep the mux slot consistent with the (mutated) table so the size
+    // lie is visible only against the typed view.
+    t.muxSlots[id].widthBytes = t.events[id].bytesPerEntry;
+    expectOnly(runProtocolLint(t), LintCheck::LayoutMismatch);
+}
+
+TEST(ProtocolLintSeeded, AliasedMuxSlot)
+{
+    ProtocolTables t = currentTables();
+    // Route the Trap type onto the InstrCommit slot: two types now drive
+    // one crossbar slot.
+    t.muxSlots[static_cast<unsigned>(EventType::Trap)].slot =
+        t.muxSlots[static_cast<unsigned>(EventType::InstrCommit)].slot;
+    expectOnly(runProtocolLint(t), LintCheck::MuxSlotAlias);
+}
+
+TEST(ProtocolLintSeeded, FusibleNde)
+{
+    ProtocolTables t = currentTables();
+    // Mark the LR/SC oracle fusible: fusing it would erase the order tag
+    // the REF's SC-outcome synchronization depends on.
+    auto id = static_cast<unsigned>(EventType::LrScEvent);
+    ASSERT_TRUE(t.events[id].nde);
+    t.events[id].fusible = true;
+    expectOnly(runProtocolLint(t), LintCheck::FusibleNde);
+}
+
+TEST(ProtocolLintSeeded, MissingUndoKind)
+{
+    ProtocolTables t = currentTables();
+    // Drop the reservation kind from the compensation log: LR/SC
+    // checking (and commit stepping) could no longer be rolled back.
+    std::erase(t.undoKinds, replay::UndoKind::Reservation);
+    LintReport report = runProtocolLint(t);
+    expectOnly(report, LintCheck::MissingUndoKind);
+    // Reservation-state mutators: InstrCommit, FusedCommit, LrScEvent.
+    EXPECT_EQ(report.count(LintCheck::MissingUndoKind), 3u);
+    bool lrsc_named = std::any_of(
+        report.findings.begin(), report.findings.end(),
+        [](const LintFinding &f) {
+            return f.typeId ==
+                   static_cast<int>(EventType::LrScEvent);
+        });
+    EXPECT_TRUE(lrsc_named);
+}
+
+TEST(ProtocolLintSeeded, StaleHeaderConstant)
+{
+    ProtocolTables t = currentTables();
+    // Pretend the per-event wire header shrank by one byte: the encode
+    // probes must observe that the real encoder disagrees.
+    t.eventWireHeaderBytes = kEventWireHeaderBytes - 1;
+    LintReport report = runProtocolLint(t);
+    expectOnly(report, LintCheck::StaleHeaderConstant);
+    // Both the fixed-size and the variable-length probe see the drift.
+    EXPECT_GE(report.count(LintCheck::StaleHeaderConstant), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Additional seeded classes beyond the required five.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolLintSeeded, VariableLengthMonitorType)
+{
+    ProtocolTables t = currentTables();
+    // A monitor type may never be variable-length; only wire
+    // pseudo-types (DiffState) are. Runahead has no typed view, so the
+    // size lie is invisible to the layout facts and only this check can
+    // catch it.
+    auto id = static_cast<unsigned>(EventType::RunaheadEvent);
+    t.events[id].bytesPerEntry = 0;
+    t.muxSlots[id].widthBytes = 0;
+    expectOnly(runProtocolLint(t), LintCheck::VariableLengthMonitor);
+}
+
+TEST(ProtocolLintSeeded, FuseDepthOverflow)
+{
+    ProtocolTables t = currentTables();
+    // A fuse window deeper than the FusedDigest count field can count.
+    t.maxFuseDepth = (1u << t.digestCountBits) + 1;
+    expectOnly(runProtocolLint(t), LintCheck::FuseDepthOverflow);
+}
+
+TEST(ProtocolLintSeeded, PacketBudgetTooSmall)
+{
+    ProtocolTables t = currentTables();
+    // A packet budget below the largest event: the vector register file
+    // snapshot could never be transmitted. Small enough that the Batch
+    // encode probe is skipped rather than panicking in BatchPacker.
+    t.packetBytes = 48;
+    LintReport report = runProtocolLint(t);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(report.has(LintCheck::PacketBudget));
+    for (const LintFinding &f : report.findings)
+        EXPECT_EQ(f.check, LintCheck::PacketBudget) << f.message;
+}
+
+TEST(ProtocolLintSeeded, SquashClassMismatch)
+{
+    ProtocolTables t = currentTables();
+    // Claim the branch stream is not fusible while the SquashUnit still
+    // routes it through aux fusion.
+    auto id = static_cast<unsigned>(EventType::BranchEvent);
+    ASSERT_TRUE(t.events[id].fusible);
+    t.events[id].fusible = false;
+    expectOnly(runProtocolLint(t), LintCheck::SquashClassMismatch);
+}
+
+TEST(ProtocolLintSeeded, WireTypeCountDrift)
+{
+    ProtocolTables t = currentTables();
+    // Snapshot claims fewer wire types than the build has rows for.
+    t.numWireTypes = kNumWireTypes - 1;
+    LintReport report = runProtocolLint(t);
+    EXPECT_FALSE(report.passed());
+    EXPECT_TRUE(report.has(LintCheck::WireTypeCount));
+}
+
+// The SquashUnit must reject configurations beyond the analyzed ceiling.
+TEST(ProtocolLint, SquashRespectsFuseDepthCeiling)
+{
+    SquashConfig config;
+    config.maxFuse = kMaxFuseDepth;
+    SquashUnit unit(config); // must not assert
+    EXPECT_DEATH(
+        {
+            SquashConfig bad;
+            bad.maxFuse = kMaxFuseDepth + 1;
+            SquashUnit over(bad);
+        },
+        "maxFuse");
+}
+
+} // namespace
+} // namespace dth::analysis

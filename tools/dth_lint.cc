@@ -1,0 +1,81 @@
+/**
+ * @file
+ * dth_lint: protocol-invariant static analyzer CLI. Captures the in-tree
+ * metadata tables (event-type table, wire/Batch constants, mux-tree slot
+ * assignment, Squash classification, Replay undo coverage) and proves
+ * the full invariant catalogue over them before any simulation runs.
+ * Exits 0 iff no invariant is violated, so CI can use it as a blocking
+ * gate; --verbose prints the audited layout facts as well.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/layout_audit.h"
+#include "analysis/protocol_lint.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s [-v|--verbose] [-h|--help]\n", argv0);
+    std::printf("  Prove the DiffTest-H protocol invariants over the\n"
+                "  in-tree metadata tables. Exit 1 on any violation.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dth;
+    using namespace dth::analysis;
+
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "-v") ||
+            !std::strcmp(argv[i], "--verbose")) {
+            verbose = true;
+        } else if (!std::strcmp(argv[i], "-h") ||
+                   !std::strcmp(argv[i], "--help")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "dth_lint: unknown option '%s'\n",
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    ProtocolTables tables = currentTables();
+    if (verbose) {
+        std::printf("dth_lint: %u monitor types, %u wire types, "
+                    "%zu B event header, %zu B batch header, "
+                    "%zu B batch meta, %u B packets, fuse depth <= %u\n",
+                    tables.numEventTypes, tables.numWireTypes,
+                    tables.eventWireHeaderBytes,
+                    tables.batchPacketHeaderBytes, tables.batchMetaBytes,
+                    tables.packetBytes, tables.maxFuseDepth);
+        for (const LayoutFact &fact : payloadLayoutFacts()) {
+            std::printf("  type %2u %-18s %4zu B via %s\n", fact.typeId,
+                        tables.events[fact.typeId].name, fact.viewBytes,
+                        fact.viewName);
+        }
+    }
+
+    LintReport report = runProtocolLint(tables);
+    for (const LintFinding &f : report.findings) {
+        if (f.typeId >= 0) {
+            std::fprintf(stderr, "dth_lint: [%s] type %d: %s\n",
+                         lintCheckName(f.check), f.typeId,
+                         f.message.c_str());
+        } else {
+            std::fprintf(stderr, "dth_lint: [%s] %s\n",
+                         lintCheckName(f.check), f.message.c_str());
+        }
+    }
+    std::printf("%s\n", report.summary().c_str());
+    return report.passed() ? 0 : 1;
+}
