@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Observability smoke harness: runs a small BNSD workload serially and
+ * threaded, proves the non-host stats are bit-identical across the two
+ * drivers, and emits the machine-readable artifacts CI gates on —
+ * BENCH_obs.json (dth-obs-v1 snapshot, pretty-printable/diffable with
+ * tools/dth_stats) and BENCH_timeline.json (Chrome trace_event timeline
+ * of the host pipeline; load in chrome://tracing or ui.perfetto.dev).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace dth;
+using namespace dth::cosim;
+
+bool
+isHostCounter(const std::string &name)
+{
+    return name.rfind("host.", 0) == 0;
+}
+
+/** Exit loudly if any deterministic stat differs between the drivers. */
+void
+requireSameStats(const obs::StatSnapshot &serial,
+                 const obs::StatSnapshot &threaded)
+{
+    unsigned bad = 0;
+    auto mismatch = [&](const std::string &name) {
+        std::fprintf(stderr, "stat mismatch: %s\n", name.c_str());
+        ++bad;
+    };
+    for (const auto &[name, value] : serial.integers()) {
+        if (!isHostCounter(name) &&
+            (!threaded.has(name) || threaded.get(name) != value))
+            mismatch(name);
+    }
+    for (const auto &[name, value] : threaded.integers()) {
+        (void)value;
+        if (!isHostCounter(name) && !serial.has(name))
+            mismatch(name);
+    }
+    for (const auto &[name, value] : serial.reals()) {
+        if (!isHostCounter(name) && threaded.getReal(name) != value)
+            mismatch(name);
+    }
+    for (const auto &[name, h] : serial.hists()) {
+        if (isHostCounter(name))
+            continue;
+        auto it = threaded.hists().find(name);
+        if (it == threaded.hists().end() || !(it->second == h))
+            mismatch(name);
+    }
+    if (bad != 0) {
+        std::fprintf(stderr,
+                     "serial/threaded stat divergence (%u keys)\n", bad);
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    workload::Program program = bench::microbenchWorkload(7, 200);
+    CosimConfig cfg = bench::makeConfig(
+        dut::nutshellConfig(), link::palladiumPlatform(), OptLevel::BNSD);
+
+    CosimResult serial = bench::runOrDie(cfg, program, 200000);
+
+    cfg.hostThreads = 2;
+    cfg.captureTimeline = true;
+    CoSimulator threaded_sim(cfg, program);
+    CosimResult threaded = threaded_sim.run(200000);
+    if (!threaded.verified) {
+        std::fprintf(stderr, "UNEXPECTED MISMATCH: %s\n",
+                     threaded.mismatch.describe().c_str());
+        return 1;
+    }
+
+    requireSameStats(serial.counters, threaded.counters);
+
+    if (!obs::writeFile("BENCH_obs.json",
+                        obs::snapshotToJson(threaded.counters))) {
+        std::fprintf(stderr, "cannot write BENCH_obs.json\n");
+        return 1;
+    }
+    std::string timeline = threaded_sim.chromeTraceJson();
+    if (timeline.empty() ||
+        !obs::writeFile("BENCH_timeline.json", timeline)) {
+        std::fprintf(stderr, "cannot write BENCH_timeline.json\n");
+        return 1;
+    }
+
+    std::printf("obs smoke: %llu cycles serial == threaded; "
+                "BENCH_obs.json + BENCH_timeline.json written\n",
+                (unsigned long long)serial.cycles);
+    return 0;
+}

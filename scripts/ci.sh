@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point, mirroring the GitHub Actions matrix:
 #   1. warnings-as-errors build + dth_lint protocol gate + full ctest
+#      + observability bench smoke (serial/threaded stat equivalence,
+#      BENCH_obs.json schema drift gate)
 #   2. AddressSanitizer+UBSan build + full ctest (UB reports are fatal)
 #   3. ThreadSanitizer build + concurrency tests (SPSC ring, threaded
-#      cosim runtime)
+#      cosim runtime, stat registry)
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
 
@@ -18,6 +20,17 @@ cmake --build build -j "$JOBS"
 ./build/tools/dth_lint --verbose
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> observability bench smoke + snapshot schema gate"
+# Runs a small BNSD workload serially and threaded, requires identical
+# deterministic stats, and emits BENCH_obs.json + BENCH_timeline.json.
+(cd build && ./bench/bench_obs_smoke)
+./build/tools/dth_stats build/BENCH_obs.json >/dev/null
+./build/tools/dth_stats --diff build/BENCH_obs.json build/BENCH_obs.json
+# Schema drift gate: the stat names/kinds the smoke workload emits must
+# match the checked-in golden list (bench/BENCH_obs.schema.txt).
+./build/tools/dth_stats --schema build/BENCH_obs.json \
+    | diff -u bench/BENCH_obs.schema.txt -
+
 echo "==> ASan+UBSan build + full ctest"
 cmake -B build-asan -S . -DDTH_SANITIZE=address,undefined \
       -DDTH_WERROR=ON >/dev/null
@@ -31,6 +44,6 @@ cmake -B build-tsan -S . -DDTH_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target host_pipeline_test
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/host_pipeline_test \
-    --gtest_filter='SpscRing.*:*ThreadedEquivalence*'
+    --gtest_filter='SpscRing.*:*ThreadedEquivalence*:StatRegistry.*'
 
 echo "==> CI OK"

@@ -45,6 +45,31 @@ CoreChecker::CoreChecker(unsigned core_id, const workload::Program &program,
                      program.image.size());
     undo_ = std::make_unique<replay::UndoLog>(*ref_);
     ref_->setObserver(undo_.get());
+
+    stat_.mismatches = counters_.sum("checker.mismatches");
+    stat_.events = counters_.sum("checker.events");
+    stat_.mmioFills = counters_.sum("checker.mmio_fills");
+    stat_.mmioStores = counters_.sum("checker.mmio_stores");
+    stat_.scOutcomes = counters_.sum("checker.sc_outcomes");
+    stat_.uartIo = counters_.sum("checker.uart_io");
+    stat_.informational = counters_.sum("checker.informational");
+    stat_.skippedCommits = counters_.sum("checker.skipped_commits");
+    stat_.commits = counters_.sum("checker.commits");
+    stat_.fusedCommits = counters_.sum("checker.fused_commits");
+    stat_.fusedInstrs = counters_.sum("checker.fused_instrs");
+    stat_.fusedDigests = counters_.sum("checker.fused_digests");
+    stat_.traps = counters_.sum("checker.traps");
+    stat_.interrupts = counters_.sum("checker.interrupts");
+    stat_.exceptions = counters_.sum("checker.exceptions");
+    stat_.loads = counters_.sum("checker.loads");
+    stat_.stores = counters_.sum("checker.stores");
+    stat_.atomics = counters_.sum("checker.atomics");
+    stat_.refills = counters_.sum("checker.refills");
+    stat_.sbuffer = counters_.sum("checker.sbuffer");
+    stat_.tlb = counters_.sum("checker.tlb");
+    stat_.regstates = counters_.sum("checker.regstates");
+    stat_.csrStates = counters_.sum("checker.csr_states");
+    stat_.replays = counters_.sum("checker.replays");
 }
 
 bool
@@ -63,7 +88,7 @@ CoreChecker::fail(const Event &event, const char *field, u64 expected,
     report_.component = event.info().component;
     report_.fused = false;
     report_.replayed = replayMode_;
-    counters_.add("checker.mismatches");
+    counters_.add(stat_.mismatches);
     return false;
 }
 
@@ -151,7 +176,7 @@ CoreChecker::processEvent(const Event &event)
     if (failed_)
         return false;
     ++eventsChecked_;
-    counters_.add("checker.events");
+    counters_.add(stat_.events);
 
     switch (event.type) {
       case EventType::InstrCommit: return checkInstrCommit(event);
@@ -182,16 +207,16 @@ CoreChecker::processEvent(const Event &event)
         MmioView v(event);
         if (v.isLoad()) {
             ref_->pushMmioFill(v.addr(), v.data());
-            counters_.add("checker.mmio_fills");
+            counters_.add(stat_.mmioFills);
         } else {
-            counters_.add("checker.mmio_stores");
+            counters_.add(stat_.mmioStores);
         }
         return true;
       }
       case EventType::LrScEvent: {
         LrScView v(event);
         ref_->pushScOutcome(v.success() != 0);
-        counters_.add("checker.sc_outcomes");
+        counters_.add(stat_.scOutcomes);
         return true;
       }
 
@@ -238,14 +263,14 @@ CoreChecker::processEvent(const Event &event)
 
       // Informational / structural-only events.
       case EventType::UartIoEvent:
-        counters_.add("checker.uart_io");
+        counters_.add(stat_.uartIo);
         return true;
       case EventType::AiaEvent:
       case EventType::RunaheadEvent:
       case EventType::GuestPtwEvent:
       case EventType::HldStEvent:
       case EventType::DebugMode:
-        counters_.add("checker.informational");
+        counters_.add(stat_.informational);
         return true;
 
       case EventType::DiffState:
@@ -281,7 +306,7 @@ CoreChecker::checkInstrCommit(const Event &event)
         // DiffTest skip semantics: copy the DUT result into the REF.
         if (v.rfWen())
             ref_->setXReg(v.rd(), v.rdVal());
-        counters_.add("checker.skipped_commits");
+        counters_.add(stat_.skippedCommits);
         return true;
     }
     if (v.nextPc() != r.nextPc)
@@ -296,7 +321,7 @@ CoreChecker::checkInstrCommit(const Event &event)
     }
     if (v.fpWen() && v.frdVal() != r.frdVal)
         return fail(event, "frd-value", r.frdVal, v.frdVal());
-    counters_.add("checker.commits");
+    counters_.add(stat_.commits);
     return true;
 }
 
@@ -332,8 +357,8 @@ CoreChecker::checkFusedCommit(const Event &event)
     undo_->mark();
     markSeqPrev_ = markSeq_;
     markSeq_ = last;
-    counters_.add("checker.fused_commits");
-    counters_.add("checker.fused_instrs", v.count());
+    counters_.add(stat_.fusedCommits);
+    counters_.add(stat_.fusedInstrs, v.count());
     return true;
 }
 
@@ -358,7 +383,7 @@ CoreChecker::checkFusedDigest(const Event &event)
     }
     auxDigest_[t] = 0;
     auxCount_[t] = 0;
-    counters_.add("checker.fused_digests");
+    counters_.add(stat_.fusedDigests);
     return true;
 }
 
@@ -374,7 +399,7 @@ CoreChecker::checkTrap(const Event &event)
         return fail(event, "trap-code", ref_->haltCode(), v.code());
     sawTrap_ = true;
     trapCode_ = v.code();
-    counters_.add("checker.traps");
+    counters_.add(stat_.traps);
     return true;
 }
 
@@ -393,7 +418,7 @@ CoreChecker::checkArchEvent(const Event &event)
             return fail(event, "ref-missed-interrupt", v.cause(), 0);
         if (r.cause != v.cause())
             return fail(event, "interrupt-cause", r.cause, v.cause());
-        counters_.add("checker.interrupts");
+        counters_.add(stat_.interrupts);
         return true;
     }
     if (v.isException()) {
@@ -406,7 +431,7 @@ CoreChecker::checkArchEvent(const Event &event)
         if (lastStep_->cause != v.cause())
             return fail(event, "exception-cause", lastStep_->cause,
                         v.cause());
-        counters_.add("checker.exceptions");
+        counters_.add(stat_.exceptions);
         return true;
     }
     return true;
@@ -423,7 +448,7 @@ CoreChecker::checkLoad(const Event &event)
     u64 got = v.data() & byteMask(nbytes);
     if ((ref_val & byteMask(nbytes)) != got)
         return fail(event, "load-data", ref_val & byteMask(nbytes), got);
-    counters_.add("checker.loads");
+    counters_.add(stat_.loads);
     return true;
 }
 
@@ -437,7 +462,7 @@ CoreChecker::checkStore(const Event &event)
     u64 ref_val = bus_->ram().read(v.addr(), nbytes) & byteMask(nbytes);
     if (ref_val != (v.data() & byteMask(nbytes)))
         return fail(event, "store-data", ref_val, v.data());
-    counters_.add("checker.stores");
+    counters_.add(stat_.stores);
     return true;
 }
 
@@ -453,7 +478,7 @@ CoreChecker::checkAtomic(const Event &event)
             return fail(event, "amo-loaded-value", lastStep_->mem[0].data,
                         v.loadedValue());
     }
-    counters_.add("checker.atomics");
+    counters_.add(stat_.atomics);
     return true;
 }
 
@@ -469,7 +494,7 @@ CoreChecker::checkRefill(const Event &event)
             return fail(event, "refill-line-data", ref_word,
                         v.lineWord(w));
     }
-    counters_.add("checker.refills");
+    counters_.add(stat_.refills);
     return true;
 }
 
@@ -485,7 +510,7 @@ CoreChecker::checkSbuffer(const Event &event)
             return fail(event, "sbuffer-line-data", ref_word,
                         v.dataWord(w));
     }
-    counters_.add("checker.sbuffer");
+    counters_.add(stat_.sbuffer);
     return true;
 }
 
@@ -497,7 +522,7 @@ CoreChecker::checkTlb(const Event &event)
     // indicates a TLB bug.
     if (v.ppn() != v.vpn())
         return fail(event, "tlb-ppn", v.vpn(), v.ppn());
-    counters_.add("checker.tlb");
+    counters_.add(stat_.tlb);
     return true;
 }
 
@@ -512,7 +537,7 @@ CoreChecker::checkIntRegState(const Event &event)
             return fail(event, ("x" + std::to_string(i)).c_str(),
                         ref_->xreg(i), v.reg(i));
     }
-    counters_.add("checker.regstates");
+    counters_.add(stat_.regstates);
     return true;
 }
 
@@ -568,7 +593,7 @@ CoreChecker::checkCsrState(const Event &event)
         if (v.csr(n.slot) != n.ref_val)
             return fail(event, n.name, n.ref_val, v.csr(n.slot));
     }
-    counters_.add("checker.csr_states");
+    counters_.add(stat_.csrStates);
     return true;
 }
 
@@ -636,7 +661,7 @@ bool
 CoreChecker::replayOriginalEvents(std::vector<Event> originals)
 {
     dth_assert(failed_, "replay requires a detected mismatch");
-    counters_.add("checker.replays");
+    counters_.add(stat_.replays);
 
     // Revert the REF to the last verified checkpoint (compensation
     // log). Queued NDE oracles belong to the aborted timeline; the

@@ -19,8 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "common/counters.h"
 #include "event/payloads.h"
+#include "obs/stats.h"
 #include "replay/undo_log.h"
 #include "riscv/core.h"
 #include "squash/fused_views.h"
@@ -109,7 +109,7 @@ class CoreChecker
     u64 refSeq() const { return ref_->seqNo(); }
     u64 instrsStepped() const { return instrsStepped_; }
     u64 eventsChecked() const { return eventsChecked_; }
-    PerfCounters &counters() { return counters_; }
+    obs::StatSheet &counters() { return counters_; }
 
   private:
     bool fail(const Event &event, const char *field, u64 expected,
@@ -165,7 +165,34 @@ class CoreChecker
 
     u64 instrsStepped_ = 0;
     u64 eventsChecked_ = 0;
-    PerfCounters counters_;
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId mismatches;
+        obs::StatId events;
+        obs::StatId mmioFills;
+        obs::StatId mmioStores;
+        obs::StatId scOutcomes;
+        obs::StatId uartIo;
+        obs::StatId informational;
+        obs::StatId skippedCommits;
+        obs::StatId commits;
+        obs::StatId fusedCommits;
+        obs::StatId fusedInstrs;
+        obs::StatId fusedDigests;
+        obs::StatId traps;
+        obs::StatId interrupts;
+        obs::StatId exceptions;
+        obs::StatId loads;
+        obs::StatId stores;
+        obs::StatId atomics;
+        obs::StatId refills;
+        obs::StatId sbuffer;
+        obs::StatId tlb;
+        obs::StatId regstates;
+        obs::StatId csrStates;
+        obs::StatId replays;
+    } stat_;
 };
 
 } // namespace dth::checker

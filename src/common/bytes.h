@@ -88,24 +88,48 @@ class ByteWriter
     std::vector<u8> *external_ = nullptr;
 };
 
-/** Consumes little-endian scalars from a byte span; panics on underrun. */
+/**
+ * Consumes little-endian scalars from a byte span.
+ *
+ * Underrun policy: internal wire formats (packets the packers just
+ * built) use the default Panic mode, where a short read is a protocol
+ * bug and aborts. Parsers of external, untrusted input — trace files
+ * from disk — construct the reader with OnUnderrun::Fail: a short read
+ * sets a sticky failure flag and yields zeros/empty spans, so the
+ * parser can unwind and return false instead of killing the process.
+ */
 class ByteReader
 {
   public:
-    explicit ByteReader(std::span<const u8> data) : data_(data) {}
+    enum class OnUnderrun : u8 {
+        Panic, //!< dth_assert (internal streams; malformed = bug)
+        Fail,  //!< sticky failed() flag, zero-filled reads (untrusted)
+    };
 
-    u8 getU8() { return get(1); }
+    explicit ByteReader(std::span<const u8> data,
+                        OnUnderrun mode = OnUnderrun::Panic)
+        : data_(data), mode_(mode)
+    {}
+
+    u8 getU8() { return static_cast<u8>(get(1)); }
     u16 getU16() { return static_cast<u16>(get(2)); }
     u32 getU32() { return static_cast<u32>(get(4)); }
     u64 getU64() { return get(8); }
 
-    /** Read @p n raw bytes. */
+    /** Read @p n raw bytes. In Fail mode a short read returns an empty
+     *  span and marks the reader failed. */
     std::span<const u8>
     getBytes(size_t n)
     {
-        dth_assert(pos_ + n <= data_.size(),
-                   "byte stream underrun: need %zu at %zu/%zu", n, pos_,
-                   data_.size());
+        if (failed_ || n > data_.size() - pos_) {
+            if (mode_ == OnUnderrun::Panic) {
+                dth_assert(false,
+                           "byte stream underrun: need %zu at %zu/%zu", n,
+                           pos_, data_.size());
+            }
+            failed_ = true;
+            return {};
+        }
         auto out = data_.subspan(pos_, n);
         pos_ += n;
         return out;
@@ -121,19 +145,25 @@ class ByteReader
     size_t position() const { return pos_; }
     bool atEnd() const { return pos_ == data_.size(); }
 
+    /** A Fail-mode read ran past the end (sticky). */
+    bool failed() const { return failed_; }
+    bool ok() const { return !failed_; }
+
   private:
     u64
     get(unsigned nbytes)
     {
         auto raw = getBytes(nbytes);
         u64 v = 0;
-        for (unsigned i = 0; i < nbytes; ++i)
+        for (unsigned i = 0; i < raw.size(); ++i)
             v |= static_cast<u64>(raw[i]) << (8 * i);
         return v;
     }
 
     std::span<const u8> data_;
     size_t pos_ = 0;
+    OnUnderrun mode_;
+    bool failed_ = false;
 };
 
 } // namespace dth

@@ -104,6 +104,19 @@ CoSimulator::CoSimulator(const CosimConfig &config,
         checkers_.push_back(std::make_unique<checker::CoreChecker>(
             c, program_, mmio_sync));
     }
+
+    hostStat_.threads = hostSheet_.gauge("host.threads");
+    hostStat_.queueDepth = hostSheet_.gauge("host.queue_depth");
+    hostStat_.runSec = hostSheet_.real("host.run_sec");
+    hostStat_.hwLoopSec = hostSheet_.real("host.hw_loop_sec");
+    hostStat_.hwWaitSec = hostSheet_.real("host.hw_wait_sec");
+    hostStat_.hwWaits = hostSheet_.sum("host.hw_waits");
+    hostStat_.hwBundles = hostSheet_.sum("host.hw_bundles");
+    hostStat_.swLoopSec = hostSheet_.real("host.sw_loop_sec");
+    hostStat_.swWaitSec = hostSheet_.real("host.sw_wait_sec");
+    hostStat_.swWaits = hostSheet_.sum("host.sw_waits");
+    hostStat_.swBundles = hostSheet_.sum("host.sw_bundles");
+    hostStat_.ringOccupancy = hostSheet_.hist("host.ring_occupancy");
 }
 
 CoSimulator::~CoSimulator() = default;
@@ -184,15 +197,14 @@ CoSimulator::runReplay(unsigned core)
     work.instrsStepped = last - first + 1;
     work.bytesParsed = bytes;
     link_->onTransfer(swCycle_, bytes, work);
-    replayBuffer_->counters().add("replay.retransmit_bytes", bytes);
-    replayBuffer_->counters().add("replay.retransmit_events",
-                                  originals.size());
+    replayBuffer_->countRetransmit(originals.size(), bytes);
     chk.replayOriginalEvents(std::move(originals));
 }
 
 void
 CoSimulator::processTransfer(const Transfer &transfer)
 {
+    obs::ScopedSpan span(swTrace_, "sw_transfer");
     unpackScratch_.clear();
     unpacker_->unpackInto(transfer, unpackScratch_);
 
@@ -256,15 +268,38 @@ CoSimulator::run(u64 max_cycles)
 {
     lastEmitCycle_ = 0;
     swCycle_ = 0;
+    // Per-run reset: a reused CoSimulator must not accumulate host
+    // telemetry across run() invocations (host.threads once read 2, 4,
+    // 6... from a reused instance).
+    hostSheet_.reset();
+    hwTrace_.clear();
+    swTrace_.clear();
+    if (config_.captureTimeline) {
+        auto epoch = obs::TraceClock::now();
+        bool threaded = config_.hostThreads >= 2;
+        hwTrace_.start(threaded ? "hw_producer" : "serial", 0, epoch,
+                       config_.timelineCapacity);
+        swTrace_.start(threaded ? "sw_consumer" : "serial_sw", 1, epoch,
+                       config_.timelineCapacity);
+    }
     if (config_.hostThreads >= 2)
         return runThreaded(max_cycles);
     return runSerial(max_cycles);
+}
+
+std::string
+CoSimulator::chromeTraceJson() const
+{
+    if (!hwTrace_.enabled())
+        return std::string();
+    return obs::chromeTraceJson({&hwTrace_, &swTrace_});
 }
 
 CosimResult
 CoSimulator::runSerial(u64 max_cycles)
 {
     auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedSpan span(hwTrace_, "serial_loop");
     std::vector<Transfer> transfers;
 
     while (!dut_->done() && dut_->cycles() < max_cycles && !anyFailed()) {
@@ -301,9 +336,9 @@ CoSimulator::runSerial(u64 max_cycles)
             feedChecker(e);
     }
 
-    hostStats_.add("host.threads", 1);
-    hostStats_.addReal(
-        "host.run_sec",
+    hostSheet_.set(hostStat_.threads, 1);
+    hostSheet_.addReal(
+        hostStat_.runSec,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
     return finishResult(dut_->cycles(), dut_->totalInstrsRetired(),
@@ -312,7 +347,7 @@ CoSimulator::runSerial(u64 max_cycles)
 
 CosimResult
 CoSimulator::finishResult(u64 cycles, u64 instrs,
-                          const PerfCounters *hw_override)
+                          const obs::StatSheet *hw_override)
 {
     CosimResult result;
     result.cycles = cycles;
@@ -333,27 +368,30 @@ CoSimulator::finishResult(u64 cycles, u64 instrs,
         }
     }
 
-    // Merge counters and derive the communication statistics. On a
-    // threaded mismatch the hardware side has run ahead of the fatal
-    // transfer; hw_override is the dut/pack/squash snapshot taken at
-    // the cycle boundary the serial driver would have stopped at.
-    if (replayBuffer_) {
-        replayBuffer_->counters().trackMax("replay.buffered_bytes",
-                                           replayBuffer_->bufferedBytes());
-        result.counters.merge(replayBuffer_->counters());
-    }
+    // Merge counters (kind-aware: Sum adds, Max keeps the high-water
+    // mark, Gauge takes the incoming value) and derive the
+    // communication statistics. On a threaded mismatch the hardware
+    // side has run ahead of the fatal transfer; hw_override is the
+    // dut/pack/squash snapshot taken at the cycle boundary the serial
+    // driver would have stopped at.
+    obs::StatSheet merged;
+    if (replayBuffer_)
+        merged.merge(replayBuffer_->counters());
     if (hw_override) {
-        result.counters.merge(*hw_override);
+        merged.merge(*hw_override);
     } else {
-        result.counters.merge(dut_->counters());
-        result.counters.merge(packer_->counters());
+        merged.merge(dut_->counters());
+        merged.merge(packer_->counters());
         if (squash_)
-            result.counters.merge(squash_->counters());
+            merged.merge(squash_->counters());
     }
     for (const auto &c : checkers_)
-        result.counters.merge(c->counters());
-    result.counters.merge(hostStats_);
-    const PerfCounters &pc = result.counters;
+        merged.merge(c->counters());
+    merged.merge(reorderer_->counters());
+    merged.merge(link_->counters());
+    merged.merge(hostSheet_);
+    result.counters = merged.snapshot();
+    const obs::StatSnapshot &pc = result.counters;
     if (result.cycles > 0) {
         result.invokesPerCycle =
             static_cast<double>(result.timing.transfers) / result.cycles;

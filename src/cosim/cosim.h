@@ -29,6 +29,8 @@
 #include "cosim/host_pipeline.h"
 #include "dut/dut.h"
 #include "link/link_sim.h"
+#include "obs/stats.h"
+#include "obs/trace_log.h"
 #include "pack/packer.h"
 #include "replay/buffer.h"
 #include "squash/squash.h"
@@ -79,6 +81,13 @@ struct CosimConfig
     /** SPSC ring depth in cycle bundles (run-ahead bound; power of 2). */
     unsigned hostQueueDepth = 256;
 
+    /** Record a Chrome trace_event timeline of the host pipeline
+     *  (ring waits, per-transfer software work); fetch it after run()
+     *  with CoSimulator::chromeTraceJson(). */
+    bool captureTimeline = false;
+    /** Per-thread span capacity when capturing (bounds memory). */
+    size_t timelineCapacity = 1 << 16;
+
     void applyOptLevel(OptLevel level);
 };
 
@@ -105,7 +114,7 @@ struct CosimResult
     double bubbleFraction = 0;   //!< fixed-offset padding share
     double packetUtilization = 0;
 
-    PerfCounters counters;
+    obs::StatSnapshot counters;
 
     std::string summary() const;
 };
@@ -135,6 +144,10 @@ class CoSimulator
     checker::CoreChecker &coreChecker(unsigned core);
     const CosimConfig &config() const { return config_; }
 
+    /** The captured timeline of the last run (empty unless
+     *  config.captureTimeline was set). */
+    std::string chromeTraceJson() const;
+
   private:
     // ---- shared hardware-side per-cycle work (either mode) -------------
     /** Squash + stamp + pack one DUT cycle, appending emitted transfers;
@@ -160,7 +173,7 @@ class CoSimulator
      *  dut/pack/squash counters (fatal-bundle snapshot on a threaded
      *  mismatch). */
     CosimResult finishResult(u64 cycles, u64 instrs,
-                             const PerfCounters *hw_override);
+                             const obs::StatSheet *hw_override);
 
     CosimConfig config_;
     workload::Program program_;
@@ -200,7 +213,29 @@ class CoSimulator
     HwStatSnapshot failSnapshot_;         //!<   after thread join
     ThreadTelemetry hwTele_;              //!< producer-thread-owned
     ThreadTelemetry swTele_;              //!< consumer-thread-owned
-    PerfCounters hostStats_;              //!< wall-clock host telemetry
+
+    /** Wall-clock host telemetry (reset at the top of every run()). */
+    obs::StatSheet hostSheet_;
+    struct
+    {
+        obs::StatId threads;    //!< gauge
+        obs::StatId queueDepth; //!< gauge
+        obs::StatId runSec;
+        obs::StatId hwLoopSec;
+        obs::StatId hwWaitSec;
+        obs::StatId hwWaits;
+        obs::StatId hwBundles;
+        obs::StatId swLoopSec;
+        obs::StatId swWaitSec;
+        obs::StatId swWaits;
+        obs::StatId swBundles;
+        obs::HistId ringOccupancy;
+    } hostStat_;
+
+    /** Chrome-trace timelines: producer (= caller) and consumer thread.
+     *  hwTrace_ doubles as the serial driver's log. */
+    obs::TraceLog hwTrace_;
+    obs::TraceLog swTrace_;
 };
 
 } // namespace dth::cosim

@@ -43,7 +43,10 @@ CoSimulator::snapshotHw(HwStatSnapshot &snap)
 {
     snap.cycles = dut_->cycles();
     snap.instrs = dut_->totalInstrsRetired();
-    snap.hw.clear();
+    // reset() zeroes in place; merge() reads the source sheets' own kind
+    // bytes, so a reused slot's snapshot neither allocates nor touches
+    // the schema lock on the hot path.
+    snap.hw.reset();
     snap.hw.merge(dut_->counters());
     snap.hw.merge(packer_->counters());
     if (squash_)
@@ -65,6 +68,7 @@ CoSimulator::hwProducerLoop(u64 max_cycles)
         if (slot)
             return slot;
         ++hwTele_.waits;
+        obs::ScopedSpan span(hwTrace_, "hw_ring_wait");
         auto w0 = Clock::now();
         spscWait(
             [&] { return (slot = ring_->tryBeginPush()) != nullptr; },
@@ -98,6 +102,9 @@ CoSimulator::hwProducerLoop(u64 max_cycles)
         }
         ++hwTele_.items;
         ring_->commitPush();
+        // Run-ahead depth at each handoff: how full the bounded ring
+        // runs in practice (host.* namespace: wall-clock-dependent).
+        hostSheet_.observe(hostStat_.ringOccupancy, ring_->size());
     }
 
     if (aborted()) {
@@ -116,9 +123,15 @@ CoSimulator::hwProducerLoop(u64 max_cycles)
         ring_->commitPush();
         auto w0 = Clock::now();
         ++hwTele_.waits;
-        bool caught_up = spscWait(
-            [this] { return swCaughtUp_.load(std::memory_order_acquire); },
-            aborted);
+        bool caught_up;
+        {
+            obs::ScopedSpan span(hwTrace_, "hw_barrier_wait");
+            caught_up = spscWait(
+                [this] {
+                    return swCaughtUp_.load(std::memory_order_acquire);
+                },
+                aborted);
+        }
         hwTele_.waitSec += secondsSince(w0);
         if (caught_up && (slot = acquire_slot()) != nullptr) {
             slot->reset(CycleBundle::Kind::Final);
@@ -148,6 +161,7 @@ CoSimulator::swConsumerLoop()
             if (ring_->drained())
                 break;
             ++swTele_.waits;
+            obs::ScopedSpan span(swTrace_, "sw_ring_wait");
             auto w0 = Clock::now();
             spscWait(
                 [&] { return (bundle = ring_->tryFront()) != nullptr; },
@@ -223,17 +237,17 @@ CoSimulator::runThreaded(u64 max_cycles)
     ring_->close();
     software.join();
 
-    hostStats_.add("host.threads", 2);
-    hostStats_.add("host.queue_depth", ring_->capacity());
-    hostStats_.addReal("host.run_sec", secondsSince(t0));
-    hostStats_.addReal("host.hw_loop_sec", hwTele_.loopSec);
-    hostStats_.addReal("host.hw_wait_sec", hwTele_.waitSec);
-    hostStats_.add("host.hw_waits", hwTele_.waits);
-    hostStats_.add("host.hw_bundles", hwTele_.items);
-    hostStats_.addReal("host.sw_loop_sec", swTele_.loopSec);
-    hostStats_.addReal("host.sw_wait_sec", swTele_.waitSec);
-    hostStats_.add("host.sw_waits", swTele_.waits);
-    hostStats_.add("host.sw_bundles", swTele_.items);
+    hostSheet_.set(hostStat_.threads, 2);
+    hostSheet_.set(hostStat_.queueDepth, ring_->capacity());
+    hostSheet_.addReal(hostStat_.runSec, secondsSince(t0));
+    hostSheet_.addReal(hostStat_.hwLoopSec, hwTele_.loopSec);
+    hostSheet_.addReal(hostStat_.hwWaitSec, hwTele_.waitSec);
+    hostSheet_.add(hostStat_.hwWaits, hwTele_.waits);
+    hostSheet_.add(hostStat_.hwBundles, hwTele_.items);
+    hostSheet_.addReal(hostStat_.swLoopSec, swTele_.loopSec);
+    hostSheet_.addReal(hostStat_.swWaitSec, swTele_.waitSec);
+    hostSheet_.add(hostStat_.swWaits, swTele_.waits);
+    hostSheet_.add(hostStat_.swBundles, swTele_.items);
 
     if (failSnapshotValid_) {
         return finishResult(failSnapshot_.cycles, failSnapshot_.instrs,

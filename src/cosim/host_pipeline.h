@@ -28,8 +28,8 @@
 
 #include <vector>
 
-#include "common/counters.h"
 #include "event/event.h"
+#include "obs/stats.h"
 #include "pack/wire.h"
 
 namespace dth::cosim {
@@ -39,8 +39,10 @@ struct HwStatSnapshot
 {
     u64 cycles = 0; //!< dut_->cycles() after this cycle
     u64 instrs = 0; //!< dut_->totalInstrsRetired() after this cycle
-    /** dut + packer + squash counters at this boundary. */
-    PerfCounters hw;
+    /** dut + packer + squash counters at this boundary. The sheet is
+     *  reset-and-merged in place, so a reused ring slot's snapshot
+     *  allocates nothing steady state. */
+    obs::StatSheet hw;
 };
 
 /**

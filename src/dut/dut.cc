@@ -23,6 +23,9 @@ DutModel::DutModel(const DutConfig &config, const workload::Program &program,
                    u64 seed)
     : config_(config), program_(program), rng_(seed)
 {
+    stat_.events = counters_.sum("dut.events");
+    stat_.bytes = counters_.sum("dut.bytes");
+    stat_.instrs = counters_.sum("dut.instrs");
     for (unsigned c = 0; c < config_.cores; ++c) {
         riscv::CoreConfig cc;
         cc.resetPc = program.base;
@@ -91,8 +94,8 @@ DutModel::push(CycleEvents &out, Event event)
 {
     if (!config_.enabled(event.type))
         return;
-    counters_.add("dut.events");
-    counters_.add("dut.bytes", event.wireBytes());
+    counters_.add(stat_.events);
+    counters_.add(stat_.bytes, event.wireBytes());
     out.events.push_back(std::move(event));
 }
 
@@ -279,7 +282,7 @@ DutModel::cycleCore(unsigned core_id, CycleEvents &out)
                 v.setLane(reg, lane, cc.soc.core.vregLane(reg, lane));
         push(out, std::move(e));
     }
-    counters_.add("dut.instrs", committed);
+    counters_.add(stat_.instrs, committed);
 }
 
 void

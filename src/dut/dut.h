@@ -21,13 +21,13 @@
 #include <optional>
 #include <vector>
 
-#include "common/counters.h"
 #include "common/rng.h"
 #include "dut/config.h"
 #include "dut/fault.h"
 #include "dut/texture.h"
 #include "event/event.h"
 #include "event/payloads.h"
+#include "obs/stats.h"
 #include "riscv/core.h"
 #include "workload/program.h"
 
@@ -57,7 +57,7 @@ class DutModel
     const DutConfig &config() const { return config_; }
     riscv::Core &core(unsigned i) { return ctxs_[i]->soc.core; }
     const workload::Program &program() const { return program_; }
-    PerfCounters &counters() { return counters_; }
+    obs::StatSheet &counters() { return counters_; }
 
   private:
     struct CoreCtx
@@ -112,7 +112,13 @@ class DutModel
     std::vector<std::pair<EventType, u64>> pendingRefills_;
     std::vector<u64> pendingFlushes_;
 
-    PerfCounters counters_;
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId events;
+        obs::StatId bytes;
+        obs::StatId instrs;
+    } stat_;
 };
 
 } // namespace dth::dut

@@ -12,6 +12,10 @@ LinkSimulator::LinkSimulator(const Platform &platform, double dut_clock_hz,
       nonBlocking_(non_blocking)
 {
     dth_assert(clockHz_ > 0, "bad clock");
+    stat_.transfers = counters_.sum("link.transfers");
+    stat_.bytes = counters_.sum("link.bytes");
+    stat_.stallTransfers = counters_.sum("link.stall_transfers");
+    stat_.queueDepth = counters_.hist("link.queue_depth");
 }
 
 double
@@ -51,6 +55,9 @@ LinkSimulator::onTransfer(u64 issue_cycle, size_t bytes,
     double cost = swCost(work, bytes);
     result_.transfers += 1;
     result_.bytes += bytes;
+    counters_.add(stat_.transfers);
+    counters_.add(stat_.bytes, bytes);
+    counters_.observe(stat_.queueDepth, inFlight_.size());
 
     if (!nonBlocking_) {
         // Step-and-compare: the emulator pauses for transmission and
@@ -83,6 +90,7 @@ LinkSimulator::onTransfer(u64 issue_cycle, size_t bytes,
         if (resume > hwTime_) {
             result_.stallSec += resume - hwTime_;
             hwTime_ = resume;
+            counters_.add(stat_.stallTransfers);
         }
         inFlight_.pop_front();
     }

@@ -15,6 +15,7 @@
 #include <deque>
 
 #include "link/platform.h"
+#include "obs/stats.h"
 
 namespace dth::link {
 
@@ -72,6 +73,8 @@ class LinkSimulator
     /** Finish the run after @p total_cycles and return the ledger. */
     LinkResult finish(u64 total_cycles);
 
+    obs::StatSheet &counters() { return counters_; }
+
   private:
     double swCost(const SoftwareWork &work, size_t bytes) const;
 
@@ -86,6 +89,15 @@ class LinkSimulator
     std::deque<double> inFlight_; //!< completion times of queued work
 
     LinkResult result_;
+
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId transfers;
+        obs::StatId bytes;
+        obs::StatId stallTransfers;
+        obs::HistId queueDepth;
+    } stat_;
 };
 
 } // namespace dth::link

@@ -1,0 +1,484 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dth::obs {
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    // %.17g round-trips every finite double bit-exactly.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+snapshotToJson(const StatSnapshot &snap)
+{
+    std::string out;
+    out += "{\n  \"schema\": \"";
+    out += kSnapshotSchemaId;
+    out += "\",\n  \"stats\": {";
+    bool first = true;
+    auto key = [&](const std::string &name) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendEscaped(out, name);
+        out += ": ";
+    };
+    // Integer-kind and real stats share one sorted namespace: walk the
+    // two ordered maps in merge order so the output is fully sorted.
+    auto ii = snap.integers().begin();
+    auto ri = snap.reals().begin();
+    while (ii != snap.integers().end() || ri != snap.reals().end()) {
+        bool take_int = ri == snap.reals().end() ||
+                        (ii != snap.integers().end() &&
+                         ii->first < ri->first);
+        if (take_int) {
+            key(ii->first);
+            out += "{\"kind\": \"";
+            out += statKindName(snap.kindOf(ii->first));
+            out += "\", \"value\": ";
+            appendU64(out, ii->second);
+            out += "}";
+            ++ii;
+        } else {
+            key(ri->first);
+            out += "{\"kind\": \"real\", \"value\": ";
+            appendDouble(out, ri->second);
+            out += "}";
+            ++ri;
+        }
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"hists\": {";
+    first = true;
+    for (const auto &[name, h] : snap.hists()) {
+        key(name);
+        out += "{\"count\": ";
+        appendU64(out, h.count);
+        out += ", \"sum\": ";
+        appendU64(out, h.sum);
+        out += ", \"min\": ";
+        appendU64(out, h.min);
+        out += ", \"max\": ";
+        appendU64(out, h.max);
+        out += ", \"buckets\": [";
+        for (unsigned b = 0; b < kHistBuckets; ++b) {
+            if (b)
+                out += ", ";
+            appendU64(out, h.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Import: minimal recursive-descent parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool
+    parse(JsonValue *out)
+    {
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    inline static constexpr int kMaxDepth = 32;
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    stringBody(std::string *out)
+    {
+        // Called with pos_ at the opening quote.
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'n': *out += '\n'; break;
+              case 't': *out += '\t'; break;
+              case 'r': *out += '\r'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // Snapshot names are ASCII; keep non-ASCII escapes as '?'.
+                *out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        auto eat_digits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eat_digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eat_digits();
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+')) {
+                ++pos_;
+            }
+            size_t exp_start = pos_;
+            eat_digits();
+            if (pos_ == exp_start)
+                return false;
+        }
+        if (!digits)
+            return false;
+        out->type = JsonValue::Type::Number;
+        out->text.assign(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool
+    value(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return false;
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out->type = JsonValue::Type::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string name;
+                if (!stringBody(&name))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return false;
+                ++pos_;
+                JsonValue child;
+                if (!value(&child, depth + 1))
+                    return false;
+                out->fields.emplace_back(std::move(name), std::move(child));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out->type = JsonValue::Type::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue child;
+                if (!value(&child, depth + 1))
+                    return false;
+                out->items.push_back(std::move(child));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out->type = JsonValue::Type::String;
+            return stringBody(&out->text);
+        }
+        if (c == 't') {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out->type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::field(std::string_view name) const
+{
+    for (const auto &[key, val] : fields)
+        if (key == name)
+            return &val;
+    return nullptr;
+}
+
+u64
+JsonValue::asU64() const
+{
+    if (type != Type::Number)
+        return 0;
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type != Type::Number)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+bool
+parseJson(std::string_view text, JsonValue *out)
+{
+    JsonValue v;
+    if (!Parser(text).parse(&v))
+        return false;
+    *out = std::move(v);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot import
+// ---------------------------------------------------------------------------
+
+bool
+snapshotFromJson(StatSnapshot *snap, std::string_view text)
+{
+    JsonValue root;
+    if (!parseJson(text, &root) || root.type != JsonValue::Type::Object)
+        return false;
+    const JsonValue *schema = root.field("schema");
+    if (!schema || schema->type != JsonValue::Type::String ||
+        schema->text != kSnapshotSchemaId) {
+        return false;
+    }
+
+    StatSnapshot result;
+    if (const JsonValue *stats = root.field("stats")) {
+        if (stats->type != JsonValue::Type::Object)
+            return false;
+        for (const auto &[name, entry] : stats->fields) {
+            if (entry.type != JsonValue::Type::Object)
+                return false;
+            const JsonValue *kind = entry.field("kind");
+            const JsonValue *value = entry.field("value");
+            if (!kind || kind->type != JsonValue::Type::String || !value ||
+                value->type != JsonValue::Type::Number) {
+                return false;
+            }
+            StatKind k;
+            if (!statKindFromName(kind->text, &k))
+                return false;
+            if (k == StatKind::Real)
+                result.setReal(name, value->asDouble());
+            else
+                result.setInt(name, k, value->asU64());
+        }
+    }
+    if (const JsonValue *hists = root.field("hists")) {
+        if (hists->type != JsonValue::Type::Object)
+            return false;
+        for (const auto &[name, entry] : hists->fields) {
+            if (entry.type != JsonValue::Type::Object)
+                return false;
+            const JsonValue *count = entry.field("count");
+            const JsonValue *sum = entry.field("sum");
+            const JsonValue *min = entry.field("min");
+            const JsonValue *max = entry.field("max");
+            const JsonValue *buckets = entry.field("buckets");
+            if (!count || !sum || !min || !max || !buckets ||
+                buckets->type != JsonValue::Type::Array ||
+                buckets->items.size() != kHistBuckets) {
+                return false;
+            }
+            HistData h;
+            h.count = count->asU64();
+            h.sum = sum->asU64();
+            h.min = min->asU64();
+            h.max = max->asU64();
+            for (unsigned b = 0; b < kHistBuckets; ++b)
+                h.buckets[b] = buckets->items[b].asU64();
+            result.setHist(name, h);
+        }
+    }
+    *snap = std::move(result);
+    return true;
+}
+
+bool
+loadSnapshotFile(StatSnapshot *snap, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return read_ok && snapshotFromJson(snap, text);
+}
+
+bool
+writeFile(const std::string &path, std::string_view contents)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+    return std::fclose(f) == 0 && written == contents.size();
+}
+
+} // namespace dth::obs

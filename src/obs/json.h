@@ -1,0 +1,66 @@
+/**
+ * @file
+ * JSON import/export for stat snapshots.
+ *
+ * The exporter writes a machine-readable snapshot with a stable key
+ * order (std::map iteration), so two snapshots of the same run are
+ * byte-identical and diffable; benches emit these as BENCH_obs.json
+ * and `tools/dth_stats` pretty-prints/diffs them. The importer is a
+ * deliberately small recursive-descent JSON parser — enough for the
+ * exporter's own output plus hand-edited snapshots; it rejects, never
+ * aborts, on malformed input.
+ */
+
+#ifndef DTH_OBS_JSON_H_
+#define DTH_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace dth::obs {
+
+/** A parsed JSON value (import side only; the exporter prints directly). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    /** Number token text (u64 precision survives) or string contents. */
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    /** nullptr when absent or this is not an object. */
+    const JsonValue *field(std::string_view name) const;
+
+    u64 asU64() const;
+    double asDouble() const;
+};
+
+/** Parse @p text; returns false (out untouched on failure) on error. */
+bool parseJson(std::string_view text, JsonValue *out);
+
+/** Current snapshot wire-format identifier. */
+inline constexpr std::string_view kSnapshotSchemaId = "dth-obs-v1";
+
+/** Serialize a snapshot: stable key order, versioned, round-trippable. */
+std::string snapshotToJson(const StatSnapshot &snap);
+
+/** Parse a snapshotToJson document. Returns false on malformed input
+ *  or a wrong schema id; @p snap is cleared first. */
+bool snapshotFromJson(StatSnapshot *snap, std::string_view text);
+
+/** Load + parse a snapshot file; returns false on I/O or parse error. */
+bool loadSnapshotFile(StatSnapshot *snap, const std::string &path);
+
+/** Write @p contents to @p path; returns false on I/O error. */
+bool writeFile(const std::string &path, std::string_view contents);
+
+} // namespace dth::obs
+
+#endif // DTH_OBS_JSON_H_

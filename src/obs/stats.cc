@@ -1,0 +1,323 @@
+#include "obs/stats.h"
+
+#include <bit>
+
+namespace dth::obs {
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Sum: return "sum";
+      case StatKind::Max: return "max";
+      case StatKind::Gauge: return "gauge";
+      case StatKind::Real: return "real";
+    }
+    return "?";
+}
+
+bool
+statKindFromName(std::string_view name, StatKind *out)
+{
+    for (StatKind k : {StatKind::Sum, StatKind::Max, StatKind::Gauge,
+                       StatKind::Real}) {
+        if (name == statKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// HistData
+// ---------------------------------------------------------------------------
+
+unsigned
+HistData::bucketOf(u64 value)
+{
+    if (value == 0)
+        return 0;
+    unsigned width = static_cast<unsigned>(std::bit_width(value));
+    return width < kHistBuckets ? width : kHistBuckets - 1;
+}
+
+void
+HistData::merge(const HistData &other)
+{
+    if (other.count == 0)
+        return;
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    for (unsigned b = 0; b < kHistBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+// ---------------------------------------------------------------------------
+// StatSchema
+// ---------------------------------------------------------------------------
+
+StatSchema &
+StatSchema::global()
+{
+    static StatSchema schema;
+    return schema;
+}
+
+StatId
+StatSchema::stat(std::string_view name, StatKind kind)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = statIds_.find(name);
+    if (it != statIds_.end()) {
+        dth_assert(stats_[it->second].kind == kind,
+                   "stat '%.*s' re-registered as %s (was %s)",
+                   static_cast<int>(name.size()), name.data(),
+                   statKindName(kind),
+                   statKindName(stats_[it->second].kind));
+        return it->second;
+    }
+    StatId id = static_cast<StatId>(stats_.size());
+    stats_.push_back(StatDesc{std::string(name), kind});
+    statIds_.emplace(std::string(name), id);
+    return id;
+}
+
+HistId
+StatSchema::hist(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histIds_.find(name);
+    if (it != histIds_.end())
+        return it->second;
+    HistId id = static_cast<HistId>(hists_.size());
+    hists_.emplace_back(name);
+    histIds_.emplace(std::string(name), id);
+    return id;
+}
+
+StatId
+StatSchema::findStat(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = statIds_.find(name);
+    return it == statIds_.end() ? kInvalidStat : it->second;
+}
+
+HistId
+StatSchema::findHist(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histIds_.find(name);
+    return it == histIds_.end() ? kInvalidHist : it->second;
+}
+
+size_t
+StatSchema::statCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.size();
+}
+
+size_t
+StatSchema::histCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hists_.size();
+}
+
+StatDesc
+StatSchema::statDesc(StatId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    dth_assert(id < stats_.size(), "stat id %u out of range", id);
+    return stats_[id];
+}
+
+std::string
+StatSchema::histName(HistId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    dth_assert(id < hists_.size(), "hist id %u out of range", id);
+    return hists_[id];
+}
+
+// ---------------------------------------------------------------------------
+// StatSnapshot
+// ---------------------------------------------------------------------------
+
+u64
+StatSnapshot::get(std::string_view name) const
+{
+    auto it = ints_.find(name);
+    return it == ints_.end() ? 0 : it->second;
+}
+
+double
+StatSnapshot::getReal(std::string_view name) const
+{
+    auto it = reals_.find(name);
+    return it == reals_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSnapshot::has(std::string_view name) const
+{
+    return kinds_.find(name) != kinds_.end();
+}
+
+StatKind
+StatSnapshot::kindOf(std::string_view name) const
+{
+    auto it = kinds_.find(name);
+    return it == kinds_.end() ? StatKind::Sum : it->second;
+}
+
+void
+StatSnapshot::setInt(const std::string &name, StatKind kind, u64 value)
+{
+    dth_assert(kind != StatKind::Real, "setInt with real kind");
+    ints_[name] = value;
+    kinds_[name] = kind;
+}
+
+void
+StatSnapshot::setReal(const std::string &name, double value)
+{
+    reals_[name] = value;
+    kinds_[name] = StatKind::Real;
+}
+
+void
+StatSnapshot::setHist(const std::string &name, const HistData &data)
+{
+    hists_[name] = data;
+}
+
+// ---------------------------------------------------------------------------
+// StatSheet
+// ---------------------------------------------------------------------------
+
+void
+StatSheet::growTo(size_t cells)
+{
+    if (cells_.size() >= cells)
+        return;
+    cells_.resize(cells, Cell{0});
+    kinds_.resize(cells, kUnknownKind);
+    touched_.resize(cells, 0);
+}
+
+StatId
+StatSheet::intern(std::string_view name, StatKind kind)
+{
+    StatId id = schema_->stat(name, kind);
+    growTo(id + 1);
+    kinds_[id] = static_cast<u8>(kind);
+    return id;
+}
+
+HistId
+StatSheet::hist(std::string_view name)
+{
+    HistId id = schema_->hist(name);
+    if (hists_.size() <= id)
+        hists_.resize(id + 1);
+    return id;
+}
+
+void
+StatSheet::merge(const StatSheet &other)
+{
+    growTo(other.cells_.size());
+    for (StatId id = 0; id < other.cells_.size(); ++id) {
+        if (!other.touched_[id])
+            continue;
+        u8 kind = other.kinds_[id];
+        dth_assert(kinds_[id] == kUnknownKind || kinds_[id] == kind,
+                   "kind mismatch merging stat id %u", id);
+        kinds_[id] = kind;
+        touched_[id] = 1;
+        switch (static_cast<StatKind>(kind)) {
+          case StatKind::Sum:
+            cells_[id].u += other.cells_[id].u;
+            break;
+          case StatKind::Max:
+            if (other.cells_[id].u > cells_[id].u)
+                cells_[id].u = other.cells_[id].u;
+            break;
+          case StatKind::Gauge:
+            cells_[id].u = other.cells_[id].u;
+            break;
+          case StatKind::Real:
+            cells_[id].d += other.cells_[id].d;
+            break;
+        }
+    }
+    if (hists_.size() < other.hists_.size())
+        hists_.resize(other.hists_.size());
+    for (HistId id = 0; id < other.hists_.size(); ++id)
+        hists_[id].merge(other.hists_[id]);
+}
+
+void
+StatSheet::reset()
+{
+    std::fill(cells_.begin(), cells_.end(), Cell{0});
+    std::fill(touched_.begin(), touched_.end(), u8{0});
+    std::fill(hists_.begin(), hists_.end(), HistData{});
+}
+
+u64
+StatSheet::get(std::string_view name) const
+{
+    StatId id = schema_->findStat(name);
+    if (id == kInvalidStat || id >= cells_.size() || !touched_[id])
+        return 0;
+    return cells_[id].u;
+}
+
+double
+StatSheet::getReal(std::string_view name) const
+{
+    StatId id = schema_->findStat(name);
+    if (id == kInvalidStat || id >= cells_.size() || !touched_[id])
+        return 0.0;
+    return cells_[id].d;
+}
+
+const HistData *
+StatSheet::findHist(std::string_view name) const
+{
+    HistId id = schema_->findHist(name);
+    if (id == kInvalidHist || id >= hists_.size())
+        return nullptr;
+    return &hists_[id];
+}
+
+StatSnapshot
+StatSheet::snapshot() const
+{
+    StatSnapshot snap;
+    for (StatId id = 0; id < cells_.size(); ++id) {
+        if (!touched_[id])
+            continue;
+        StatDesc desc = schema_->statDesc(id);
+        if (static_cast<StatKind>(kinds_[id]) == StatKind::Real)
+            snap.setReal(desc.name, cells_[id].d);
+        else
+            snap.setInt(desc.name, desc.kind, cells_[id].u);
+    }
+    for (HistId id = 0; id < hists_.size(); ++id) {
+        if (hists_[id].count == 0)
+            continue;
+        snap.setHist(schema_->histName(id), hists_[id]);
+    }
+    return snap;
+}
+
+} // namespace dth::obs

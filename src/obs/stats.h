@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Typed run-wide stat registry (paper §5: the tuning toolkit's
+ * performance-evaluation support), replacing the string-keyed
+ * PerfCounters map. Design goals, in order:
+ *
+ *  1. Nothing on the per-event/per-cycle hot path but an array index:
+ *     names are interned once at component-construction time into
+ *     integer StatIds; every increment afterwards is a bounds-checked
+ *     vector write. No std::string construction, no map lookup, no
+ *     allocation (tests/obs_test.cc proves this with a global
+ *     allocation counter).
+ *  2. Kind-correct merging by construction: every stat carries an
+ *     explicit kind — Sum (adds), Max (high-water mark), Gauge
+ *     (instantaneous, last writer wins) or Real (floating-point
+ *     accumulator) — and StatSheet::merge combines each cell per its
+ *     kind. The legacy PerfCounters::merge summed everything,
+ *     silently corrupting max-tracked counters such as
+ *     replay.buffered_bytes.
+ *  3. Shardable: each component/thread owns a private StatSheet (the
+ *     PR-1 producer/consumer split keeps hardware-side and
+ *     software-side shards on their owning threads); merge order at
+ *     the join is fixed, so merged snapshots are deterministic.
+ *
+ * Fixed-bucket log2 histograms (packet payload occupancy, fusion
+ * depth, ring occupancy, reorder release lag) live in the same sheet
+ * under a parallel HistId space.
+ */
+
+#ifndef DTH_OBS_STATS_H_
+#define DTH_OBS_STATS_H_
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace dth::obs {
+
+/** How a stat combines when sheets merge. */
+enum class StatKind : u8 {
+    Sum,   //!< monotonic counter: merge adds
+    Max,   //!< high-water mark: merge takes the maximum
+    Gauge, //!< instantaneous value: merge takes the incoming value
+    Real,  //!< floating-point accumulator: merge adds
+};
+
+/** Lower-case kind name ("sum", "max", "gauge", "real"). */
+const char *statKindName(StatKind kind);
+
+/** Parse a kind name; returns false if @p name is unknown. */
+bool statKindFromName(std::string_view name, StatKind *out);
+
+using StatId = u32;
+using HistId = u32;
+inline constexpr StatId kInvalidStat = 0xffffffffu;
+inline constexpr HistId kInvalidHist = 0xffffffffu;
+
+/** Log2 bucket count: bucket 0 holds value 0, bucket b holds values in
+ *  [2^(b-1), 2^b - 1], the last bucket everything >= 2^(kHistBuckets-2). */
+inline constexpr unsigned kHistBuckets = 16;
+
+/** One fixed-bucket histogram: log2 buckets plus count/sum/min/max. */
+struct HistData
+{
+    u64 count = 0;
+    u64 sum = 0;
+    u64 min = ~0ull; //!< meaningless until count > 0
+    u64 max = 0;
+    std::array<u64, kHistBuckets> buckets{};
+
+    static unsigned bucketOf(u64 value);
+
+    void
+    observe(u64 value)
+    {
+        ++count;
+        sum += value;
+        if (value < min)
+            min = value;
+        if (value > max)
+            max = value;
+        ++buckets[bucketOf(value)];
+    }
+
+    void merge(const HistData &other);
+    double mean() const { return count ? double(sum) / double(count) : 0; }
+
+    bool operator==(const HistData &) const = default;
+};
+
+/** Name + kind of one registered stat. */
+struct StatDesc
+{
+    std::string name;
+    StatKind kind;
+};
+
+/**
+ * Process-wide name -> id interner. All methods are mutex-guarded and
+ * cold: components intern at construction time; the hot path never
+ * touches the schema. Interning the same name twice returns the same
+ * id; interning it with a different kind is a fatal error (the kind is
+ * part of the contract).
+ */
+class StatSchema
+{
+  public:
+    static StatSchema &global();
+
+    StatId stat(std::string_view name, StatKind kind);
+    HistId hist(std::string_view name);
+
+    /** kInvalidStat / kInvalidHist when the name was never interned. */
+    StatId findStat(std::string_view name) const;
+    HistId findHist(std::string_view name) const;
+
+    size_t statCount() const;
+    size_t histCount() const;
+
+    StatDesc statDesc(StatId id) const;
+    std::string histName(HistId id) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<StatDesc> stats_;
+    std::map<std::string, StatId, std::less<>> statIds_;
+    std::vector<std::string> hists_;
+    std::map<std::string, HistId, std::less<>> histIds_;
+};
+
+/**
+ * A materialized, name-keyed view of a sheet: the run-result /
+ * exporter form. Ordered maps give a stable key order for the JSON
+ * exporter and bit-exact comparability across runs. All access is
+ * cold-path.
+ */
+class StatSnapshot
+{
+  public:
+    u64 get(std::string_view name) const;
+    double getReal(std::string_view name) const;
+
+    /** Ratio of two integer stats; 0 when the denominator is 0. */
+    double
+    ratio(std::string_view num, std::string_view den) const
+    {
+        u64 d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    bool has(std::string_view name) const;
+    /** Kind of @p name; Sum if absent (callers check has() first). */
+    StatKind kindOf(std::string_view name) const;
+
+    const std::map<std::string, u64, std::less<>> &integers() const
+    {
+        return ints_;
+    }
+    const std::map<std::string, double, std::less<>> &reals() const
+    {
+        return reals_;
+    }
+    const std::map<std::string, HistData, std::less<>> &hists() const
+    {
+        return hists_;
+    }
+
+    void setInt(const std::string &name, StatKind kind, u64 value);
+    void setReal(const std::string &name, double value);
+    void setHist(const std::string &name, const HistData &data);
+
+    bool empty() const { return ints_.empty() && reals_.empty() &&
+                                hists_.empty(); }
+
+    bool operator==(const StatSnapshot &) const = default;
+
+  private:
+    std::map<std::string, u64, std::less<>> ints_;
+    std::map<std::string, double, std::less<>> reals_;
+    std::map<std::string, StatKind, std::less<>> kinds_;
+    std::map<std::string, HistData, std::less<>> hists_;
+};
+
+/**
+ * One shard of stat storage: a flat cell array indexed by StatId. Each
+ * component (and each pipeline thread) owns its own sheet; merging is
+ * kind-aware and deterministic. Hot-path mutators are inline array
+ * writes.
+ */
+class StatSheet
+{
+  public:
+    explicit StatSheet(StatSchema &schema = StatSchema::global())
+        : schema_(&schema)
+    {}
+
+    // ---- registration (cold; component constructors) -------------------
+    StatId sum(std::string_view name)
+    {
+        return intern(name, StatKind::Sum);
+    }
+    StatId maxStat(std::string_view name)
+    {
+        return intern(name, StatKind::Max);
+    }
+    StatId gauge(std::string_view name)
+    {
+        return intern(name, StatKind::Gauge);
+    }
+    StatId real(std::string_view name)
+    {
+        return intern(name, StatKind::Real);
+    }
+    HistId hist(std::string_view name);
+
+    // ---- hot-path mutators (array writes, no strings, no maps) ---------
+    void
+    add(StatId id, u64 delta = 1)
+    {
+        touch(id, StatKind::Sum);
+        cells_[id].u += delta;
+    }
+
+    void
+    trackMax(StatId id, u64 value)
+    {
+        touch(id, StatKind::Max);
+        if (value > cells_[id].u)
+            cells_[id].u = value;
+    }
+
+    void
+    set(StatId id, u64 value)
+    {
+        touch(id, StatKind::Gauge);
+        cells_[id].u = value;
+    }
+
+    void
+    addReal(StatId id, double delta)
+    {
+        touch(id, StatKind::Real);
+        cells_[id].d += delta;
+    }
+
+    void
+    observe(HistId id, u64 value)
+    {
+        dth_assert(id < hists_.size(), "hist id %u out of range", id);
+        hists_[id].observe(value);
+    }
+
+    // ---- hot-path reads -------------------------------------------------
+    u64
+    value(StatId id) const
+    {
+        return id < cells_.size() ? cells_[id].u : 0;
+    }
+
+    double
+    realValue(StatId id) const
+    {
+        return id < cells_.size() ? cells_[id].d : 0.0;
+    }
+
+    // ---- shard combination (cold) ---------------------------------------
+    /** Kind-aware merge: Sum/Real add, Max takes the maximum, Gauge
+     *  takes the incoming value. */
+    void merge(const StatSheet &other);
+
+    /** Zero every cell and histogram, keeping capacity and interned ids
+     *  (per-run reset of a reused sheet). */
+    void reset();
+
+    // ---- cold, string-keyed reads (tests, analysis, back-compat) -------
+    u64 get(std::string_view name) const;
+    double getReal(std::string_view name) const;
+
+    double
+    ratio(std::string_view num, std::string_view den) const
+    {
+        u64 d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** nullptr when the histogram was never interned. */
+    const HistData *findHist(std::string_view name) const;
+
+    /** Materialize every touched stat / populated histogram. */
+    StatSnapshot snapshot() const;
+
+    StatSchema &schema() const { return *schema_; }
+
+  private:
+    union Cell
+    {
+        u64 u;
+        double d;
+    };
+    static_assert(sizeof(Cell) == 8, "cells are one machine word");
+
+    inline constexpr static u8 kUnknownKind = 0xff;
+
+    void
+    touch(StatId id, StatKind kind)
+    {
+        dth_assert(id < cells_.size(), "stat id %u out of range", id);
+        dth_assert(kinds_[id] == static_cast<u8>(kind),
+                   "kind mismatch on stat id %u", id);
+        touched_[id] = 1;
+    }
+
+    StatId intern(std::string_view name, StatKind kind);
+    void growTo(size_t cells);
+
+    StatSchema *schema_;
+    std::vector<Cell> cells_;
+    std::vector<u8> kinds_; //!< valid where interned-here or merged-in
+    std::vector<u8> touched_;
+    std::vector<HistData> hists_;
+};
+
+} // namespace dth::obs
+
+#endif // DTH_OBS_STATS_H_

@@ -1,0 +1,74 @@
+#include "obs/trace_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dth::obs {
+
+void
+TraceLog::start(std::string threadName, u32 tid, TraceClock::time_point epoch,
+                size_t capacity)
+{
+    enabled_ = true;
+    threadName_ = std::move(threadName);
+    tid_ = tid;
+    epoch_ = epoch;
+    spans_.clear();
+    spans_.reserve(capacity);
+    dropped_ = 0;
+}
+
+void
+TraceLog::clear()
+{
+    enabled_ = false;
+    threadName_.clear();
+    spans_.clear();
+    spans_.shrink_to_fit();
+    dropped_ = 0;
+}
+
+std::string
+chromeTraceJson(const std::vector<const TraceLog *> &logs)
+{
+    std::string out;
+    out += "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+    char buf[256];
+    sep();
+    out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"args\": {\"name\": \"difftest-h\"}}";
+    for (const TraceLog *log : logs) {
+        sep();
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                      "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                      log->tid(), log->threadName().c_str());
+        out += buf;
+    }
+    for (const TraceLog *log : logs) {
+        for (const TraceSpan &span : log->spans()) {
+            sep();
+            // ts/dur are microseconds; keep ns resolution as a fraction.
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %" PRIu64
+                ".%03u, \"dur\": %" PRIu64 ".%03u, \"pid\": 1, \"tid\": %u}",
+                span.name, span.beginNs / 1000,
+                static_cast<unsigned>(span.beginNs % 1000),
+                (span.endNs - span.beginNs) / 1000,
+                static_cast<unsigned>((span.endNs - span.beginNs) % 1000),
+                log->tid());
+            out += buf;
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace dth::obs

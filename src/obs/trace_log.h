@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Chrome trace_event timeline capture for the host pipeline.
+ *
+ * Each pipeline thread owns one TraceLog; the serial driver owns a
+ * single log. Spans are recorded as (static name, begin, end) pairs
+ * relative to a run-wide epoch, so the producer and consumer timelines
+ * line up in the viewer. Capture is off unless a log was started, and
+ * the hot path then pays one clock read per span edge plus a vector
+ * write into pre-reserved storage — no strings, no allocation until
+ * the reserve is exhausted (further spans are counted as dropped, not
+ * grown, to keep capture overhead bounded).
+ *
+ * writeChromeTrace() emits the JSON Array Format understood by
+ * chrome://tracing and https://ui.perfetto.dev.
+ */
+
+#ifndef DTH_OBS_TRACE_LOG_H_
+#define DTH_OBS_TRACE_LOG_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/stats.h"
+
+namespace dth::obs {
+
+using TraceClock = std::chrono::steady_clock;
+
+/** One completed phase on one thread. @c name must be a string literal
+ *  (or otherwise outlive the log). Times are ns since the log epoch. */
+struct TraceSpan
+{
+    const char *name;
+    u64 beginNs;
+    u64 endNs;
+};
+
+/** Per-thread span recorder. Not thread-safe: one owner thread writes,
+ *  and readers wait for that thread to finish (the pipeline join). */
+class TraceLog
+{
+  public:
+    /** Arm the log. @p capacity bounds memory; spans past it count as
+     *  dropped. All logs of a run share @p epoch. */
+    void start(std::string threadName, u32 tid, TraceClock::time_point epoch,
+               size_t capacity);
+
+    /** Disarm and release storage (per-run reset of a reused log). */
+    void clear();
+
+    bool enabled() const { return enabled_; }
+
+    u64
+    nowNs() const
+    {
+        return static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                TraceClock::now() - epoch_)
+                .count());
+    }
+
+    void
+    addSpan(const char *name, u64 beginNs, u64 endNs)
+    {
+        if (spans_.size() < spans_.capacity())
+            spans_.push_back(TraceSpan{name, beginNs, endNs});
+        else
+            ++dropped_;
+    }
+
+    const std::string &threadName() const { return threadName_; }
+    u32 tid() const { return tid_; }
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    u64 dropped() const { return dropped_; }
+
+  private:
+    bool enabled_ = false;
+    std::string threadName_;
+    u32 tid_ = 0;
+    TraceClock::time_point epoch_{};
+    std::vector<TraceSpan> spans_;
+    u64 dropped_ = 0;
+};
+
+/**
+ * RAII span: records [construction, destruction) into @p log when
+ * capture is armed, otherwise costs one branch.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceLog &log, const char *name) : log_(log), name_(name)
+    {
+        if (log_.enabled())
+            beginNs_ = log_.nowNs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (log_.enabled())
+            log_.addSpan(name_, beginNs_, log_.nowNs());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceLog &log_;
+    const char *name_;
+    u64 beginNs_ = 0;
+};
+
+/** Serialize @p logs as Chrome trace_event JSON (ph:"X" spans plus
+ *  thread_name metadata); timestamps in microseconds since the epoch. */
+std::string chromeTraceJson(const std::vector<const TraceLog *> &logs);
+
+} // namespace dth::obs
+
+#endif // DTH_OBS_TRACE_LOG_H_

@@ -7,6 +7,26 @@
 
 namespace dth {
 
+Packer::Packer()
+{
+    stat_.transfers = counters_.sum("pack.transfers");
+    stat_.bytes = counters_.sum("pack.bytes");
+    stat_.validBytes = counters_.sum("pack.valid_bytes");
+    stat_.bubbleBytes = counters_.sum("pack.bubble_bytes");
+    stat_.frames = counters_.sum("pack.frames");
+    stat_.utilizationSum = counters_.real("pack.utilization_sum");
+    stat_.utilizationSamples = counters_.sum("pack.utilization_samples");
+    stat_.payloadBytes = counters_.hist("pack.payload_bytes");
+}
+
+void
+Packer::countTransfer(size_t bytes)
+{
+    counters_.add(stat_.transfers);
+    counters_.add(stat_.bytes, bytes);
+    counters_.observe(stat_.payloadBytes, bytes);
+}
+
 // ---------------------------------------------------------------------------
 // PerEventPacker: one DPI-style call per event.
 // ---------------------------------------------------------------------------
@@ -24,9 +44,8 @@ PerEventPacker::packCycle(const CycleEvents &cycle,
         Transfer t;
         t.bytes = w.take();
         t.issueCycle = cycle.cycle;
-        counters_.add("pack.transfers");
-        counters_.add("pack.bytes", t.size());
-        counters_.add("pack.valid_bytes", t.size());
+        countTransfer(t.size());
+        counters_.add(stat_.validBytes, t.size());
         out.push_back(std::move(t));
     }
 }
@@ -132,11 +151,10 @@ FixedOffsetPacker::packCycle(const CycleEvents &cycle,
                 if (s < count) {
                     w.putU8(1);
                     writeEventBody(w, *bucket[s]);
-                    counters_.add("pack.valid_bytes", slotBytes(info.type));
+                    counters_.add(stat_.validBytes, slotBytes(info.type));
                 } else {
                     w.putZeros(slotBytes(info.type)); // bubble
-                    counters_.add("pack.bubble_bytes",
-                                  slotBytes(info.type));
+                    counters_.add(stat_.bubbleBytes, slotBytes(info.type));
                 }
             }
         }
@@ -144,7 +162,7 @@ FixedOffsetPacker::packCycle(const CycleEvents &cycle,
     u32 len = static_cast<u32>(frame_.size());
     for (unsigned i = 0; i < 4; ++i)
         frame_[i] = static_cast<u8>(len >> (8 * i));
-    counters_.add("pack.frames");
+    counters_.add(stat_.frames);
     lastFrameCycle_ = cycle.cycle;
     emitFrameBytes(frame_, out);
 }
@@ -159,8 +177,7 @@ FixedOffsetPacker::emitFrameBytes(const std::vector<u8> &frame,
         t.bytes.assign(pending_.begin(), pending_.begin() + packetBytes_);
         t.issueCycle = lastFrameCycle_;
         pending_.erase(pending_.begin(), pending_.begin() + packetBytes_);
-        counters_.add("pack.transfers");
-        counters_.add("pack.bytes", t.size());
+        countTransfer(t.size());
         out.push_back(std::move(t));
     }
 }
@@ -174,8 +191,7 @@ FixedOffsetPacker::flush(std::vector<Transfer> &out)
     t.bytes = std::move(pending_);
     t.issueCycle = lastFrameCycle_;
     pending_.clear();
-    counters_.add("pack.transfers");
-    counters_.add("pack.bytes", t.size());
+    countTransfer(t.size());
     out.push_back(std::move(t));
 }
 
@@ -261,12 +277,11 @@ BatchPacker::emitPacket(std::vector<Transfer> &out)
     Transfer t;
     t.bytes = w.take();
     t.issueCycle = lastCycle_;
-    counters_.add("pack.transfers");
-    counters_.add("pack.bytes", t.size());
-    counters_.add("pack.valid_bytes", t.size());
-    counters_.addReal("pack.utilization_sum",
+    countTransfer(t.size());
+    counters_.add(stat_.validBytes, t.size());
+    counters_.addReal(stat_.utilizationSum,
                       static_cast<double>(t.size()) / packetBytes_);
-    counters_.add("pack.utilization_samples");
+    counters_.add(stat_.utilizationSamples);
     out.push_back(std::move(t));
     metas_.clear();
     payload_.clear();

@@ -22,7 +22,7 @@
 #include <array>
 #include <vector>
 
-#include "common/counters.h"
+#include "obs/stats.h"
 #include "pack/wire.h"
 
 namespace dth {
@@ -40,11 +40,27 @@ class Packer
     /** Emit any buffered partial packet. */
     virtual void flush(std::vector<Transfer> &out) = 0;
 
-    PerfCounters &counters() { return counters_; }
-    const PerfCounters &counters() const { return counters_; }
+    obs::StatSheet &counters() { return counters_; }
+    const obs::StatSheet &counters() const { return counters_; }
 
   protected:
-    PerfCounters counters_;
+    Packer();
+
+    /** Record one emitted transfer of @p bytes payload. */
+    void countTransfer(size_t bytes);
+
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId transfers;
+        obs::StatId bytes;
+        obs::StatId validBytes;
+        obs::StatId bubbleBytes;
+        obs::StatId frames;
+        obs::StatId utilizationSum;
+        obs::StatId utilizationSamples;
+        obs::HistId payloadBytes;
+    } stat_;
 };
 
 /** Software-side unpacker interface. */

@@ -8,6 +8,11 @@ ReplayBuffer::ReplayBuffer(unsigned cores, size_t capacity_events)
     : capacity_(capacity_events)
 {
     rings_.resize(cores);
+    stat_.recorded = counters_.sum("replay.recorded");
+    stat_.evictions = counters_.sum("replay.evictions");
+    stat_.bufferedBytes = counters_.maxStat("replay.buffered_bytes");
+    stat_.retransmitEvents = counters_.sum("replay.retransmit_events");
+    stat_.retransmitBytes = counters_.sum("replay.retransmit_bytes");
 }
 
 void
@@ -17,11 +22,17 @@ ReplayBuffer::record(const Event &event)
                event.core);
     auto &ring = rings_[event.core];
     if (ring.size() >= capacity_) {
+        bytes_ -= ring.front().wireBytes();
         ring.pop_front();
-        counters_.add("replay.evictions");
+        counters_.add(stat_.evictions);
     }
+    bytes_ += event.wireBytes();
     ring.push_back(event);
-    counters_.add("replay.recorded");
+    counters_.add(stat_.recorded);
+    // True high-water mark of the buffer, kind Max: merging snapshots
+    // keeps the maximum instead of summing (the old PerfCounters::merge
+    // bug this registry exists to prevent).
+    counters_.trackMax(stat_.bufferedBytes, bytes_);
 }
 
 std::vector<Event>
@@ -51,21 +62,20 @@ ReplayBuffer::request(unsigned core, u64 first_seq, u64 last_seq,
 }
 
 void
+ReplayBuffer::countRetransmit(u64 events, u64 bytes)
+{
+    counters_.add(stat_.retransmitEvents, events);
+    counters_.add(stat_.retransmitBytes, bytes);
+}
+
+void
 ReplayBuffer::release(unsigned core, u64 seq)
 {
     auto &ring = rings_[core];
-    while (!ring.empty() && ring.front().commitSeq <= seq)
+    while (!ring.empty() && ring.front().commitSeq <= seq) {
+        bytes_ -= ring.front().wireBytes();
         ring.pop_front();
-}
-
-u64
-ReplayBuffer::bufferedBytes() const
-{
-    u64 bytes = 0;
-    for (const auto &ring : rings_)
-        for (const Event &e : ring)
-            bytes += e.wireBytes();
-    return bytes;
+    }
 }
 
 } // namespace dth::replay

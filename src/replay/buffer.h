@@ -14,8 +14,8 @@
 #include <deque>
 #include <vector>
 
-#include "common/counters.h"
 #include "event/event.h"
+#include "obs/stats.h"
 
 namespace dth::replay {
 
@@ -40,18 +40,31 @@ class ReplayBuffer
     std::vector<Event> request(unsigned core, u64 first_seq, u64 last_seq,
                                bool *complete) const;
 
+    /** Account one retransmission of @p events events, @p bytes wire
+     *  bytes (the driver calls this when it serves a replay request). */
+    void countRetransmit(u64 events, u64 bytes);
+
     /** Drop events of @p core at or below @p seq (verified clean). */
     void release(unsigned core, u64 seq);
 
     size_t buffered(unsigned core) const { return rings_[core].size(); }
-    u64 bufferedBytes() const;
+    u64 bufferedBytes() const { return bytes_; }
 
-    PerfCounters &counters() { return counters_; }
+    obs::StatSheet &counters() { return counters_; }
 
   private:
     size_t capacity_;
     std::vector<std::deque<Event>> rings_;
-    PerfCounters counters_;
+    u64 bytes_ = 0; //!< total wire bytes currently buffered
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId recorded;
+        obs::StatId evictions;
+        obs::StatId bufferedBytes;
+        obs::StatId retransmitEvents;
+        obs::StatId retransmitBytes;
+    } stat_;
 };
 
 } // namespace dth::replay

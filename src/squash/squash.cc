@@ -85,6 +85,19 @@ SquashUnit::SquashUnit(const SquashConfig &config) : config_(config)
     dth_assert(config_.maxFuse >= 1 && config_.maxFuse <= kMaxFuseDepth,
                "maxFuse must be in [1, %u], got %u", kMaxFuseDepth,
                config_.maxFuse);
+    stat_.commitsAbsorbed = counters_.sum("squash.commits_absorbed");
+    stat_.auxAbsorbed = counters_.sum("squash.aux_absorbed");
+    stat_.diffBytesOut = counters_.sum("squash.diff_bytes_out");
+    stat_.diffBytesIn = counters_.sum("squash.diff_bytes_in");
+    stat_.flushes = counters_.sum("squash.flushes");
+    for (unsigned r = 0; r < stat_.flushReason.size(); ++r) {
+        stat_.flushReason[r] = counters_.sum(
+            "squash.flush_reason_" + std::to_string(r));
+    }
+    stat_.ndeAhead = counters_.sum("squash.nde_ahead");
+    stat_.snapshotsAbsorbed = counters_.sum("squash.snapshots_absorbed");
+    stat_.passthrough = counters_.sum("squash.passthrough");
+    stat_.fuseDepth = counters_.hist("squash.fuse_depth");
     cores_.resize(config_.cores);
     for (CoreState &cs : cores_) {
         for (unsigned t = 0; t < kNumEventTypes; ++t) {
@@ -108,7 +121,7 @@ SquashUnit::absorbCommit(CoreState &cs, const Event &e)
     cs.lastPc = v.pc();
     cs.nextPc = v.nextPc();
     cs.digest ^= commitDigestTerm(v.pc(), v.instr(), v.rdVal());
-    counters_.add("squash.commits_absorbed");
+    counters_.add(stat_.commitsAbsorbed);
 }
 
 void
@@ -124,7 +137,7 @@ SquashUnit::absorbAux(CoreState &cs, const Event &e)
     w.digest ^= auxDigestTerm(e);
     w.lastSeq = e.commitSeq;
     ++w.count;
-    counters_.add("squash.aux_absorbed");
+    counters_.add(stat_.auxAbsorbed);
 }
 
 void
@@ -158,10 +171,8 @@ SquashUnit::flushCore(u8 core, FlushReason reason, CycleEvents &out)
                                          snap.commitSeq);
                 diff.payload = diffSnapshot(snap.type, cs.lastSent[t],
                                             snap.payload);
-                counters_.add("squash.diff_bytes_out",
-                              diff.payload.size());
-                counters_.add("squash.diff_bytes_in",
-                              snap.payload.size());
+                counters_.add(stat_.diffBytesOut, diff.payload.size());
+                counters_.add(stat_.diffBytesIn, snap.payload.size());
                 cs.lastSent[t] = snap.payload;
                 out.events.push_back(std::move(diff));
             } else {
@@ -182,9 +193,9 @@ SquashUnit::flushCore(u8 core, FlushReason reason, CycleEvents &out)
         v.set_digest(cs.digest);
         v.set_flags(static_cast<u64>(reason));
         out.events.push_back(std::move(fc));
-        counters_.add("squash.flushes");
-        counters_.add("squash.flush_reason_" +
-                      std::to_string(static_cast<int>(reason)));
+        counters_.add(stat_.flushes);
+        counters_.add(stat_.flushReason[static_cast<unsigned>(reason)]);
+        counters_.observe(stat_.fuseDepth, cs.count);
         cs.active = false;
     }
 }
@@ -200,7 +211,7 @@ SquashUnit::process(const CycleEvents &in, CycleEvents &out)
           case SquashClass::NdeAhead:
             if (config_.orderCoupled)
                 flushCore(e.core, FlushReason::NdeBreak, out);
-            counters_.add("squash.nde_ahead");
+            counters_.add(stat_.ndeAhead);
             out.events.push_back(e);
             break;
           case SquashClass::CommitFuse: {
@@ -212,7 +223,7 @@ SquashUnit::process(const CycleEvents &in, CycleEvents &out)
           }
           case SquashClass::SnapshotReduce:
             cores_[e.core].latest[static_cast<unsigned>(e.type)] = e;
-            counters_.add("squash.snapshots_absorbed");
+            counters_.add(stat_.snapshotsAbsorbed);
             break;
           case SquashClass::AuxFuse:
             absorbAux(cores_[e.core], e);
@@ -223,7 +234,7 @@ SquashUnit::process(const CycleEvents &in, CycleEvents &out)
             break;
           case SquashClass::Passthrough:
             // Non-fusible deterministic events keep their tags.
-            counters_.add("squash.passthrough");
+            counters_.add(stat_.passthrough);
             out.events.push_back(e);
             break;
         }
@@ -278,6 +289,7 @@ Reorderer::Reorderer(unsigned cores)
     nextEmit_.assign(cores, 0);
     held_.resize(cores);
     watermark_.assign(cores, 0);
+    releaseLagHist_ = counters_.hist("reorder.release_lag");
 }
 
 int
@@ -390,8 +402,13 @@ Reorderer::releaseCoreInto(unsigned core, bool all, std::vector<Event> &out)
     while (first_kept != held.end() && releasable(*first_kept))
         ++first_kept;
     out.reserve(out.size() + (first_kept - held.begin()));
-    for (auto it = held.begin(); it != first_kept; ++it)
+    for (auto it = held.begin(); it != first_kept; ++it) {
+        // Release lag in arrivals: how long the reorder queue held this
+        // event back. arrivalCounter_ is deterministic, so the histogram
+        // is bit-identical across serial and threaded runs.
+        counters_.observe(releaseLagHist_, arrivalCounter_ - it->arrival);
         out.push_back(std::move(it->event));
+    }
     held.erase(held.begin(), first_kept);
 }
 

@@ -27,8 +27,8 @@
 #include <optional>
 #include <vector>
 
-#include "common/counters.h"
 #include "event/event.h"
+#include "obs/stats.h"
 #include "squash/fused_views.h"
 
 namespace dth {
@@ -112,7 +112,7 @@ class SquashUnit
         return out;
     }
 
-    PerfCounters &counters() { return counters_; }
+    obs::StatSheet &counters() { return counters_; }
     const SquashConfig &config() const { return config_; }
 
   private:
@@ -149,7 +149,20 @@ class SquashUnit
     SquashConfig config_;
     std::vector<CoreState> cores_;
     u64 cycle_ = 0;
-    PerfCounters counters_;
+    obs::StatSheet counters_;
+    struct
+    {
+        obs::StatId commitsAbsorbed;
+        obs::StatId auxAbsorbed;
+        obs::StatId diffBytesOut;
+        obs::StatId diffBytesIn;
+        obs::StatId flushes;
+        std::array<obs::StatId, 4> flushReason;
+        obs::StatId ndeAhead;
+        obs::StatId snapshotsAbsorbed;
+        obs::StatId passthrough;
+        obs::HistId fuseDepth;
+    } stat_;
 };
 
 /** Software side: snapshot completion + order restoration. */
@@ -236,6 +249,8 @@ class Reorderer
     /** Events still held back (both stages). */
     size_t pending() const;
 
+    obs::StatSheet &counters() { return counters_; }
+
   private:
     struct Item
     {
@@ -254,6 +269,8 @@ class Reorderer
     std::vector<std::vector<Item>> held_;
     std::vector<u64> watermark_;
     u64 arrivalCounter_ = 0;
+    obs::StatSheet counters_;
+    obs::HistId releaseLagHist_;
 };
 
 } // namespace dth

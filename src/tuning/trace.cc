@@ -36,38 +36,57 @@ encodeTrace(const DutTrace &trace)
     return w.take();
 }
 
+// Minimum encoded sizes, used to cap reserve() calls: the cycle/event
+// counts in the header are untrusted, so a corrupt file must not be
+// able to demand more memory than its remaining bytes could encode.
+namespace {
+constexpr size_t kMinCycleBytes = 8 + 4;              // cycle + count
+constexpr size_t kMinEventBytes = 1 + 1 + 1 + 8 + 8 + 2; // hdr, no payload
+} // namespace
+
 bool
 decodeTrace(DutTrace *trace, std::span<const u8> bytes)
 {
-    ByteReader r(bytes);
-    if (r.remaining() < 4 || r.getU32() != kMagic)
+    // Fail-mode reader: trace files come from disk and may be truncated
+    // or corrupt; a short read must return false, not abort the process.
+    ByteReader r(bytes, ByteReader::OnUnderrun::Fail);
+    if (r.getU32() != kMagic)
         return false;
     u16 name_len = r.getU16();
     auto name = r.getBytes(name_len);
     trace->workloadName.assign(name.begin(), name.end());
     u64 cycles = r.getU64();
+    if (r.failed() || cycles > r.remaining() / kMinCycleBytes)
+        return false;
     trace->cycles.clear();
     trace->cycles.reserve(cycles);
     for (u64 c = 0; c < cycles; ++c) {
         CycleEvents ce;
         ce.cycle = r.getU64();
         u32 count = r.getU32();
+        if (r.failed() || count > r.remaining() / kMinEventBytes)
+            return false;
         ce.events.reserve(count);
         for (u32 i = 0; i < count; ++i) {
             Event e;
-            e.type = static_cast<EventType>(r.getU8());
+            u8 type = r.getU8();
+            if (type >= kNumEventTypes)
+                return false;
+            e.type = static_cast<EventType>(type);
             e.core = r.getU8();
             e.index = r.getU8();
             e.commitSeq = r.getU64();
             e.emitSeq = r.getU64();
             u16 len = r.getU16();
             auto payload = r.getBytes(len);
+            if (r.failed())
+                return false;
             e.payload.assign(payload.begin(), payload.end());
             ce.events.push_back(std::move(e));
         }
         trace->cycles.push_back(std::move(ce));
     }
-    return r.atEnd();
+    return r.ok() && r.atEnd();
 }
 
 bool
@@ -88,9 +107,15 @@ loadTrace(DutTrace *trace, const std::string &path)
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
-    std::fseek(f, 0, SEEK_END);
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        std::fclose(f);
+        return false;
+    }
     long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
+    if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+        std::fclose(f);
+        return false;
+    }
     std::vector<u8> bytes(static_cast<size_t>(size));
     size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);

@@ -1,14 +1,14 @@
 /**
  * @file
  * Tests for the common substrate: bit utilities, deterministic RNG,
- * byte streams, perf counters and the table printer.
+ * byte streams and the table printer. (Stat-registry coverage lives in
+ * obs_test.cc.)
  */
 
 #include <gtest/gtest.h>
 
 #include "common/bits.h"
 #include "common/bytes.h"
-#include "common/counters.h"
 #include "common/rng.h"
 #include "common/table.h"
 
@@ -140,30 +140,6 @@ TEST(Bytes, ExternalBufferWriter)
     ByteWriter w(&sink);
     w.putU16(7);
     EXPECT_EQ(sink.size(), 2u);
-}
-
-TEST(Counters, AddGetRatioMerge)
-{
-    PerfCounters c;
-    c.add("a", 10);
-    c.add("a", 5);
-    c.add("b");
-    c.addReal("r", 0.5);
-    c.trackMax("m", 3);
-    c.trackMax("m", 9);
-    c.trackMax("m", 4);
-    EXPECT_EQ(c.get("a"), 15u);
-    EXPECT_EQ(c.get("b"), 1u);
-    EXPECT_EQ(c.get("missing"), 0u);
-    EXPECT_EQ(c.get("m"), 9u);
-    EXPECT_DOUBLE_EQ(c.getReal("r"), 0.5);
-    EXPECT_DOUBLE_EQ(c.ratio("a", "b"), 15.0);
-    EXPECT_DOUBLE_EQ(c.ratio("a", "missing"), 0.0);
-
-    PerfCounters d;
-    d.add("a", 1);
-    d.merge(c);
-    EXPECT_EQ(d.get("a"), 16u);
 }
 
 TEST(Table, RenderAligned)

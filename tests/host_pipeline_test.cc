@@ -214,6 +214,24 @@ expectSameResult(const CosimResult &serial, const CosimResult &threaded)
             continue;
         EXPECT_EQ(serial.counters.getReal(name), value) << name;
     }
+    for (const auto &[name, hist] : serial.counters.hists()) {
+        if (isHostCounter(name))
+            continue;
+        auto it = threaded.counters.hists().find(name);
+        if (it == threaded.counters.hists().end()) {
+            ADD_FAILURE() << "histogram missing on threaded side: " << name;
+            continue;
+        }
+        EXPECT_EQ(hist, it->second) << name;
+    }
+    for (const auto &[name, hist] : threaded.counters.hists()) {
+        (void)hist;
+        if (!isHostCounter(name) &&
+            serial.counters.hists().find(name) ==
+                serial.counters.hists().end()) {
+            ADD_FAILURE() << "histogram missing on serial side: " << name;
+        }
+    }
 }
 
 CosimConfig
@@ -303,6 +321,37 @@ TEST(ThreadedEquivalence, ThreadedRunsAreDeterministic)
     expectSameResult(a, b);
 }
 
+// Regression: host telemetry accumulated across run() invocations of a
+// reused CoSimulator — the second threaded run reported host.threads = 4,
+// the third 6, and the wall-clock accumulators kept growing. Every run
+// must start from a clean host sheet.
+TEST(ThreadedEquivalence, RepeatedRunsResetHostTelemetry)
+{
+    Program p = workloadByName("microbench", 42, 100);
+    CosimConfig cfg = makeConfig(OptLevel::BNSD, 2);
+    CoSimulator sim(cfg, p);
+    u64 prev_bundles = 0;
+    for (int run = 0; run < 3; ++run) {
+        CosimResult r = sim.run(2'000'000);
+        EXPECT_EQ(r.counters.get("host.threads"), 2u) << "run " << run;
+        u64 bundles = r.counters.get("host.hw_bundles");
+        EXPECT_GT(bundles, 0u);
+        // Later runs find the DUT already trapped, so they hand off fewer
+        // bundles; an accumulating sheet would instead keep growing.
+        if (run > 0) {
+            EXPECT_LE(bundles, prev_bundles) << "run " << run;
+        }
+        prev_bundles = bundles;
+    }
+
+    CosimConfig serial_cfg = makeConfig(OptLevel::BNSD, 0);
+    CoSimulator serial_sim(serial_cfg, p);
+    for (int run = 0; run < 2; ++run) {
+        CosimResult r = serial_sim.run(2'000'000);
+        EXPECT_EQ(r.counters.get("host.threads"), 1u) << "run " << run;
+    }
+}
+
 TEST(ThreadedEquivalence, TinyQueueDepthStillMatches)
 {
     // Depth 2 maximizes backpressure interleavings.
@@ -317,6 +366,68 @@ TEST(ThreadedEquivalence, TinyQueueDepthStillMatches)
     ASSERT_TRUE(serial.goodTrap);
     expectSameResult(serial, threaded);
     EXPECT_GT(threaded.counters.get("host.hw_waits"), 0u);
+}
+
+// ---- stat registry under threads ---------------------------------------
+// This suite runs in the ThreadSanitizer CI job alongside the ring tests:
+// concurrent interning against one schema plus the shard-then-merge
+// pattern the producer/consumer pipeline uses must be race-free and
+// deterministic.
+
+TEST(StatRegistry, ConcurrentInterningIsConsistent)
+{
+    obs::StatSchema schema;
+    constexpr int kThreads = 8;
+    constexpr int kNames = 64;
+    std::vector<std::vector<obs::StatId>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ids[t].reserve(kNames);
+            for (int n = 0; n < kNames; ++n) {
+                std::string name = "race.stat_" + std::to_string(n);
+                ids[t].push_back(
+                    schema.stat(name, obs::StatKind::Sum));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Every thread resolved every name to the same id.
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(ids[t], ids[0]);
+    EXPECT_EQ(schema.statCount(), (size_t)kNames);
+}
+
+TEST(StatRegistry, PerThreadShardsMergeDeterministically)
+{
+    obs::StatSchema schema;
+    constexpr int kThreads = 4;
+    constexpr u64 kIncrements = 50000;
+    std::vector<obs::StatSheet> shards(kThreads, obs::StatSheet(schema));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            obs::StatSheet &sheet = shards[t];
+            obs::StatId events = sheet.sum("shard.events");
+            obs::StatId peak = sheet.maxStat("shard.peak");
+            obs::HistId h = sheet.hist("shard.depth");
+            for (u64 i = 0; i < kIncrements; ++i) {
+                sheet.add(events);
+                sheet.trackMax(peak, t * kIncrements + i);
+                sheet.observe(h, i & 0xff);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    obs::StatSheet merged(schema);
+    for (const obs::StatSheet &shard : shards)
+        merged.merge(shard);
+    EXPECT_EQ(merged.get("shard.events"), kThreads * kIncrements);
+    EXPECT_EQ(merged.get("shard.peak"), kThreads * kIncrements - 1);
+    EXPECT_EQ(merged.findHist("shard.depth")->count,
+              kThreads * kIncrements);
 }
 
 } // namespace

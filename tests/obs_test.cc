@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Typed stat registry tests: kind-aware merging (the regression that
+ * motivated the registry — the legacy string-keyed merge summed
+ * max-tracked counters), log2 histograms, JSON snapshot round-trips,
+ * malformed-input rejection, and an allocation counter proving the
+ * per-event mutators never touch the heap.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+
+// ---- global allocation counter --------------------------------------------
+// This TU owns its test binary, so overriding the global allocator here is
+// safe. Counting is gated so gtest's own bookkeeping stays invisible.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+// GCC cannot see that the replacement operator new above is malloc-based
+// and flags the free() as a new/free mismatch; it is not.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace dth::obs {
+namespace {
+
+// Private schema per fixture: test stats must not leak into the global
+// schema the simulator components use.
+class ObsTest : public ::testing::Test
+{
+  protected:
+    StatSchema schema_;
+};
+
+// ---- kind-aware merge ------------------------------------------------------
+
+TEST_F(ObsTest, MergeIsKindAware)
+{
+    StatSheet a(schema_), b(schema_);
+    StatId sum = a.sum("t.sum");
+    StatId mx = a.maxStat("t.max");
+    StatId gauge = a.gauge("t.gauge");
+    StatId real = a.real("t.real");
+    b.sum("t.sum");
+    b.maxStat("t.max");
+    b.gauge("t.gauge");
+    b.real("t.real");
+
+    a.add(sum, 5);
+    a.trackMax(mx, 100);
+    a.set(gauge, 7);
+    a.addReal(real, 0.5);
+    b.add(sum, 3);
+    b.trackMax(mx, 70);
+    b.set(gauge, 9);
+    b.addReal(real, 0.25);
+
+    a.merge(b);
+    EXPECT_EQ(a.get("t.sum"), 8u);
+    // The legacy PerfCounters::merge summed every integer counter, so a
+    // high-water mark like replay.buffered_bytes came out as 170 here.
+    EXPECT_EQ(a.get("t.max"), 100u);
+    EXPECT_EQ(a.get("t.gauge"), 9u); // last writer (incoming) wins
+    EXPECT_DOUBLE_EQ(a.getReal("t.real"), 0.75);
+}
+
+TEST_F(ObsTest, MergeIntoUntouchedSheetAdoptsKinds)
+{
+    StatSheet src(schema_);
+    StatId mx = src.maxStat("t.hiwater");
+    src.trackMax(mx, 42);
+
+    // dst never interned anything; merge must adopt the source's kinds so
+    // a second merge still maxes instead of summing.
+    StatSheet dst(schema_);
+    dst.merge(src);
+    dst.merge(src);
+    EXPECT_EQ(dst.get("t.hiwater"), 42u);
+}
+
+TEST_F(ObsTest, MergeSkipsUntouchedStats)
+{
+    StatSheet a(schema_), b(schema_);
+    a.gauge("t.g");
+    StatId g = b.gauge("t.g");
+    b.set(g, 3);
+    b.merge(a); // a never wrote t.g; the gauge must not be zeroed
+    EXPECT_EQ(b.get("t.g"), 3u);
+}
+
+TEST_F(ObsTest, ResetClearsValuesKeepsIds)
+{
+    StatSheet s(schema_);
+    StatId sum = s.sum("t.s");
+    HistId h = s.hist("t.h");
+    s.add(sum, 9);
+    s.observe(h, 4);
+    s.reset();
+    EXPECT_EQ(s.get("t.s"), 0u);
+    EXPECT_TRUE(s.snapshot().empty());
+    s.add(sum, 2);
+    s.observe(h, 1);
+    EXPECT_EQ(s.get("t.s"), 2u);
+    EXPECT_EQ(s.findHist("t.h")->count, 1u);
+}
+
+TEST_F(ObsTest, SchemaInterningIsIdempotentAndKindChecked)
+{
+    StatId first = schema_.stat("t.a", StatKind::Sum);
+    EXPECT_EQ(schema_.stat("t.a", StatKind::Sum), first);
+    EXPECT_EQ(schema_.findStat("t.a"), first);
+    EXPECT_EQ(schema_.findStat("t.unknown"), kInvalidStat);
+    EXPECT_EQ(schema_.statDesc(first).kind, StatKind::Sum);
+}
+
+// Ports the old tests/common_test.cc Counters coverage onto snapshots.
+TEST_F(ObsTest, SnapshotGetRatio)
+{
+    StatSheet s(schema_);
+    StatId hits = s.sum("t.hits");
+    StatId total = s.sum("t.total");
+    s.add(hits, 3);
+    s.add(total, 12);
+    StatSnapshot snap = s.snapshot();
+    EXPECT_EQ(snap.get("t.hits"), 3u);
+    EXPECT_EQ(snap.get("t.absent"), 0u);
+    EXPECT_DOUBLE_EQ(snap.ratio("t.hits", "t.total"), 0.25);
+    EXPECT_DOUBLE_EQ(snap.ratio("t.hits", "t.absent"), 0.0);
+    EXPECT_TRUE(snap.has("t.hits"));
+    EXPECT_FALSE(snap.has("t.absent"));
+}
+
+// ---- histograms ------------------------------------------------------------
+
+TEST(HistData, BucketOf)
+{
+    EXPECT_EQ(HistData::bucketOf(0), 0u);
+    EXPECT_EQ(HistData::bucketOf(1), 1u);
+    EXPECT_EQ(HistData::bucketOf(2), 2u);
+    EXPECT_EQ(HistData::bucketOf(3), 2u);
+    EXPECT_EQ(HistData::bucketOf(4), 3u);
+    EXPECT_EQ(HistData::bucketOf((1u << 13) + 1), 14u);
+    EXPECT_EQ(HistData::bucketOf(1u << 14), 15u);
+    EXPECT_EQ(HistData::bucketOf(~0ull), kHistBuckets - 1);
+}
+
+TEST(HistData, ObserveAndMerge)
+{
+    HistData a;
+    a.observe(0);
+    a.observe(5);
+    a.observe(4096);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_EQ(a.sum, 4101u);
+    EXPECT_EQ(a.min, 0u);
+    EXPECT_EQ(a.max, 4096u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4101.0 / 3.0);
+
+    HistData b;
+    b.observe(2);
+    a.merge(b);
+    EXPECT_EQ(a.count, 4u);
+    EXPECT_EQ(a.buckets[HistData::bucketOf(2)], 1u);
+
+    // Merging an empty histogram must not clobber min.
+    HistData empty;
+    a.merge(empty);
+    EXPECT_EQ(a.min, 0u);
+}
+
+// ---- JSON round trip -------------------------------------------------------
+
+TEST_F(ObsTest, JsonRoundTrip)
+{
+    StatSheet s(schema_);
+    s.add(s.sum("t.sum"), 123456789012345ull);
+    s.trackMax(s.maxStat("t.max"), 7);
+    s.set(s.gauge("t.gauge"), 2);
+    s.addReal(s.real("t.real"), 0.125);
+    HistId h = s.hist("t.hist");
+    s.observe(h, 0);
+    s.observe(h, 1000);
+
+    StatSnapshot snap = s.snapshot();
+    std::string json = snapshotToJson(snap);
+    StatSnapshot parsed;
+    ASSERT_TRUE(snapshotFromJson(&parsed, json));
+    EXPECT_EQ(parsed, snap);
+    // Re-serialization is byte-identical (stable key order).
+    EXPECT_EQ(snapshotToJson(parsed), json);
+}
+
+TEST(ObsJson, RejectsMalformedInput)
+{
+    StatSnapshot snap;
+    EXPECT_FALSE(snapshotFromJson(&snap, ""));
+    EXPECT_FALSE(snapshotFromJson(&snap, "not json"));
+    EXPECT_FALSE(snapshotFromJson(&snap, "{\"schema\":\"wrong-id\"}"));
+    EXPECT_FALSE(snapshotFromJson(
+        &snap, "{\"schema\":\"dth-obs-v1\",\"stats\":{\"x\":"
+               "{\"kind\":\"bogus\",\"value\":1}}}"));
+    // Truncations of a valid document must fail cleanly, never abort.
+    std::string good = "{\"schema\":\"dth-obs-v1\",\"stats\":{\"a\":"
+                       "{\"kind\":\"sum\",\"value\":3}},\"hists\":{}}";
+    ASSERT_TRUE(snapshotFromJson(&snap, good));
+    for (size_t len = 0; len < good.size(); ++len)
+        EXPECT_FALSE(snapshotFromJson(&snap, good.substr(0, len))) << len;
+    // Deeply nested input trips the recursion cap instead of the stack.
+    std::string deep(1000, '[');
+    EXPECT_FALSE(snapshotFromJson(&snap, deep));
+}
+
+TEST(ObsJson, U64PrecisionSurvives)
+{
+    StatSnapshot snap;
+    snap.setInt("t.big", StatKind::Sum, ~0ull);
+    StatSnapshot parsed;
+    ASSERT_TRUE(snapshotFromJson(&parsed, snapshotToJson(snap)));
+    EXPECT_EQ(parsed.get("t.big"), ~0ull);
+}
+
+// ---- hot-path allocation freedom -------------------------------------------
+
+TEST_F(ObsTest, HotPathMutatorsDoNotAllocate)
+{
+    StatSheet s(schema_);
+    StatId sum = s.sum("t.sum");
+    StatId mx = s.maxStat("t.max");
+    StatId gauge = s.gauge("t.gauge");
+    StatId real = s.real("t.real");
+    HistId h = s.hist("t.hist");
+
+    g_allocs.store(0);
+    g_count_allocs.store(true);
+    for (u64 i = 0; i < 100000; ++i) {
+        s.add(sum, 2);
+        s.trackMax(mx, i);
+        s.set(gauge, i);
+        s.addReal(real, 0.5);
+        s.observe(h, i & 0xfff);
+        (void)s.value(sum);
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_allocs.load(), 0u);
+    EXPECT_EQ(s.get("t.sum"), 200000u);
+}
+
+// Merging shards is also steady-state allocation-free once the
+// destination has seen the source layout (the per-bundle snapshotHw
+// path in the threaded pipeline relies on this).
+TEST_F(ObsTest, ResetAndMergeDoNotAllocateSteadyState)
+{
+    StatSheet src(schema_), dst(schema_);
+    StatId sum = src.sum("t.sum");
+    HistId h = src.hist("t.hist");
+    src.add(sum, 1);
+    src.observe(h, 3);
+    dst.merge(src); // first merge may grow dst
+    g_allocs.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 10000; ++i) {
+        dst.reset();
+        dst.merge(src);
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_allocs.load(), 0u);
+    EXPECT_EQ(dst.get("t.sum"), 1u);
+}
+
+} // namespace
+} // namespace dth::obs

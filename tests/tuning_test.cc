@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
 #include "cosim/cosim.h"
 #include "tuning/analysis.h"
 #include "tuning/sweep.h"
@@ -81,6 +82,89 @@ TEST(Trace, DecodeRejectsGarbage)
     DutTrace t;
     std::vector<u8> garbage = {1, 2, 3, 4, 5};
     EXPECT_FALSE(decodeTrace(&t, garbage));
+}
+
+// Regression: decodeTrace used a panicking ByteReader, so a trace file
+// truncated at an unlucky offset aborted the whole process instead of
+// returning false. Every proper prefix of a valid encoding must decode
+// to a clean failure.
+TEST(Trace, DecodeRejectsEveryTruncation)
+{
+    workload::Program p = bootProgram(10);
+    DutTrace trace = captureTrace(p);
+    std::vector<u8> bytes = encodeTrace(trace);
+    ASSERT_GT(bytes.size(), 16u);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        DutTrace t;
+        std::span<const u8> prefix(bytes.data(), len);
+        EXPECT_FALSE(decodeTrace(&t, prefix)) << "prefix length " << len;
+    }
+    DutTrace t;
+    EXPECT_TRUE(decodeTrace(&t, bytes));
+    // Trailing junk is also a malformed file, not a partial success.
+    bytes.push_back(0);
+    EXPECT_FALSE(decodeTrace(&t, bytes));
+}
+
+// Regression: the header's cycle/event counts were trusted and fed
+// straight into reserve(), so 24 corrupt bytes could demand petabytes.
+TEST(Trace, DecodeCapsUntrustedCounts)
+{
+    ByteWriter w;
+    w.putU32(0x44544831); // kMagic
+    w.putU16(0);          // empty workload name
+    w.putU64(~0ull);      // absurd cycle count, no cycle payload
+    DutTrace t;
+    EXPECT_FALSE(decodeTrace(&t, w.bytes()));
+
+    ByteWriter w2;
+    w2.putU32(0x44544831);
+    w2.putU16(0);
+    w2.putU64(1);    // one cycle...
+    w2.putU64(7);    // cycle number
+    w2.putU32(~0u);  // ...claiming 4G events
+    DutTrace t2;
+    EXPECT_FALSE(decodeTrace(&t2, w2.bytes()));
+}
+
+TEST(Trace, DecodeRejectsBadEventType)
+{
+    ByteWriter w;
+    w.putU32(0x44544831);
+    w.putU16(0);
+    w.putU64(1); // one cycle
+    w.putU64(3); // cycle number
+    w.putU32(1); // one event
+    w.putU8(0xee);  // invalid EventType
+    w.putZeros(32); // plausible-looking tail (clears the size caps)
+    DutTrace t;
+    EXPECT_FALSE(decodeTrace(&t, w.bytes()));
+}
+
+// Deterministic fuzz-ish loop: single-byte corruptions of a real
+// encoding must either decode (the flip hit a don't-care byte such as a
+// payload body) or fail cleanly — never crash or abort.
+TEST(Trace, DecodeSurvivesByteFlips)
+{
+    workload::Program p = bootProgram(10);
+    DutTrace trace = captureTrace(p);
+    std::vector<u8> bytes = encodeTrace(trace);
+    u64 rng = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 2000; ++i) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        size_t pos = (rng >> 24) % bytes.size();
+        u8 flip = static_cast<u8>(1u << ((rng >> 8) % 8));
+        std::vector<u8> mutated = bytes;
+        mutated[pos] ^= flip;
+        DutTrace t;
+        (void)decodeTrace(&t, mutated);
+    }
+}
+
+TEST(Trace, LoadMissingFileFails)
+{
+    DutTrace t;
+    EXPECT_FALSE(loadTrace(&t, "/nonexistent/dir/trace.bin"));
 }
 
 TEST(Analysis, VerifyTraceWithoutDut)

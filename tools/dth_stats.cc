@@ -1,0 +1,187 @@
+/**
+ * @file
+ * dth_stats: stat-snapshot viewer for the dth-obs-v1 JSON files that
+ * benches and the tuning toolkit emit (e.g. bench/BENCH_obs.json).
+ *
+ *   dth_stats FILE             pretty-print one snapshot
+ *   dth_stats --diff A B       tabulate differing stats; exit 0 when
+ *                              identical, 2 when they differ
+ *   dth_stats --schema FILE    print the snapshot's schema (sorted
+ *                              "stat <name> <kind>" / "hist <name>"
+ *                              lines) — wall-clock-independent, so CI
+ *                              diffs it against a checked-in golden
+ *                              file to catch schema drift
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace {
+
+using namespace dth;
+using namespace dth::obs;
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s FILE | --diff A B | --schema FILE\n", argv0);
+    std::printf(
+        "  Pretty-print, diff or schema-dump a dth-obs-v1 stats\n"
+        "  snapshot. --diff exits 0 when identical, 2 when not.\n");
+}
+
+bool
+load(StatSnapshot *snap, const char *path)
+{
+    if (!loadSnapshotFile(snap, path)) {
+        std::fprintf(stderr, "dth_stats: cannot parse %s\n", path);
+        return false;
+    }
+    return true;
+}
+
+std::string
+fmtU64(u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+std::string
+fmtReal(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+int
+printSnapshot(const char *path)
+{
+    StatSnapshot snap;
+    if (!load(&snap, path))
+        return 1;
+    TextTable stats({"stat", "kind", "value"});
+    for (const auto &[name, value] : snap.integers())
+        stats.addRow({name, statKindName(snap.kindOf(name)), fmtU64(value)});
+    for (const auto &[name, value] : snap.reals())
+        stats.addRow({name, "real", fmtReal(value)});
+    stats.print();
+    if (!snap.hists().empty()) {
+        std::printf("\n");
+        TextTable hists({"histogram", "count", "mean", "min", "max"});
+        for (const auto &[name, h] : snap.hists()) {
+            hists.addRow({name, fmtU64(h.count), fmtReal(h.mean()),
+                          fmtU64(h.min), fmtU64(h.max)});
+        }
+        hists.print();
+    }
+    return 0;
+}
+
+int
+diffSnapshots(const char *path_a, const char *path_b)
+{
+    StatSnapshot a, b;
+    if (!load(&a, path_a) || !load(&b, path_b))
+        return 1;
+    if (a == b) {
+        std::printf("identical\n");
+        return 0;
+    }
+    TextTable t({"stat", "a", "b"});
+    auto row = [&](const std::string &name, const std::string &va,
+                   const std::string &vb) {
+        if (va != vb)
+            t.addRow({name, va, vb});
+    };
+    auto present = [](bool has, std::string v) {
+        return has ? v : std::string("(absent)");
+    };
+    for (const auto &[name, value] : a.integers()) {
+        row(name, fmtU64(value),
+            present(b.has(name), fmtU64(b.get(name))));
+    }
+    for (const auto &[name, value] : b.integers()) {
+        if (!a.has(name))
+            t.addRow({name, "(absent)", fmtU64(value)});
+    }
+    for (const auto &[name, value] : a.reals()) {
+        row(name, fmtReal(value),
+            present(b.has(name), fmtReal(b.getReal(name))));
+    }
+    for (const auto &[name, value] : b.reals()) {
+        if (!a.has(name))
+            t.addRow({name, "(absent)", fmtReal(value)});
+    }
+    for (const auto &[name, h] : a.hists()) {
+        auto it = b.hists().find(name);
+        if (it == b.hists().end()) {
+            t.addRow({name + " (hist)", fmtU64(h.count) + " samples",
+                      "(absent)"});
+        } else if (!(h == it->second)) {
+            t.addRow({name + " (hist)",
+                      fmtU64(h.count) + " x mean " + fmtReal(h.mean()),
+                      fmtU64(it->second.count) + " x mean " +
+                          fmtReal(it->second.mean())});
+        }
+    }
+    for (const auto &[name, h] : b.hists()) {
+        if (a.hists().find(name) == a.hists().end()) {
+            t.addRow({name + " (hist)", "(absent)",
+                      fmtU64(h.count) + " samples"});
+        }
+    }
+    t.print();
+    return 2;
+}
+
+int
+printSchema(const char *path)
+{
+    StatSnapshot snap;
+    if (!load(&snap, path))
+        return 1;
+    // Names and kinds only — no values — so the output is stable across
+    // runs and machines; this is what the CI schema gate diffs.
+    for (const auto &[name, value] : snap.integers()) {
+        (void)value;
+        std::printf("stat %s %s\n", name.c_str(),
+                    statKindName(snap.kindOf(name)));
+    }
+    for (const auto &[name, value] : snap.reals()) {
+        (void)value;
+        std::printf("stat %s real\n", name.c_str());
+    }
+    for (const auto &[name, h] : snap.hists()) {
+        (void)h;
+        std::printf("hist %s\n", name.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && (!std::strcmp(argv[1], "-h") ||
+                      !std::strcmp(argv[1], "--help"))) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc == 2)
+        return printSnapshot(argv[1]);
+    if (argc == 3 && !std::strcmp(argv[1], "--schema"))
+        return printSchema(argv[2]);
+    if (argc == 4 && !std::strcmp(argv[1], "--diff"))
+        return diffSnapshots(argv[2], argv[3]);
+    usage(argv[0]);
+    return 1;
+}
