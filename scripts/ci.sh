@@ -4,7 +4,9 @@
 #      + observability bench smoke (serial/threaded stat equivalence,
 #      BENCH_obs.json schema drift gate)
 #   2. AddressSanitizer+UBSan build + full ctest (UB reports are fatal)
-#   3. ThreadSanitizer build + concurrency tests (SPSC ring, threaded
+#   3. chaos: link fault-injection soak under ASan+UBSan, gated on zero
+#      unrecovered faults and fault-free-identical verdicts
+#   4. ThreadSanitizer build + concurrency tests (SPSC ring, threaded
 #      cosim runtime, stat registry)
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -38,6 +40,16 @@ cmake --build build-asan -j "$JOBS"
 ./build-asan/tools/dth_lint
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> chaos: link fault-injection soak under ASan+UBSan"
+# Every fault kind active at fixed seeds. The gate is zero
+# budget-exceeding unrecovered faults: the chaos suite fails unless
+# every run recovers and its verdict + checked-event stream are
+# bit-identical to the fault-free run's, in both host runtimes.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/frame_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/cosim_chaos_test
 
 echo "==> ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DDTH_SANITIZE=thread >/dev/null

@@ -9,6 +9,8 @@
 
 #include "analysis/layout_audit.h"
 #include "common/logging.h"
+#include "link/channel.h"
+#include "link/frame.h"
 #include "pack/muxtree.h"
 #include "pack/packer.h"
 #include "pack/wire.h"
@@ -44,6 +46,7 @@ class Linter
         checkMuxTree();
         checkSquashSafety();
         checkReplayCoverage();
+        checkFrameTransport();
         return std::move(report_);
     }
 
@@ -78,6 +81,7 @@ class Linter
     void checkMuxTree();
     void checkSquashSafety();
     void checkReplayCoverage();
+    void checkFrameTransport();
 
     const ProtocolTables &t_;
     LintReport report_;
@@ -295,8 +299,8 @@ Linter::checkWireFormat()
                                 overhead, expected));
             BatchUnpacker unpacker;
             std::vector<Event> back;
-            unpacker.unpackInto(transfers[0], back);
-            expect(back.size() == cycle.events.size() &&
+            bool parsed = unpacker.unpackInto(transfers[0], back);
+            expect(parsed && back.size() == cycle.events.size() &&
                        std::equal(back.begin(), back.end(),
                                   cycle.events.begin()),
                    LintCheck::RoundTripMismatch, -1,
@@ -507,6 +511,124 @@ Linter::checkReplayCoverage()
     }
 }
 
+// ---------------------------------------------------------------------------
+// 6. Frame transport: the resilient link's layout and detection power.
+//
+// Like the wire-format probes, these drive the *real* encoder/decoder
+// (link/frame.h) with a probe transfer and compare against the
+// snapshot's constants, then exhaustively corrupt the encoded frame —
+// every single-bit flip and every truncation length — and require the
+// decoder to classify each mutation as a fault. CRC32 detects all
+// 1-bit errors by construction; a flip that slips through means the
+// trailer is not covering what the layout says it covers.
+// ---------------------------------------------------------------------------
+
+void
+Linter::checkFrameTransport()
+{
+    // Snapshot constants vs the build.
+    expect(t_.frameHeaderBytes == link::kFrameHeaderBytes &&
+               t_.frameTrailerBytes == link::kFrameTrailerBytes &&
+               t_.frameMagic == link::kFrameMagic,
+           LintCheck::FrameLayoutMismatch, -1,
+           DTH_LINT_MSG("snapshot frame layout (%zu B header, %zu B "
+                        "trailer, magic %08x) != build (%zu, %zu, %08x)",
+                        t_.frameHeaderBytes, t_.frameTrailerBytes,
+                        t_.frameMagic, link::kFrameHeaderBytes,
+                        link::kFrameTrailerBytes, link::kFrameMagic));
+
+    // Encode probe: measured overhead and the on-wire magic must match
+    // the snapshot constants.
+    Transfer probe;
+    probe.issueCycle = 0x1122334455667788ull;
+    for (unsigned i = 0; i < 37; ++i)
+        probe.bytes.push_back(static_cast<u8>(0xC3u ^ (i * 29u)));
+    std::vector<u8> wire;
+    link::FrameEncoder::encodeAs(probe, 11, wire);
+    expect(wire.size() ==
+               probe.bytes.size() + t_.frameHeaderBytes +
+                   t_.frameTrailerBytes,
+           LintCheck::FrameLayoutMismatch, -1,
+           DTH_LINT_MSG("encoder emits %zu B for a %zu B payload but the "
+                        "layout constants predict %zu",
+                        wire.size(), probe.bytes.size(),
+                        probe.bytes.size() + t_.frameHeaderBytes +
+                            t_.frameTrailerBytes));
+    if (wire.size() >= 4) {
+        u32 magic = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            magic |= static_cast<u32>(wire[i]) << (8 * i);
+        expect(magic == t_.frameMagic, LintCheck::FrameLayoutMismatch, -1,
+               DTH_LINT_MSG("frame begins with %08x, snapshot magic is "
+                            "%08x",
+                            magic, t_.frameMagic));
+    }
+
+    // Round trip: the decoder must reproduce the transfer bit-exactly.
+    {
+        Transfer back;
+        u32 seq = 0;
+        link::FaultReport rep =
+            link::FrameDecoder::decodeFrame(wire, back, &seq);
+        expect(rep.ok() && seq == 11 && back.bytes == probe.bytes &&
+                   back.issueCycle == probe.issueCycle,
+               LintCheck::FrameRoundTrip, -1,
+               DTH_LINT_MSG("frame did not survive an encode/decode "
+                            "round-trip (%s)",
+                            rep.describe().c_str()));
+    }
+
+    // Corruption probes: every single-bit flip and every truncation of
+    // the probe frame must be classified as a fault — silently accepting
+    // a mutated frame would defeat the whole recovery protocol.
+    {
+        bool all_flips_caught = true;
+        std::vector<u8> mutated = wire;
+        for (size_t bit = 0; bit < wire.size() * 8 && all_flips_caught;
+             ++bit) {
+            mutated[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+            Transfer back;
+            link::FaultReport rep =
+                link::FrameDecoder::decodeFrame(mutated, back, nullptr);
+            if (rep.ok())
+                all_flips_caught = false;
+            mutated[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        }
+        expect(all_flips_caught, LintCheck::FrameCorruptionUndetected, -1,
+               "a single-bit flip passed the frame decoder undetected");
+
+        bool all_truncations_caught = true;
+        for (size_t len = 0; len < wire.size(); ++len) {
+            Transfer back;
+            link::FaultReport rep = link::FrameDecoder::decodeFrame(
+                std::span<const u8>(wire.data(), len), back, nullptr);
+            if (rep.ok()) {
+                all_truncations_caught = false;
+                break;
+            }
+        }
+        expect(all_truncations_caught,
+               LintCheck::FrameCorruptionUndetected, -1,
+               "a truncated frame passed the frame decoder undetected");
+    }
+
+    // Retransmit-window bounds: the window must hold at least the one
+    // in-flight frame of the stop-and-wait recovery protocol, and the
+    // frame format's payload bound must cover the packet budget (else a
+    // legitimate full packet is indistinguishable from a corrupt length
+    // field).
+    expect(t_.retxWindowFrames >= 1, LintCheck::RetxWindowBounds, -1,
+           DTH_LINT_MSG("retransmit window of %zu frames cannot hold the "
+                        "in-flight frame",
+                        t_.retxWindowFrames));
+    expect(t_.maxFramePayloadBytes >= t_.packetBytes,
+           LintCheck::RetxWindowBounds, -1,
+           DTH_LINT_MSG("frame payload bound (%zu B) is below the packet "
+                        "budget (%u B): full packets would be rejected "
+                        "as corrupt",
+                        t_.maxFramePayloadBytes, t_.packetBytes));
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -541,6 +663,11 @@ lintCheckName(LintCheck check)
       case LintCheck::NdeOrderTagPath: return "nde-order-tag-path";
       case LintCheck::FuseDepthOverflow: return "fuse-depth-overflow";
       case LintCheck::MissingUndoKind: return "missing-undo-kind";
+      case LintCheck::FrameLayoutMismatch: return "frame-layout-mismatch";
+      case LintCheck::FrameRoundTrip: return "frame-round-trip";
+      case LintCheck::FrameCorruptionUndetected:
+        return "frame-corruption-undetected";
+      case LintCheck::RetxWindowBounds: return "retx-window-bounds";
     }
     return "?";
 }
@@ -597,6 +724,11 @@ currentTables()
     t.batchMetaBytes = kBatchMetaBytes;
     t.wireOrderTagBits = kWireOrderTagBits;
     t.packetBytes = 4096; // BatchPacker's default transmission budget
+    t.frameMagic = link::kFrameMagic;
+    t.frameHeaderBytes = link::kFrameHeaderBytes;
+    t.frameTrailerBytes = link::kFrameTrailerBytes;
+    t.maxFramePayloadBytes = link::kMaxFramePayloadBytes;
+    t.retxWindowFrames = link::kDefaultRetxWindowFrames;
     t.maxFuseDepth = kMaxFuseDepth;
     t.digestCountBits = FusedDigestView::kCountBits;
     t.muxSlots = buildMuxSlots(t.events, t.numEventTypes);

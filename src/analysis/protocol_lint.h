@@ -22,6 +22,10 @@
  *     order tag.
  *  5. Replay coverage: every event type whose checking mutates REF state
  *     maps onto undo-log entry kinds the compensation log records.
+ *  6. Frame transport: the resilient link's frame layout constants match
+ *     the real encoder, frames round-trip bit-exactly, every single-bit
+ *     flip and every truncation is caught by the magic/length/CRC
+ *     checks, and the retransmit-window bounds cover the packet budget.
  *
  * Tests seed violations into a mutated ProtocolTables copy and assert
  * the analyzer reports exactly that class; `tools/dth_lint.cc` runs the
@@ -69,6 +73,11 @@ enum class LintCheck : u8 {
     FuseDepthOverflow,    //!< fuse depth overflows count/order-tag width
     // 5. Replay coverage.
     MissingUndoKind,      //!< mutating type without an undo-log kind
+    // 6. Frame transport (resilient link).
+    FrameLayoutMismatch,  //!< frame constants != what the encoder emits
+    FrameRoundTrip,       //!< decode(encode(t)) does not reproduce t
+    FrameCorruptionUndetected, //!< a bit flip/truncation passes the CRC
+    RetxWindowBounds,     //!< retransmit window/payload bounds broken
 };
 
 const char *lintCheckName(LintCheck check);
@@ -133,6 +142,13 @@ struct ProtocolTables
     unsigned maxFuseDepth = 0;
     /** Width of the FusedDigest count field in bits. */
     unsigned digestCountBits = 0;
+    // Resilient-link frame layout and recovery bounds (link/frame.h,
+    // link/channel.h).
+    u32 frameMagic = 0;
+    size_t frameHeaderBytes = 0;
+    size_t frameTrailerBytes = 0;
+    size_t maxFramePayloadBytes = 0;
+    size_t retxWindowFrames = 0;
     /** Mux-tree slot assignment (type-level compaction crossbar). */
     std::vector<MuxSlot> muxSlots;
     /** Per-type REF mutation domains (the analyzer's checking model). */

@@ -98,6 +98,14 @@ CoSimulator::CoSimulator(const CosimConfig &config,
         config_.platform,
         config_.platform.dutOnlyHz(config_.dut.gatesMillions),
         config_.nonBlocking);
+    link::LinkFaultConfig faults = config_.linkFaults;
+    if (faults.seed == 0) {
+        // Derive a distinct, deterministic injector stream from the run
+        // seed (golden-ratio mix; | 1 keeps the xorshift state nonzero).
+        faults.seed = (config_.seed * 0x9E3779B97F4A7C15ull) | 1;
+    }
+    channel_ = std::make_unique<link::ResilientChannel>(faults,
+                                                        link_.get());
     emitCounters_.assign(config_.dut.cores, 0);
     bool mmio_sync = config_.dut.enabled(EventType::MmioEvent);
     for (unsigned c = 0; c < config_.dut.cores; ++c) {
@@ -154,6 +162,8 @@ CoSimulator::allGoodTrap() const
 void
 CoSimulator::feedChecker(const Event &event)
 {
+    if (checkedTap_)
+        checkedTap_(event);
     checker::CoreChecker &chk = *checkers_[event.core];
     if (chk.failed())
         return;
@@ -205,8 +215,32 @@ void
 CoSimulator::processTransfer(const Transfer &transfer)
 {
     obs::ScopedSpan span(swTrace_, "sw_transfer");
+    if (linkFailed_)
+        return; // channel already failed: drop run-ahead transfers
+
+    // Cross the resilient link: framing, fault injection and the whole
+    // NAK/timeout/retransmit exchange run synchronously here, at the
+    // HW->SW handoff, so serial and threaded runs see identical fault
+    // patterns. On a fault-free link this is a frame+CRC round trip.
+    if (!channel_->transmit(transfer, linkScratch_)) {
+        // Unrecoverable-fault budget exhausted: stop with a structured
+        // degraded result instead of aborting.
+        dth_warn("link channel failed; stopping run: %s",
+                 channel_->report().describe().c_str());
+        linkFailed_ = true;
+        return;
+    }
+
     unpackScratch_.clear();
-    unpacker_->unpackInto(transfer, unpackScratch_);
+    if (!unpacker_->unpackInto(linkScratch_, unpackScratch_)) {
+        // The channel delivered a CRC-intact frame that still failed to
+        // parse: the payload was malformed at the source. Surface it as
+        // a degraded run, not an abort.
+        dth_warn("unpack of delivered transfer failed: %s",
+                 unpacker_->error().c_str());
+        linkFailed_ = true;
+        return;
+    }
 
     u64 instrs_before = 0, events_before = 0;
     for (const auto &c : checkers_) {
@@ -268,6 +302,9 @@ CoSimulator::run(u64 max_cycles)
 {
     lastEmitCycle_ = 0;
     swCycle_ = 0;
+    // A channel that failed in a previous run stays dead (its endpoints
+    // lost protocol state); a healthy one carries its sequence space on.
+    linkFailed_ = channel_->failed();
     // Per-run reset: a reused CoSimulator must not accumulate host
     // telemetry across run() invocations (host.threads once read 2, 4,
     // 6... from a reused instance).
@@ -302,7 +339,8 @@ CoSimulator::runSerial(u64 max_cycles)
     obs::ScopedSpan span(hwTrace_, "serial_loop");
     std::vector<Transfer> transfers;
 
-    while (!dut_->done() && dut_->cycles() < max_cycles && !anyFailed()) {
+    while (!dut_->done() && dut_->cycles() < max_cycles && !anyFailed() &&
+           !linkFailed_) {
         CycleEvents ce = dut_->cycle();
         swCycle_ = dut_->cycles();
         if (monitorTap_)
@@ -319,7 +357,7 @@ CoSimulator::runSerial(u64 max_cycles)
 
     // Drain: flush open fusion windows and partial packets, then feed
     // everything that is still buffered on the software side.
-    if (!anyFailed()) {
+    if (!anyFailed() && !linkFailed_) {
         swCycle_ = dut_->cycles();
         if (squash_) {
             squash_->finish(squashScratch_);
@@ -361,6 +399,15 @@ CoSimulator::finishResult(u64 cycles, u64 instrs,
     result.verified = !anyFailed();
     result.replayRan = replayRan_;
     result.replayComplete = replayComplete_;
+    result.linkReport = channel_->report();
+    result.linkDegradeLevel = result.linkReport.degradeLevel;
+    result.linkDegraded = result.linkDegradeLevel >= 1 || linkFailed_;
+    if (linkFailed_ || result.linkReport.failed()) {
+        // A failed channel means the event stream was cut short: the
+        // run cannot claim verification.
+        result.verified = false;
+        result.goodTrap = false;
+    }
     for (const auto &c : checkers_) {
         if (c->failed()) {
             result.mismatch = c->report();
@@ -389,6 +436,7 @@ CoSimulator::finishResult(u64 cycles, u64 instrs,
         merged.merge(c->counters());
     merged.merge(reorderer_->counters());
     merged.merge(link_->counters());
+    merged.merge(channel_->counters());
     merged.merge(hostSheet_);
     result.counters = merged.snapshot();
     const obs::StatSnapshot &pc = result.counters;

@@ -28,6 +28,7 @@
 #include "common/spsc_ring.h"
 #include "cosim/host_pipeline.h"
 #include "dut/dut.h"
+#include "link/channel.h"
 #include "link/link_sim.h"
 #include "obs/stats.h"
 #include "obs/trace_log.h"
@@ -68,6 +69,15 @@ struct CosimConfig
     u64 seed = 0xD1FF;
 
     /**
+     * Link fault injection and recovery knobs. Disabled by default;
+     * when enabled, every transfer crosses the framed resilient channel
+     * (CRC32 + sequence tracking, NAK/timeout retransmission, graceful
+     * degradation — link/channel.h). A linkFaults.seed of 0 derives the
+     * injector stream from the run seed.
+     */
+    link::LinkFaultConfig linkFaults;
+
+    /**
      * Host execution model (orthogonal to the modeled-link `nonBlocking`
      * flag): 0 or 1 runs the whole pipeline serially on the calling
      * thread (the default); >= 2 runs a real two-stage pipeline — a
@@ -106,6 +116,13 @@ struct CosimResult
     bool replayRan = false;
     bool replayComplete = false;
 
+    // Link health (the resilient channel's verdict).
+    /** The channel left nominal operation (fallback engaged or worse). */
+    bool linkDegraded = false;
+    /** 0 nominal, 1 blocking fallback engaged, 2 failed (run stopped). */
+    unsigned linkDegradeLevel = 0;
+    link::ChannelReport linkReport;
+
     // Communication statistics.
     double invokesPerCycle = 0;
     double bytesPerCycle = 0;
@@ -135,6 +152,15 @@ class CoSimulator
     setMonitorTap(std::function<void(const CycleEvents &)> tap)
     {
         monitorTap_ = std::move(tap);
+    }
+
+    /** Observe every event as it reaches the checkers, in checking
+     *  order (the chaos equivalence tests digest this stream). Runs on
+     *  the software side — the consumer thread in threaded mode. */
+    void
+    setCheckedTap(std::function<void(const Event &)> tap)
+    {
+        checkedTap_ = std::move(tap);
     }
 
     /** Run until trap, mismatch, or @p max_cycles. */
@@ -186,12 +212,14 @@ class CoSimulator
     std::unique_ptr<Reorderer> reorderer_;
     std::unique_ptr<replay::ReplayBuffer> replayBuffer_;
     std::unique_ptr<link::LinkSimulator> link_;
+    std::unique_ptr<link::ResilientChannel> channel_;
     std::vector<std::unique_ptr<checker::CoreChecker>> checkers_;
 
     bool replayRan_ = false;
     bool replayComplete_ = false;
     std::vector<u64> emitCounters_;
     std::function<void(const CycleEvents &)> monitorTap_;
+    std::function<void(const Event &)> checkedTap_;
 
     // Hardware-side state shared by both run drivers.
     u64 lastEmitCycle_ = 0;
@@ -200,6 +228,11 @@ class CoSimulator
     // Software-side scratch (single software thread in either mode).
     std::vector<Event> unpackScratch_; //!< reused unpack output
     std::vector<Event> drainScratch_;  //!< reused reorderer drain output
+    Transfer linkScratch_;             //!< channel delivery target
+    /** The resilient channel failed (degrade level 2): the run stops
+     *  with a structured degraded result. Software-side owned; the main
+     *  thread reads it after the consumer joins. */
+    bool linkFailed_ = false;
     /** The software side's view of "now": the snapshot cycle count of
      *  the bundle being processed (threaded) or dut_->cycles() (serial).
      *  Replay retransmissions are timed against this. */

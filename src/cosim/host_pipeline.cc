@@ -10,9 +10,10 @@
  *   producer only:  dut_, squash_, packer_, emitCounters_,
  *                   lastEmitCycle_, squashScratch_, hwTele_
  *   consumer only:  unpacker_, completer_, reorderer_, checkers_, link_,
- *                   replayBuffer_, unpackScratch_, drainScratch_,
- *                   swCycle_, replayRan_, replayComplete_, failSnapshot_,
- *                   failSnapshotValid_, swTele_
+ *                   channel_, linkScratch_, linkFailed_, replayBuffer_,
+ *                   unpackScratch_, drainScratch_, swCycle_, replayRan_,
+ *                   replayComplete_, failSnapshot_, failSnapshotValid_,
+ *                   swTele_
  *   shared atomics: the ring, swFailed_, swCaughtUp_
  * The join() in runThreaded orders everything for the main thread's
  * result assembly.
@@ -199,12 +200,13 @@ CoSimulator::swConsumerLoop()
         ++swTele_.items;
 
         bool final = bundle->kind == CycleBundle::Kind::Final;
-        if (anyFailed()) {
-            // First failure: freeze the hardware statistics at the
-            // boundary that emitted the fatal transfer (a failure can
-            // only appear on a transfer-carrying bundle, which always
-            // has a snapshot) and discard the run-ahead bundles behind
-            // this one, exactly as the serial driver never creates them.
+        if (anyFailed() || linkFailed_) {
+            // First failure — checker mismatch or resilient-channel
+            // death: freeze the hardware statistics at the boundary
+            // that emitted the fatal transfer (a failure can only
+            // appear on a transfer-carrying bundle, which always has a
+            // snapshot) and discard the run-ahead bundles behind this
+            // one, exactly as the serial driver never creates them.
             if (bundle->hasSnapshot) {
                 failSnapshot_ = bundle->snapshot;
                 failSnapshotValid_ = true;

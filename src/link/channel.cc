@@ -1,0 +1,232 @@
+#include "link/channel.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dth::link {
+
+std::string
+ChannelReport::describe() const
+{
+    std::ostringstream os;
+    os << "link channel: degrade level " << degradeLevel << " ("
+       << (degradeLevel == 0   ? "nominal"
+           : degradeLevel == 1 ? "blocking fallback engaged"
+                               : "failed")
+       << "), " << frames << " frames, " << faultsInjected
+       << " faults injected, " << naksSent << " NAKs, " << retxFrames
+       << " retransmissions, " << timeouts << " timeouts, " << staleDiscards
+       << " stale discards, " << fallbacks << " fallback deliveries, "
+       << unrecovered << " unrecoverable";
+    return os.str();
+}
+
+ResilientChannel::ResilientChannel(const LinkFaultConfig &config,
+                                   LinkSimulator *timing,
+                                   size_t retx_window_frames)
+    : config_(config), timing_(timing), injector_(config),
+      retx_(counters_, retx_window_frames)
+{
+    stat_.frames = counters_.sum("link.frames");
+    stat_.frameBytes = counters_.sum("link.frame_bytes");
+    stat_.faultInjected = counters_.sum("link.fault.injected");
+    stat_.faultBitflip = counters_.sum("link.fault.bitflip");
+    stat_.faultTruncate = counters_.sum("link.fault.truncate");
+    stat_.faultDrop = counters_.sum("link.fault.drop");
+    stat_.faultDuplicate = counters_.sum("link.fault.duplicate");
+    stat_.faultReorder = counters_.sum("link.fault.reorder");
+    stat_.faultStall = counters_.sum("link.fault.stall");
+    stat_.nakSent = counters_.sum("link.nak.sent");
+    stat_.retxFrames = counters_.sum("link.retx.frames");
+    stat_.retxBytes = counters_.sum("link.retx.bytes");
+    stat_.retxTimeouts = counters_.sum("link.retx.timeouts");
+    stat_.retxFallbacks = counters_.sum("link.retx.fallbacks");
+    stat_.retxUnrecovered = counters_.sum("link.retx.unrecovered");
+    stat_.staleDiscards = counters_.sum("link.stale_discards");
+    stat_.degradeLevel = counters_.gauge("link.degrade_level");
+    stat_.retxAttempts = counters_.hist("link.retx.attempts");
+
+    // Touch everything so the observability schema is independent of
+    // which faults a given run happens to hit.
+    counters_.add(stat_.frames, 0);
+    counters_.add(stat_.frameBytes, 0);
+    counters_.add(stat_.faultInjected, 0);
+    counters_.add(stat_.faultBitflip, 0);
+    counters_.add(stat_.faultTruncate, 0);
+    counters_.add(stat_.faultDrop, 0);
+    counters_.add(stat_.faultDuplicate, 0);
+    counters_.add(stat_.faultReorder, 0);
+    counters_.add(stat_.faultStall, 0);
+    counters_.add(stat_.nakSent, 0);
+    counters_.add(stat_.retxFrames, 0);
+    counters_.add(stat_.retxBytes, 0);
+    counters_.add(stat_.retxTimeouts, 0);
+    counters_.add(stat_.retxFallbacks, 0);
+    counters_.add(stat_.retxUnrecovered, 0);
+    counters_.add(stat_.staleDiscards, 0);
+    counters_.set(stat_.degradeLevel, 0);
+}
+
+double
+ResilientChannel::timeoutSec(unsigned attempt) const
+{
+    unsigned exp = std::min(attempt, config_.maxBackoffExp);
+    return config_.retxTimeoutSec * static_cast<double>(1ull << exp);
+}
+
+void
+ResilientChannel::chargeDelay(double sec)
+{
+    if (timing_)
+        timing_->onRecoveryDelay(sec);
+}
+
+void
+ResilientChannel::setDegradeLevel(unsigned level)
+{
+    if (level <= degradeLevel_)
+        return;
+    degradeLevel_ = level;
+    counters_.set(stat_.degradeLevel, level);
+}
+
+void
+ResilientChannel::countInjection(const Injection &inj)
+{
+    if (!inj.any())
+        return;
+    if (inj.dropped) {
+        counters_.add(stat_.faultDrop);
+        counters_.add(stat_.faultInjected);
+    }
+    if (inj.stalled) {
+        counters_.add(stat_.faultStall);
+        counters_.add(stat_.faultInjected);
+    }
+    if (inj.reordered) {
+        counters_.add(stat_.faultReorder);
+        counters_.add(stat_.faultInjected);
+    }
+    if (inj.duplicated) {
+        counters_.add(stat_.faultDuplicate);
+        counters_.add(stat_.faultInjected);
+    }
+    if (inj.bitFlips > 0) {
+        counters_.add(stat_.faultBitflip);
+        counters_.add(stat_.faultInjected);
+    }
+    if (inj.truncatedTo > 0 || (inj.corrupted && inj.bitFlips == 0)) {
+        counters_.add(stat_.faultTruncate);
+        counters_.add(stat_.faultInjected);
+    }
+}
+
+bool
+ResilientChannel::transmit(const Transfer &in, Transfer &out)
+{
+    if (failed())
+        return false;
+
+    frameScratch_.clear();
+    u32 seq = encoder_.encode(in, frameScratch_);
+    retx_.record(seq, frameScratch_);
+    counters_.add(stat_.frames);
+    counters_.add(stat_.frameBytes, frameScratch_.size());
+
+    for (unsigned attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+        if (attempt == 0) {
+            attemptScratch_ = frameScratch_;
+        } else {
+            const std::vector<u8> *stored = retx_.request(seq);
+            if (stored == nullptr)
+                break; // evicted from the window: unrecoverable
+            attemptScratch_ = *stored;
+            counters_.add(stat_.retxFrames);
+            counters_.add(stat_.retxBytes, stored->size());
+            if (timing_)
+                timing_->onRetransmit(stored->size());
+        }
+
+        Injection inj = injector_.mangle(attemptScratch_);
+        countInjection(inj);
+
+        if (inj.lost()) {
+            // Nothing timely arrives: the receiver's per-transfer timer
+            // fires after the (backed-off) timeout and we go again. A
+            // reordered frame eventually arrives behind its successor
+            // and is discarded as stale by the sequence tracker.
+            counters_.add(stat_.retxTimeouts);
+            chargeDelay(timeoutSec(attempt));
+            if (inj.reordered)
+                counters_.add(stat_.staleDiscards);
+            continue;
+        }
+
+        FaultReport report = decoder_.accept(attemptScratch_, out);
+        if (!report.ok()) {
+            // Corrupt arrival: the receiver NAKs immediately, which is
+            // much cheaper than waiting out the timeout.
+            counters_.add(stat_.nakSent);
+            chargeDelay(config_.nakSec);
+            continue;
+        }
+
+        if (inj.duplicated) {
+            // The second copy lands behind the now-advanced delivered
+            // prefix; the sequence tracker classifies it stale.
+            FaultReport dup = decoder_.accept(attemptScratch_, dupScratch_);
+            if (dup.fault == FrameFault::SeqStale)
+                counters_.add(stat_.staleDiscards);
+        }
+
+        retx_.release(seq);
+        counters_.observe(stat_.retxAttempts, attempt);
+        return true;
+    }
+
+    // Unrecoverable at the link level: maxAttempts exhausted or the
+    // frame fell out of the retransmit window.
+    counters_.add(stat_.retxUnrecovered);
+    ++unrecovered_;
+    const std::vector<u8> *stored = retx_.request(seq);
+    if (unrecovered_ > config_.unrecoverableBudget || stored == nullptr) {
+        setDegradeLevel(2);
+        return false;
+    }
+
+    // Degraded blocking handshake: both endpoints drop to the verified
+    // slow path and move the frame intact, at a heavy modeled-time
+    // penalty (the full backed-off timeout ladder plus one exchange).
+    setDegradeLevel(1);
+    counters_.add(stat_.retxFallbacks);
+    chargeDelay(timeoutSec(config_.maxBackoffExp) * 2.0);
+    attemptScratch_ = *stored;
+    FaultReport report = decoder_.accept(attemptScratch_, out);
+    if (!report.ok()) {
+        // The stored image itself fails validation — nothing left to
+        // serve; the channel is dead.
+        setDegradeLevel(2);
+        return false;
+    }
+    retx_.release(seq);
+    counters_.observe(stat_.retxAttempts, config_.maxAttempts);
+    return true;
+}
+
+ChannelReport
+ResilientChannel::report() const
+{
+    ChannelReport rep;
+    rep.degradeLevel = degradeLevel_;
+    rep.frames = counters_.value(stat_.frames);
+    rep.faultsInjected = counters_.value(stat_.faultInjected);
+    rep.naksSent = counters_.value(stat_.nakSent);
+    rep.retxFrames = counters_.value(stat_.retxFrames);
+    rep.timeouts = counters_.value(stat_.retxTimeouts);
+    rep.staleDiscards = counters_.value(stat_.staleDiscards);
+    rep.fallbacks = counters_.value(stat_.retxFallbacks);
+    rep.unrecovered = counters_.value(stat_.retxUnrecovered);
+    return rep;
+}
+
+} // namespace dth::link

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The resilient transport channel between the hardware-side packer and
+ * the host-side unpacker. It models both link endpoints and the wire:
+ *
+ *   TX: frame (seq + CRC32, link/frame.h) -> retransmit window
+ *       (replay/retransmit.h, the Replay token machinery over frames)
+ *   wire: LinkFaultInjector mangles each transmission attempt
+ *   RX: FrameDecoder validates magic/length/CRC and tracks sequence
+ *       numbers; violations raise a NAK, silence raises a timeout
+ *
+ * Recovery ladder (DESIGN.md §9):
+ *   1. NAK/timeout -> retransmit from the window, with per-transfer
+ *      timeouts and capped exponential backoff, up to maxAttempts.
+ *   2. A frame still undelivered after maxAttempts (or evicted from the
+ *      window) is an *unrecoverable* link fault: the endpoints fall
+ *      back to the verified blocking handshake, which delivers the
+ *      frame intact at a large modeled time penalty (degrade level 1).
+ *   3. More unrecoverable faults than the configured budget fail the
+ *      channel (degrade level 2): transmit() returns false and the
+ *      co-simulator surfaces a structured degraded result — never an
+ *      abort.
+ *
+ * The whole exchange for one transfer runs synchronously at the
+ * HW->SW handoff point (the consumer thread in the threaded runtime),
+ * so a chaos run is bit-deterministic across host runtimes: the fault
+ * pattern is a pure function of the seed and the transfer order, and a
+ * recovered run's delivered stream is bit-identical to a fault-free
+ * run's.
+ */
+
+#ifndef DTH_LINK_CHANNEL_H_
+#define DTH_LINK_CHANNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "link/fault_injector.h"
+#include "link/frame.h"
+#include "link/link_sim.h"
+#include "obs/stats.h"
+#include "replay/retransmit.h"
+
+namespace dth::link {
+
+/** Un-acked frames the TX window retains. Must cover the in-flight
+ *  bound (dth_lint: retx-window-bounds). */
+inline constexpr size_t kDefaultRetxWindowFrames = 1024;
+
+/** Structured channel health for the run result. */
+struct ChannelReport
+{
+    /** 0 = nominal, 1 = blocking fallback engaged, 2 = failed. */
+    unsigned degradeLevel = 0;
+    u64 frames = 0;         //!< transfers framed and sent
+    u64 faultsInjected = 0; //!< individual fault events fired
+    u64 naksSent = 0;       //!< corrupt arrivals bounced back
+    u64 retxFrames = 0;     //!< retransmissions served from the window
+    u64 timeouts = 0;       //!< silent losses recovered by timeout
+    u64 staleDiscards = 0;  //!< duplicate/late frames discarded
+    u64 fallbacks = 0;      //!< degraded blocking-handshake deliveries
+    u64 unrecovered = 0;    //!< frames past maxAttempts
+
+    bool failed() const { return degradeLevel >= 2; }
+    std::string describe() const;
+};
+
+/** The TX+wire+RX endpoint-pair model (see file comment). */
+class ResilientChannel
+{
+  public:
+    /**
+     * @param config fault rates and recovery knobs
+     * @param timing modeled-time ledger charged for retransmissions,
+     *        timeouts and fallback handshakes (may be null in tests)
+     * @param retx_window_frames TX retransmit-window bound
+     */
+    ResilientChannel(const LinkFaultConfig &config, LinkSimulator *timing,
+                     size_t retx_window_frames = kDefaultRetxWindowFrames);
+
+    /**
+     * Move one packed transfer across the lossy link. On success @p out
+     * is bit-identical to @p in (payload and issue cycle) and true is
+     * returned. False means the channel has failed (degrade level 2):
+     * the caller must stop the run and surface report().
+     */
+    bool transmit(const Transfer &in, Transfer &out);
+
+    bool failed() const { return degradeLevel_ >= 2; }
+    unsigned degradeLevel() const { return degradeLevel_; }
+
+    ChannelReport report() const;
+    obs::StatSheet &counters() { return counters_; }
+
+  private:
+    double timeoutSec(unsigned attempt) const;
+    void chargeDelay(double sec);
+    void setDegradeLevel(unsigned level);
+    void countInjection(const Injection &inj);
+
+    LinkFaultConfig config_;
+    LinkSimulator *timing_;
+    FrameEncoder encoder_;
+    FrameDecoder decoder_;
+    LinkFaultInjector injector_;
+
+    obs::StatSheet counters_;
+    replay::RetransmitBuffer retx_; //!< registers on counters_
+
+    unsigned degradeLevel_ = 0;
+    u64 unrecovered_ = 0;
+
+    // Per-transfer scratch: the pristine frame and the mangled attempt
+    // image (steady state allocates nothing).
+    std::vector<u8> frameScratch_;
+    std::vector<u8> attemptScratch_;
+    Transfer dupScratch_; //!< duplicate-arrival decode target
+
+    struct
+    {
+        obs::StatId frames;
+        obs::StatId frameBytes;
+        obs::StatId faultInjected;
+        obs::StatId faultBitflip;
+        obs::StatId faultTruncate;
+        obs::StatId faultDrop;
+        obs::StatId faultDuplicate;
+        obs::StatId faultReorder;
+        obs::StatId faultStall;
+        obs::StatId nakSent;
+        obs::StatId retxFrames;
+        obs::StatId retxBytes;
+        obs::StatId retxTimeouts;
+        obs::StatId retxFallbacks;
+        obs::StatId retxUnrecovered;
+        obs::StatId staleDiscards;
+        obs::StatId degradeLevel;
+        obs::HistId retxAttempts;
+    } stat_;
+};
+
+} // namespace dth::link
+
+#endif // DTH_LINK_CHANNEL_H_

@@ -1,0 +1,59 @@
+#include "link/fault_injector.h"
+
+#include <algorithm>
+
+namespace dth::link {
+
+LinkFaultConfig
+LinkFaultConfig::allKinds(double rate, u64 seed)
+{
+    LinkFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.bitFlipRate = rate;
+    cfg.truncateRate = rate;
+    cfg.dropRate = rate;
+    cfg.duplicateRate = rate;
+    cfg.reorderRate = rate;
+    cfg.stallRate = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+Injection
+LinkFaultInjector::mangle(std::vector<u8> &wire)
+{
+    Injection inj;
+    if (!config_.enabled || wire.empty())
+        return inj;
+
+    // Fixed draw order keeps the fault pattern a pure function of the
+    // seed and the attempt index, independent of which faults fire.
+    inj.dropped = rng_.chance(config_.dropRate);
+    inj.stalled = rng_.chance(config_.stallRate);
+    inj.reordered = rng_.chance(config_.reorderRate);
+    inj.duplicated = rng_.chance(config_.duplicateRate);
+    bool flip = rng_.chance(config_.bitFlipRate);
+    bool truncate = rng_.chance(config_.truncateRate);
+
+    if (inj.lost())
+        return inj; // the wire image never reaches the receiver
+
+    if (flip) {
+        inj.bitFlips = 1 + static_cast<unsigned>(rng_.nextBelow(3));
+        for (unsigned i = 0; i < inj.bitFlips; ++i) {
+            size_t byte = rng_.nextBelow(wire.size());
+            wire[byte] ^= static_cast<u8>(1u << rng_.nextBelow(8));
+        }
+        inj.corrupted = true;
+    }
+    if (truncate) {
+        // Short DMA burst: keep a random prefix (possibly empty).
+        size_t keep = rng_.nextBelow(wire.size());
+        wire.resize(keep);
+        inj.truncatedTo = keep;
+        inj.corrupted = true;
+    }
+    return inj;
+}
+
+} // namespace dth::link

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic link-fault injection for the resilient transport. The
+ * injector models the corruption modes real hardware links exhibit —
+ * bit flips, truncated DMA bursts, dropped/duplicated/reordered
+ * packets and stalled endpoints — as seeded Bernoulli draws per
+ * transmission attempt, so any chaos run is exactly reproducible and
+ * bit-identical between the serial and threaded host runtimes.
+ */
+
+#ifndef DTH_LINK_FAULT_INJECTOR_H_
+#define DTH_LINK_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dth::link {
+
+/** Fault-injection and recovery-protocol knobs (CosimConfig::linkFaults). */
+struct LinkFaultConfig
+{
+    /** Master switch; when false the link is perfect (frames still carry
+     *  CRC + sequence numbers, nothing is ever corrupted). */
+    bool enabled = false;
+
+    // Per-attempt fault probabilities, drawn independently.
+    double bitFlipRate = 0;   //!< flip 1-3 random bits in the frame
+    double truncateRate = 0;  //!< short DMA burst: drop the frame's tail
+    double dropRate = 0;      //!< frame vanishes entirely
+    double duplicateRate = 0; //!< frame arrives twice
+    double reorderRate = 0;   //!< frame overtaken by its successor
+    double stallRate = 0;     //!< endpoint stops responding (timeout)
+
+    /** Injector stream seed; 0 derives one from CosimConfig::seed. */
+    u64 seed = 0;
+
+    /** Delivery attempts per frame (first send + retransmissions)
+     *  before the fault counts as unrecoverable. */
+    unsigned maxAttempts = 8;
+    /** Unrecoverable faults tolerated (served via the degraded blocking
+     *  handshake) before the channel fails the run. */
+    unsigned unrecoverableBudget = 4;
+    /** Base retransmission timeout; backoff doubles it per attempt. */
+    double retxTimeoutSec = 50e-6;
+    /** Exponential-backoff cap: timeout <= base * 2^maxBackoffExp. */
+    unsigned maxBackoffExp = 5;
+    /** NAK turnaround cost (detected corruption, no timeout needed). */
+    double nakSec = 5e-6;
+
+    /** Convenience: enable every fault kind at @p rate. */
+    static LinkFaultConfig allKinds(double rate, u64 seed);
+};
+
+/** One injection decision for a transmission attempt. */
+struct Injection
+{
+    bool dropped = false;    //!< nothing arrives; receiver times out
+    bool stalled = false;    //!< endpoint stall; receiver times out
+    bool reordered = false;  //!< arrives late, behind its successor
+    bool duplicated = false; //!< a second (stale) copy arrives
+    unsigned bitFlips = 0;   //!< bits flipped in the wire image
+    size_t truncatedTo = 0;  //!< wire size after truncation (0 = intact)
+    bool corrupted = false;  //!< bitFlips or truncation applied
+
+    /** The receiver never sees a timely, intact frame. */
+    bool
+    lost() const
+    {
+        return dropped || stalled || reordered;
+    }
+
+    bool
+    any() const
+    {
+        return lost() || duplicated || corrupted;
+    }
+};
+
+/**
+ * Seeded fault source. mangle() mutates a framed wire image in place
+ * and reports what it did; the draw order is fixed (drop, stall,
+ * reorder, duplicate, bit flip, truncate) so one seed always yields one
+ * fault pattern regardless of the host runtime.
+ */
+class LinkFaultInjector
+{
+  public:
+    explicit LinkFaultInjector(const LinkFaultConfig &config)
+        : config_(config), rng_(config.seed ? config.seed : 1)
+    {}
+
+    /** Decide and apply the faults for one transmission attempt. */
+    Injection mangle(std::vector<u8> &wire);
+
+    const LinkFaultConfig &config() const { return config_; }
+
+  private:
+    LinkFaultConfig config_;
+    Rng rng_;
+};
+
+} // namespace dth::link
+
+#endif // DTH_LINK_FAULT_INJECTOR_H_

@@ -1,0 +1,146 @@
+#include "link/frame.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/bytes.h"
+
+namespace dth::link {
+
+namespace {
+
+/** Reflected CRC-32 lookup table for poly 0xEDB88320. */
+constexpr std::array<u32, 256>
+makeCrcTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<u32, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+u32
+crc32(std::span<const u8> data)
+{
+    u32 c = 0xFFFFFFFFu;
+    for (u8 byte : data)
+        c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+const char *
+frameFaultName(FrameFault fault)
+{
+    switch (fault) {
+      case FrameFault::None: return "none";
+      case FrameFault::Truncated: return "truncated";
+      case FrameFault::BadMagic: return "bad-magic";
+      case FrameFault::BadLength: return "bad-length";
+      case FrameFault::BadCrc: return "bad-crc";
+      case FrameFault::SeqGap: return "seq-gap";
+      case FrameFault::SeqStale: return "seq-stale";
+    }
+    return "?";
+}
+
+std::string
+FaultReport::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "frame fault %s (seq %u, %zu bytes)",
+                  frameFaultName(fault), seq, wireBytes);
+    return buf;
+}
+
+void
+FrameEncoder::encodeAs(const Transfer &transfer, u32 seq,
+                       std::vector<u8> &out)
+{
+    size_t base = out.size();
+    ByteWriter w(&out);
+    w.reserve(kFrameOverheadBytes + transfer.bytes.size());
+    w.putU32(kFrameMagic);
+    w.putU32(seq);
+    w.putU32(static_cast<u32>(transfer.bytes.size()));
+    w.putU64(transfer.issueCycle);
+    w.putBytes(transfer.bytes.data(), transfer.bytes.size());
+    // The CRC covers everything after the magic.
+    u32 crc = crc32(std::span<const u8>(out.data() + base + 4,
+                                        out.size() - base - 4));
+    w.putU32(crc);
+}
+
+FaultReport
+FrameDecoder::decodeFrame(std::span<const u8> wire, Transfer &out,
+                          u32 *seq_out)
+{
+    FaultReport report;
+    report.wireBytes = wire.size();
+    if (seq_out)
+        *seq_out = 0;
+    if (wire.size() < kFrameOverheadBytes) {
+        report.fault = FrameFault::Truncated;
+        return report;
+    }
+    ByteReader r(wire, ByteReader::OnUnderrun::Fail);
+    u32 magic = r.getU32();
+    u32 seq = r.getU32();
+    u32 len = r.getU32();
+    u64 issue_cycle = r.getU64();
+    report.seq = seq;
+    if (seq_out)
+        *seq_out = seq;
+    if (magic != kFrameMagic) {
+        report.fault = FrameFault::BadMagic;
+        return report;
+    }
+    if (len > kMaxFramePayloadBytes) {
+        report.fault = FrameFault::BadLength;
+        return report;
+    }
+    if (wire.size() != kFrameOverheadBytes + len) {
+        report.fault = FrameFault::Truncated;
+        return report;
+    }
+    auto payload = r.getBytes(len);
+    u32 wire_crc = r.getU32();
+    u32 computed = crc32(wire.subspan(4, kFrameHeaderBytes - 4 + len));
+    if (r.failed() || wire_crc != computed) {
+        report.fault = FrameFault::BadCrc;
+        return report;
+    }
+    out.issueCycle = issue_cycle;
+    out.bytes.assign(payload.begin(), payload.end());
+    return report;
+}
+
+FaultReport
+FrameDecoder::accept(std::span<const u8> wire, Transfer &out)
+{
+    u32 seq = 0;
+    FaultReport report = decodeFrame(wire, out, &seq);
+    if (!report.ok())
+        return report;
+    // Sequence tracking against the delivered prefix. Comparisons are
+    // wrap-safe: a frame is stale when it is at most half the sequence
+    // space behind the expectation.
+    if (seq != expected_) {
+        i32 delta = static_cast<i32>(seq - expected_);
+        report.fault =
+            delta < 0 ? FrameFault::SeqStale : FrameFault::SeqGap;
+        return report;
+    }
+    ++expected_;
+    ++delivered_;
+    return report;
+}
+
+} // namespace dth::link

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The resilient transport's framed link format. Every Transfer the
+ * hardware-side packer emits is wrapped in one frame before it crosses
+ * the modeled DMA/PCIe link:
+ *
+ *   offset  size  field
+ *   0       4     magic (kFrameMagic, little-endian)
+ *   4       4     sequence number (per-link, monotonically increasing)
+ *   8       4     payload length in bytes
+ *   12      8     issue cycle (the Transfer's hardware timestamp)
+ *   20      len   payload (the packed Transfer bytes, verbatim)
+ *   20+len  4     CRC32 trailer over bytes [4, 20+len)
+ *
+ * The CRC covers everything after the magic — sequence, length, issue
+ * cycle and payload — so any bit flip or truncation that survives the
+ * magic/length checks is caught by the trailer. Real Palladium/VU19P
+ * deployments see exactly these corruptions (flipped bits, short DMA
+ * bursts, duplicated and reordered transfers); the decoder classifies
+ * each one as a FrameFault instead of aborting, and the recovery
+ * protocol in link/channel.h turns the fault into a NAK/retransmit
+ * exchange. tests/frame_test.cc fuzzes every single-bit flip and every
+ * truncation length against the decoder.
+ */
+
+#ifndef DTH_LINK_FRAME_H_
+#define DTH_LINK_FRAME_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pack/wire.h"
+
+namespace dth::link {
+
+/** Frame boundary marker; deliberately not byte-repetitive so a frame
+ *  of zeros (a common truncated-DMA fill pattern) can never alias it. */
+inline constexpr u32 kFrameMagic = 0xD1F7E57Au;
+
+/** magic + seq + payloadLen + issueCycle. */
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
+
+/** CRC32 over [4, header+payload). */
+inline constexpr size_t kFrameTrailerBytes = 4;
+
+/** Frame overhead added to every transfer payload. */
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameTrailerBytes;
+
+/** Payloads are length-prefixed with a u32; bound it well below that so
+ *  a corrupt length field can never drive a multi-GB allocation. */
+inline constexpr u32 kMaxFramePayloadBytes = 1u << 24;
+
+/** CRC-32 (IEEE 802.3, reflected poly 0xEDB88320), the standard
+ *  Ethernet/zlib checksum. crc32("123456789") == 0xCBF43926. */
+u32 crc32(std::span<const u8> data);
+
+/** How a received frame can be bad. */
+enum class FrameFault : u8 {
+    None = 0,
+    Truncated,    //!< fewer bytes than header + declared payload + CRC
+    BadMagic,     //!< frame boundary marker corrupted
+    BadLength,    //!< declared payload length exceeds the sane bound
+    BadCrc,       //!< CRC32 trailer mismatch (bit flip in transit)
+    SeqGap,       //!< sequence jumped forward: frames were lost
+    SeqStale,     //!< sequence at/behind the delivered prefix (duplicate)
+};
+
+const char *frameFaultName(FrameFault fault);
+
+/** Structured verdict for one received frame. Corruption yields a
+ *  report, never an abort (tests/frame_test.cc fuzzes this). */
+struct FaultReport
+{
+    FrameFault fault = FrameFault::None;
+    /** Sequence number involved, when one could be recovered. */
+    u32 seq = 0;
+    /** Bytes received. */
+    size_t wireBytes = 0;
+
+    bool ok() const { return fault == FrameFault::None; }
+    std::string describe() const;
+};
+
+/**
+ * Hardware-side frame writer: stamps consecutive sequence numbers and
+ * appends the CRC32 trailer. encode() appends to @p out so callers can
+ * reuse one wire buffer across frames (allocation-free steady state).
+ */
+class FrameEncoder
+{
+  public:
+    /** Frame @p transfer as sequence number @p seq into @p out. */
+    static void encodeAs(const Transfer &transfer, u32 seq,
+                         std::vector<u8> &out);
+
+    /** Frame @p transfer with the next sequence number (returned). */
+    u32
+    encode(const Transfer &transfer, std::vector<u8> &out)
+    {
+        u32 seq = nextSeq_++;
+        encodeAs(transfer, seq, out);
+        return seq;
+    }
+
+    u32 nextSeq() const { return nextSeq_; }
+
+  private:
+    u32 nextSeq_ = 0;
+};
+
+/**
+ * Software-side frame parser. decodeFrame() is stateless: it validates
+ * magic, length and CRC and reconstructs the Transfer. The decoder
+ * object adds sequence tracking on top: accept() classifies each
+ * structurally valid frame against the delivered prefix (gap, stale
+ * duplicate, or next-in-order).
+ */
+class FrameDecoder
+{
+  public:
+    /**
+     * Validate @p wire and reconstruct the framed transfer into @p out.
+     * Returns a structural verdict only (no sequence tracking); @p out
+     * is valid iff the report is ok(). @p seq_out receives the frame's
+     * sequence number when the header was readable.
+     */
+    static FaultReport decodeFrame(std::span<const u8> wire, Transfer &out,
+                                   u32 *seq_out);
+
+    /**
+     * Full receive path: structural validation plus sequence tracking.
+     * On None the delivered prefix advances to @p expected_ + 1.
+     */
+    FaultReport accept(std::span<const u8> wire, Transfer &out);
+
+    /** Next sequence number the link expects. */
+    u32 expectedSeq() const { return expected_; }
+
+    /** Delivered frames so far. */
+    u64 delivered() const { return delivered_; }
+
+  private:
+    u32 expected_ = 0;
+    u64 delivered_ = 0;
+};
+
+} // namespace dth::link
+
+#endif // DTH_LINK_FRAME_H_

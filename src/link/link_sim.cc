@@ -15,7 +15,9 @@ LinkSimulator::LinkSimulator(const Platform &platform, double dut_clock_hz,
     stat_.transfers = counters_.sum("link.transfers");
     stat_.bytes = counters_.sum("link.bytes");
     stat_.stallTransfers = counters_.sum("link.stall_transfers");
+    stat_.errors = counters_.sum("link.errors");
     stat_.queueDepth = counters_.hist("link.queue_depth");
+    counters_.add(stat_.errors, 0); // always present in snapshots
 }
 
 double
@@ -96,10 +98,40 @@ LinkSimulator::onTransfer(u64 issue_cycle, size_t bytes,
     }
 }
 
+void
+LinkSimulator::onRetransmit(size_t bytes)
+{
+    // The recovery path is stop-and-wait: the emulator holds while the
+    // frame crosses the link again.
+    double xmit = bytes / platform_.bwBytesPerSec;
+    hwTime_ += xmit;
+    result_.transmitSec += xmit;
+    result_.recoverySec += xmit;
+}
+
+void
+LinkSimulator::onRecoveryDelay(double sec)
+{
+    hwTime_ += sec;
+    result_.recoverySec += sec;
+}
+
 LinkResult
 LinkSimulator::finish(u64 total_cycles)
 {
-    dth_assert(total_cycles >= lastCycle_, "cycle count went backwards");
+    if (total_cycles < lastCycle_) {
+        // A cycle count that went backwards is a malformed run, not a
+        // programming error in this ledger: record it as a structured
+        // per-run error and clamp, so the caller can surface it in the
+        // run result instead of the process aborting.
+        dth_warn("link: cycle count went backwards (%llu < %llu); "
+                 "clamping",
+                 static_cast<unsigned long long>(total_cycles),
+                 static_cast<unsigned long long>(lastCycle_));
+        counters_.add(stat_.errors);
+        result_.errors += 1;
+        total_cycles = lastCycle_;
+    }
     double emul = (total_cycles - lastCycle_) / clockHz_;
     hwTime_ += emul;
     result_.hwEmulationSec += emul;

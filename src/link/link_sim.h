@@ -28,9 +28,13 @@ struct LinkResult
     double transmitSec = 0;    //!< N_bytes / BW
     double softwareSec = 0;    //!< REF + compare + parse (serial share)
     double stallSec = 0;       //!< backpressure stalls (non-blocking)
+    double recoverySec = 0;    //!< fault recovery: timeouts, NAK turns,
+                               //!< degraded blocking handshakes
 
     u64 transfers = 0;
     u64 bytes = 0;
+    u64 errors = 0; //!< structural accounting errors (non-monotonic
+                    //!< cycle counts clamped instead of aborting)
 
     double
     communicationSec() const
@@ -70,7 +74,19 @@ class LinkSimulator
     void onTransfer(u64 issue_cycle, size_t bytes,
                     const SoftwareWork &work);
 
-    /** Finish the run after @p total_cycles and return the ledger. */
+    /** Account one link-level retransmission of @p bytes framed bytes
+     *  (recovery path: the emulator is held while the frame repeats). */
+    void onRetransmit(size_t bytes);
+
+    /** Charge @p sec of recovery delay (retransmission timeout, NAK
+     *  turnaround or degraded blocking handshake) to the hardware
+     *  timeline. */
+    void onRecoveryDelay(double sec);
+
+    /** Finish the run after @p total_cycles and return the ledger. A
+     *  @p total_cycles behind the last accounted transfer is a
+     *  structural error: it is clamped and counted in link.errors /
+     *  LinkResult::errors rather than aborting the run. */
     LinkResult finish(u64 total_cycles);
 
     obs::StatSheet &counters() { return counters_; }
@@ -96,6 +112,7 @@ class LinkSimulator
         obs::StatId transfers;
         obs::StatId bytes;
         obs::StatId stallTransfers;
+        obs::StatId errors;
         obs::HistId queueDepth;
     } stat_;
 };

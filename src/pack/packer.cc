@@ -50,15 +50,53 @@ PerEventPacker::packCycle(const CycleEvents &cycle,
     }
 }
 
-void
+namespace {
+
+/**
+ * Validated event reconstruction from untrusted bytes: the type id must
+ * name a known wire type before eventInfo()/isVariableLength() may be
+ * consulted (both panic on out-of-range ids), and the Fail-mode reader
+ * must not have underrun. On failure @p out is left unchanged and
+ * @p err describes the violation.
+ */
+bool
+readEventChecked(ByteReader &r, unsigned type_id, u8 core,
+                 std::vector<Event> &out, std::string *err)
+{
+    if (type_id >= kNumWireTypes) {
+        *err = "unknown event type id " + std::to_string(type_id);
+        return false;
+    }
+    out.push_back(readEventBody(r, static_cast<EventType>(type_id), core));
+    if (r.failed()) {
+        out.pop_back();
+        *err = "event body truncated (type id " +
+               std::to_string(type_id) + ")";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
 PerEventUnpacker::unpackInto(const Transfer &transfer,
                              std::vector<Event> &out)
 {
-    ByteReader r(transfer.bytes);
-    auto type = static_cast<EventType>(r.getU8());
+    const size_t base = out.size();
+    ByteReader r(transfer.bytes, ByteReader::OnUnderrun::Fail);
+    u8 type_id = r.getU8();
     u8 core = r.getU8();
-    out.push_back(readEventBody(r, type, core));
-    dth_assert(r.atEnd(), "trailing bytes in per-event transfer");
+    if (r.failed())
+        return fail("per-event transfer shorter than its header");
+    std::string err;
+    if (!readEventChecked(r, type_id, core, out, &err))
+        return fail("per-event transfer: " + err);
+    if (!r.atEnd()) {
+        out.resize(base);
+        return fail("trailing bytes in per-event transfer");
+    }
+    return succeed();
 }
 
 // ---------------------------------------------------------------------------
@@ -200,19 +238,35 @@ FixedOffsetUnpacker::FixedOffsetUnpacker(
     : enabled_(enabled), cores_(cores)
 {}
 
-void
+bool
 FixedOffsetUnpacker::unpackInto(const Transfer &transfer,
                                 std::vector<Event> &events)
 {
+    const size_t base = events.size();
+    // On any structural violation the carry buffer is poisoned too (the
+    // frame boundary can no longer be trusted), so reset it: a fail()
+    // return from here drops all partial state, and retrying with intact
+    // bytes resynchronizes from a transfer boundary.
+    auto reject = [&](std::string msg) {
+        events.resize(base);
+        carry_.clear();
+        return fail(std::move(msg));
+    };
+
     carry_.insert(carry_.end(), transfer.bytes.begin(),
                   transfer.bytes.end());
     while (carry_.size() >= 4) {
         u32 frame_len = 0;
         for (unsigned i = 0; i < 4; ++i)
             frame_len |= static_cast<u32>(carry_[i]) << (8 * i);
+        if (frame_len < 4 + 8)
+            return reject("fixed-offset frame length " +
+                          std::to_string(frame_len) +
+                          " shorter than its own header");
         if (carry_.size() < frame_len)
             break;
-        ByteReader r(std::span<const u8>(carry_.data(), frame_len));
+        ByteReader r(std::span<const u8>(carry_.data(), frame_len),
+                     ByteReader::OnUnderrun::Fail);
         r.skip(4);
         u64 presence = r.getU64();
         for (unsigned c = 0; c < cores_; ++c) {
@@ -224,22 +278,29 @@ FixedOffsetUnpacker::unpackInto(const Transfer &transfer,
                     continue;
                 u16 count = r.getU16();
                 u16 capacity = r.getU16();
+                if (r.failed() || count > capacity)
+                    return reject("fixed-offset region header corrupt");
                 for (unsigned s = 0; s < capacity; ++s) {
                     if (s < count) {
                         u8 valid = r.getU8();
-                        dth_assert(valid == 1, "bad valid flag");
-                        events.push_back(readEventBody(
-                            r, static_cast<EventType>(t),
-                            static_cast<u8>(c)));
+                        if (r.failed() || valid != 1)
+                            return reject("bad valid flag in "
+                                          "fixed-offset slot");
+                        std::string err;
+                        if (!readEventChecked(r, t, static_cast<u8>(c),
+                                              events, &err))
+                            return reject("fixed-offset slot: " + err);
                     } else {
                         r.skip(slotBytes(static_cast<EventType>(t)));
                     }
                 }
             }
         }
-        dth_assert(r.atEnd(), "frame length mismatch");
+        if (r.failed() || !r.atEnd())
+            return reject("fixed-offset frame length mismatch");
         carry_.erase(carry_.begin(), carry_.begin() + frame_len);
     }
+    return succeed();
 }
 
 // ---------------------------------------------------------------------------
@@ -359,32 +420,54 @@ BatchPacker::flush(std::vector<Transfer> &out)
     emitPacket(out);
 }
 
-void
+bool
 BatchUnpacker::unpackInto(const Transfer &transfer, std::vector<Event> &out)
 {
-    ByteReader r(transfer.bytes);
+    const size_t base = out.size();
+    auto reject = [&](std::string msg) {
+        out.resize(base);
+        return fail(std::move(msg));
+    };
+
+    ByteReader r(transfer.bytes, ByteReader::OnUnderrun::Fail);
     u16 meta_count = r.getU16();
     r.skip(2);
     u32 payload_len = r.getU32();
+    if (r.failed())
+        return reject("batch packet shorter than its header");
     metas_.clear();
     metas_.reserve(meta_count);
     for (unsigned i = 0; i < meta_count; ++i) {
         Meta m;
-        m.type = static_cast<EventType>(r.getU8());
+        u8 type_id = r.getU8();
         m.core = r.getU8();
         m.count = r.getU16();
+        if (r.failed())
+            return reject("batch meta table truncated");
+        if (type_id >= kNumWireTypes)
+            return reject("batch meta names unknown event type id " +
+                          std::to_string(type_id));
+        m.type = static_cast<EventType>(type_id);
         metas_.push_back(m);
     }
-    dth_assert(r.remaining() == payload_len,
-               "batch payload length mismatch: %zu vs %u", r.remaining(),
-               payload_len);
+    if (r.remaining() != payload_len)
+        return reject("batch payload length mismatch: " +
+                      std::to_string(r.remaining()) + " vs " +
+                      std::to_string(payload_len));
     // Dynamic unpacking: each meta tells the parser which reconstruction
     // function to run and how many entries to consume; offsets are the
     // running sums of the preceding entries' lengths.
-    for (const Meta &m : metas_)
-        for (unsigned i = 0; i < m.count; ++i)
-            out.push_back(readEventBody(r, m.type, m.core));
-    dth_assert(r.atEnd(), "trailing bytes in batch packet");
+    for (const Meta &m : metas_) {
+        for (unsigned i = 0; i < m.count; ++i) {
+            std::string err;
+            if (!readEventChecked(r, static_cast<unsigned>(m.type),
+                                  m.core, out, &err))
+                return reject("batch entry: " + err);
+        }
+    }
+    if (!r.atEnd())
+        return reject("trailing bytes in batch packet");
+    return succeed();
 }
 
 } // namespace dth

@@ -20,6 +20,7 @@
 #define DTH_PACK_PACKER_H_
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "obs/stats.h"
@@ -63,7 +64,17 @@ class Packer
     } stat_;
 };
 
-/** Software-side unpacker interface. */
+/**
+ * Software-side unpacker interface.
+ *
+ * Transfer bytes are externally-supplied input (they crossed the
+ * hardware link), so parsers never abort on malformed data: every
+ * structural violation — short reads, unknown type ids, bad valid
+ * flags, length mismatches, trailing bytes — makes unpackInto() return
+ * false with @p out unchanged and error() describing the problem, and
+ * the caller decides (the resilient channel NAKs the frame; a trace
+ * loader reports a bad file).
+ */
 class Unpacker
 {
   public:
@@ -73,18 +84,45 @@ class Unpacker
      * Parse one transfer, appending reconstructed events (in wire
      * order) to @p out. The hot path: callers reuse @p out across
      * transfers so no per-transfer vector is allocated.
+     *
+     * @return true on success; false on malformed input, with @p out
+     *         rolled back to its length at entry and error() set.
      */
-    virtual void unpackInto(const Transfer &transfer,
-                            std::vector<Event> &out) = 0;
+    [[nodiscard]] virtual bool unpackInto(const Transfer &transfer,
+                                          std::vector<Event> &out) = 0;
 
-    /** Convenience wrapper returning a fresh vector. */
+    /** Why the last unpackInto() returned false (empty on success). */
+    const std::string &error() const { return error_; }
+
+    /** Convenience wrapper returning a fresh vector; panics on
+     *  malformed input (trusted round-trip paths and tests only). */
     std::vector<Event>
     unpack(const Transfer &transfer)
     {
         std::vector<Event> out;
-        unpackInto(transfer, out);
+        bool ok = unpackInto(transfer, out);
+        dth_assert(ok, "unpack of trusted transfer failed: %s",
+                   error_.c_str());
         return out;
     }
+
+  protected:
+    /** Record @p message and return false (parser early-out idiom). */
+    bool
+    fail(std::string message)
+    {
+        error_ = std::move(message);
+        return false;
+    }
+
+    bool
+    succeed()
+    {
+        error_.clear();
+        return true;
+    }
+
+    std::string error_;
 };
 
 /** Baseline: one transfer per event. */
@@ -102,7 +140,7 @@ class PerEventPacker : public Packer
 class PerEventUnpacker : public Unpacker
 {
   public:
-    void unpackInto(const Transfer &transfer,
+    bool unpackInto(const Transfer &transfer,
                     std::vector<Event> &out) override;
 };
 
@@ -145,7 +183,7 @@ class FixedOffsetUnpacker : public Unpacker
     FixedOffsetUnpacker(const std::array<bool, kNumEventTypes> &enabled,
                         unsigned cores);
 
-    void unpackInto(const Transfer &transfer,
+    bool unpackInto(const Transfer &transfer,
                     std::vector<Event> &out) override;
 
   private:
@@ -192,7 +230,7 @@ class BatchPacker : public Packer
 class BatchUnpacker : public Unpacker
 {
   public:
-    void unpackInto(const Transfer &transfer,
+    bool unpackInto(const Transfer &transfer,
                     std::vector<Event> &out) override;
 
   private:

@@ -1,0 +1,62 @@
+#include "replay/retransmit.h"
+
+namespace dth::replay {
+
+RetransmitBuffer::RetransmitBuffer(obs::StatSheet &sheet,
+                                   size_t capacity_frames)
+    : capacity_(capacity_frames ? capacity_frames : 1), sheet_(&sheet)
+{
+    stat_.recorded = sheet_->sum("link.retx.recorded");
+    stat_.evictions = sheet_->sum("link.retx.evictions");
+    stat_.bufferedBytes = sheet_->maxStat("link.retx.buffered_bytes");
+    // Touch the window counters so they appear in every snapshot (the
+    // schema gate diffs names, not values).
+    sheet_->add(stat_.recorded, 0);
+    sheet_->add(stat_.evictions, 0);
+    sheet_->trackMax(stat_.bufferedBytes, 0);
+}
+
+void
+RetransmitBuffer::record(u32 seq, const std::vector<u8> &wire)
+{
+    if (window_.size() >= capacity_) {
+        bytes_ -= window_.front().wire.size();
+        window_.pop_front();
+        sheet_->add(stat_.evictions);
+    }
+    // Reuse the evicted slot's capacity when the deque churns at the
+    // bound; a fresh slot otherwise.
+    window_.emplace_back();
+    Slot &slot = window_.back();
+    slot.seq = seq;
+    slot.wire = wire;
+    bytes_ += wire.size();
+    sheet_->add(stat_.recorded);
+    sheet_->trackMax(stat_.bufferedBytes, bytes_);
+}
+
+const std::vector<u8> *
+RetransmitBuffer::request(u32 seq) const
+{
+    // Token filtering as in ReplayBuffer::request: the window is ordered
+    // by token, so scan from the back (NAKs target recent frames).
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (it->seq == seq)
+            return &it->wire;
+        if (static_cast<i32>(it->seq - seq) < 0)
+            break; // passed the token: it was evicted
+    }
+    return nullptr;
+}
+
+void
+RetransmitBuffer::release(u32 seq)
+{
+    while (!window_.empty() &&
+           static_cast<i32>(window_.front().seq - seq) <= 0) {
+        bytes_ -= window_.front().wire.size();
+        window_.pop_front();
+    }
+}
+
+} // namespace dth::replay

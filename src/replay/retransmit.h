@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bounded link-level retransmit buffer, reusing the Replay token
+ * machinery (replay/buffer.h): frames are recorded before transmission
+ * under their sequence-number token, served back on a NAK or timeout
+ * via request(), and released once the receiver's delivered prefix
+ * passes them — exactly the record/request/release window protocol the
+ * ReplayBuffer runs over commit sequence numbers, applied to framed
+ * wire images instead of pre-fusion events.
+ */
+
+#ifndef DTH_REPLAY_RETRANSMIT_H_
+#define DTH_REPLAY_RETRANSMIT_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/stats.h"
+
+namespace dth::replay {
+
+/** Bounded window of framed packets awaiting acknowledgment. */
+class RetransmitBuffer
+{
+  public:
+    /**
+     * @param sheet the owning component's stat sheet (retx.* counters)
+     * @param capacity_frames retained un-acked frames (window bound)
+     */
+    explicit RetransmitBuffer(obs::StatSheet &sheet,
+                              size_t capacity_frames = 1024);
+
+    /** Record one framed packet under its sequence token before it is
+     *  first transmitted. Tokens must be recorded in increasing order. */
+    void record(u32 seq, const std::vector<u8> &wire);
+
+    /** The framed bytes recorded under @p seq, or nullptr when the
+     *  window no longer holds it (evicted: the fault is unrecoverable
+     *  at the link level). */
+    const std::vector<u8> *request(u32 seq) const;
+
+    /** Drop every frame with sequence token <= @p seq (acknowledged). */
+    void release(u32 seq);
+
+    size_t buffered() const { return window_.size(); }
+    u64 bufferedBytes() const { return bytes_; }
+    size_t capacity() const { return capacity_; }
+
+  private:
+    struct Slot
+    {
+        u32 seq = 0;
+        std::vector<u8> wire;
+    };
+
+    size_t capacity_;
+    std::deque<Slot> window_;
+    u64 bytes_ = 0;
+    obs::StatSheet *sheet_;
+    struct
+    {
+        obs::StatId recorded;
+        obs::StatId evictions;
+        obs::StatId bufferedBytes;
+    } stat_;
+};
+
+} // namespace dth::replay
+
+#endif // DTH_REPLAY_RETRANSMIT_H_

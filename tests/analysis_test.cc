@@ -13,6 +13,8 @@
 
 #include "analysis/layout_audit.h"
 #include "analysis/protocol_lint.h"
+#include "link/channel.h"
+#include "link/frame.h"
 #include "pack/wire.h"
 #include "squash/squash.h"
 
@@ -53,6 +55,11 @@ TEST(ProtocolLint, SnapshotMatchesBuildConstants)
     EXPECT_EQ(t.events.size(), kNumWireTypes);
     EXPECT_EQ(t.eventWireHeaderBytes, kEventWireHeaderBytes);
     EXPECT_EQ(t.maxFuseDepth, kMaxFuseDepth);
+    EXPECT_EQ(t.frameMagic, link::kFrameMagic);
+    EXPECT_EQ(t.frameHeaderBytes, link::kFrameHeaderBytes);
+    EXPECT_EQ(t.frameTrailerBytes, link::kFrameTrailerBytes);
+    EXPECT_EQ(t.maxFramePayloadBytes, link::kMaxFramePayloadBytes);
+    EXPECT_EQ(t.retxWindowFrames, link::kDefaultRetxWindowFrames);
     EXPECT_EQ(t.undoKinds.size(), replay::kNumUndoKinds);
     // One canonical mux slot per monitor type.
     EXPECT_EQ(t.muxSlots.size(), kNumEventTypes);
@@ -203,6 +210,48 @@ TEST(ProtocolLintSeeded, WireTypeCountDrift)
     LintReport report = runProtocolLint(t);
     EXPECT_FALSE(report.passed());
     EXPECT_TRUE(report.has(LintCheck::WireTypeCount));
+}
+
+TEST(ProtocolLintSeeded, FrameLayoutDrift)
+{
+    ProtocolTables t = currentTables();
+    // Pretend the frame header shed its issue-cycle field: the snapshot
+    // constant disagrees with the build AND the encode probe measures
+    // the real encoder emitting more bytes than the constants predict.
+    t.frameHeaderBytes -= 8;
+    LintReport report = runProtocolLint(t);
+    expectOnly(report, LintCheck::FrameLayoutMismatch);
+    EXPECT_GE(report.count(LintCheck::FrameLayoutMismatch), 2u);
+}
+
+TEST(ProtocolLintSeeded, FrameMagicDrift)
+{
+    ProtocolTables t = currentTables();
+    // A stale magic constant: the build check and the on-wire probe
+    // must both flag it.
+    t.frameMagic ^= 0x1;
+    LintReport report = runProtocolLint(t);
+    expectOnly(report, LintCheck::FrameLayoutMismatch);
+    EXPECT_GE(report.count(LintCheck::FrameLayoutMismatch), 2u);
+}
+
+TEST(ProtocolLintSeeded, RetxWindowCannotHoldInFlightFrame)
+{
+    ProtocolTables t = currentTables();
+    // A zero-frame retransmit window can never serve a NAK: the
+    // stop-and-wait recovery protocol needs at least the one in-flight
+    // frame retained.
+    t.retxWindowFrames = 0;
+    expectOnly(runProtocolLint(t), LintCheck::RetxWindowBounds);
+}
+
+TEST(ProtocolLintSeeded, FramePayloadBoundBelowPacketBudget)
+{
+    ProtocolTables t = currentTables();
+    // A payload bound below the packet budget would make every full
+    // packet indistinguishable from a corrupt length field.
+    t.maxFramePayloadBytes = t.packetBytes - 1;
+    expectOnly(runProtocolLint(t), LintCheck::RetxWindowBounds);
 }
 
 // The SquashUnit must reject configurations beyond the analyzed ceiling.

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Chaos variant of the cosim soak suite: end-to-end runs with link
+ * fault injection enabled. The contract under test is the hard
+ * requirement from DESIGN.md §9 — under any injected fault pattern the
+ * recovered run's final verdict AND its checked-event stream are
+ * bit-identical to the fault-free run's, in both the serial and the
+ * threaded host runtimes; and when the fault budget is exhausted the
+ * run ends in a structured degraded result, never an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cosim/cosim.h"
+#include "workload/generators.h"
+
+namespace dth::cosim {
+namespace {
+
+workload::Program
+chaosWorkload(u64 seed)
+{
+    workload::WorkloadOptions opts;
+    opts.seed = seed;
+    opts.iterations = 120 + seed % 41;
+    opts.bodyLength = 32 + seed % 17;
+    switch (seed % 3) {
+      case 0: return workload::makeBootLike(opts);
+      case 1: return workload::makeComputeLike(opts);
+      default: return workload::makeIoHeavy(opts);
+    }
+}
+
+/** FNV-1a digest over the checked-event stream, order-sensitive. */
+struct EventDigest
+{
+    u64 hash = 0xCBF29CE484222325ull;
+    u64 events = 0;
+
+    void
+    mix(u64 v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (i * 8)) & 0xFF;
+            hash *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    operator()(const Event &e)
+    {
+        ++events;
+        mix(static_cast<u64>(e.type));
+        mix(e.core);
+        mix(e.index);
+        mix(e.commitSeq);
+        mix(e.emitSeq);
+        for (u8 b : e.payload)
+            mix(b);
+    }
+};
+
+struct ChaosRun
+{
+    CosimResult result;
+    u64 digest = 0;
+    u64 checkedEvents = 0;
+};
+
+ChaosRun
+runOnce(u64 seed, OptLevel level, bool chaos, unsigned host_threads,
+        double rate = 0.04)
+{
+    workload::Program p = chaosWorkload(seed);
+    CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(level);
+    cfg.seed = seed * 17 + 3;
+    cfg.hostThreads = host_threads;
+    if (chaos) {
+        // Same injector seed for every runtime: the fault pattern is a
+        // pure function of (seed, transfer order).
+        cfg.linkFaults = link::LinkFaultConfig::allKinds(rate, seed + 1);
+    }
+    CoSimulator sim(cfg, p);
+    ChaosRun run;
+    EventDigest digest;
+    sim.setCheckedTap([&digest](const Event &e) { digest(e); });
+    run.result = sim.run(3'000'000);
+    run.digest = digest.hash;
+    run.checkedEvents = digest.events;
+    return run;
+}
+
+class ChaosEquivalence : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(ChaosEquivalence, RecoveredRunMatchesFaultFreeBitExactly)
+{
+    u64 seed = GetParam();
+    for (OptLevel level : {OptLevel::Z, OptLevel::BNSD}) {
+        ChaosRun clean = runOnce(seed, level, false, 0);
+        ASSERT_TRUE(clean.result.verified)
+            << "fault-free baseline failed: "
+            << clean.result.mismatch.describe();
+        ASSERT_TRUE(clean.result.goodTrap);
+
+        ChaosRun serial = runOnce(seed, level, true, 0);
+        ChaosRun threaded = runOnce(seed, level, true, 2);
+
+        for (const ChaosRun *run : {&serial, &threaded}) {
+            const CosimResult &r = run->result;
+            // The whole point: faults were injected, recovery ran, and
+            // the verdict plus the checked stream are bit-identical to
+            // the fault-free run.
+            ASSERT_LT(r.linkReport.degradeLevel, 2u)
+                << r.linkReport.describe();
+            EXPECT_GT(r.linkReport.faultsInjected, 0u)
+                << "chaos run injected nothing; the test is vacuous";
+            EXPECT_EQ(r.verified, clean.result.verified);
+            EXPECT_EQ(r.goodTrap, clean.result.goodTrap);
+            EXPECT_EQ(r.cycles, clean.result.cycles);
+            EXPECT_EQ(r.instrs, clean.result.instrs);
+            EXPECT_EQ(run->checkedEvents, clean.checkedEvents);
+            EXPECT_EQ(run->digest, clean.digest)
+                << "checked-event stream diverged under faults, seed "
+                << seed << " level " << optLevelName(level);
+        }
+
+        // Serial and threaded chaos runs see the identical fault
+        // pattern and recovery history.
+        EXPECT_EQ(serial.result.linkReport.faultsInjected,
+                  threaded.result.linkReport.faultsInjected);
+        EXPECT_EQ(serial.result.linkReport.naksSent,
+                  threaded.result.linkReport.naksSent);
+        EXPECT_EQ(serial.result.linkReport.retxFrames,
+                  threaded.result.linkReport.retxFrames);
+        EXPECT_EQ(serial.result.linkReport.timeouts,
+                  threaded.result.linkReport.timeouts);
+        EXPECT_EQ(serial.result.linkReport.staleDiscards,
+                  threaded.result.linkReport.staleDiscards);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosEquivalence,
+                         ::testing::Values(11, 23, 37, 58));
+
+TEST(ChaosDegradation, BudgetExhaustionYieldsStructuredFailure)
+{
+    // A hopeless link (every attempt stalls) exhausts the budget after
+    // a handful of fallback deliveries. The run must end with a
+    // structured degraded result: verified=false, degrade level 2, a
+    // populated ChannelReport — and no abort.
+    for (unsigned host_threads : {0u, 2u}) {
+        workload::Program p = chaosWorkload(5);
+        CosimConfig cfg;
+        cfg.dut = dut::xsDefaultConfig();
+        cfg.platform = link::palladiumPlatform();
+        cfg.applyOptLevel(OptLevel::BNSD);
+        cfg.seed = 99;
+        cfg.hostThreads = host_threads;
+        cfg.linkFaults.enabled = true;
+        cfg.linkFaults.stallRate = 1.0;
+        cfg.linkFaults.seed = 7;
+        cfg.linkFaults.maxAttempts = 2;
+        cfg.linkFaults.unrecoverableBudget = 3;
+        CoSimulator sim(cfg, p);
+        CosimResult r = sim.run(3'000'000);
+        EXPECT_FALSE(r.verified) << "dead link must not verify";
+        EXPECT_FALSE(r.goodTrap);
+        EXPECT_TRUE(r.linkDegraded);
+        EXPECT_EQ(r.linkDegradeLevel, 2u);
+        EXPECT_TRUE(r.linkReport.failed());
+        EXPECT_EQ(r.linkReport.unrecovered,
+                  cfg.linkFaults.unrecoverableBudget + 1);
+        EXPECT_EQ(r.linkReport.fallbacks, cfg.linkFaults.unrecoverableBudget);
+        EXPECT_FALSE(r.linkReport.describe().empty());
+    }
+}
+
+TEST(ChaosDegradation, FallbackWithinBudgetStillVerifies)
+{
+    // Stall bursts that exhaust maxAttempts but stay within the budget:
+    // the degraded blocking handshake delivers intact frames, the run
+    // verifies, and the result reports degrade level 1.
+    workload::Program p = chaosWorkload(2);
+    CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(OptLevel::BNSD);
+    cfg.seed = 41;
+    cfg.linkFaults.enabled = true;
+    cfg.linkFaults.stallRate = 0.55; // ~30% of frames exhaust 2 attempts
+    cfg.linkFaults.seed = 13;
+    cfg.linkFaults.maxAttempts = 2;
+    cfg.linkFaults.unrecoverableBudget = 1u << 20;
+    CoSimulator sim(cfg, p);
+    CosimResult r = sim.run(3'000'000);
+    ASSERT_LT(r.linkReport.degradeLevel, 2u) << r.linkReport.describe();
+    EXPECT_TRUE(r.verified) << r.mismatch.describe();
+    EXPECT_TRUE(r.goodTrap);
+    EXPECT_GT(r.linkReport.fallbacks, 0u)
+        << "no fallback engaged; the test is vacuous";
+    EXPECT_TRUE(r.linkDegraded);
+    EXPECT_EQ(r.linkDegradeLevel, 1u);
+}
+
+TEST(ChaosStats, LinkCountersReachTheRunSnapshot)
+{
+    ChaosRun run = runOnce(11, OptLevel::BNSD, true, 0, 0.06);
+    const auto &ints = run.result.counters.integers();
+    ASSERT_TRUE(ints.count("link.frames"));
+    EXPECT_GT(ints.at("link.frames"), 0);
+    ASSERT_TRUE(ints.count("link.fault.injected"));
+    EXPECT_GT(ints.at("link.fault.injected"), 0);
+    // Schema is fault-independent: present even if never incremented.
+    EXPECT_TRUE(ints.count("link.retx.unrecovered"));
+    EXPECT_TRUE(ints.count("link.nak.sent"));
+    EXPECT_TRUE(ints.count("link.degrade_level"));
+    EXPECT_TRUE(run.result.counters.hists().count("link.retx.attempts"));
+}
+
+TEST(ChaosStats, FaultFreeRunsCarryZeroedLinkSchema)
+{
+    // With injection disabled the channel still frames everything, so
+    // the schema and the frame counters are live but every fault
+    // counter is zero.
+    ChaosRun run = runOnce(11, OptLevel::BNSD, false, 0);
+    ASSERT_TRUE(run.result.verified);
+    const auto &ints = run.result.counters.integers();
+    ASSERT_TRUE(ints.count("link.frames"));
+    EXPECT_GT(ints.at("link.frames"), 0);
+    EXPECT_EQ(ints.at("link.fault.injected"), 0);
+    EXPECT_EQ(ints.at("link.nak.sent"), 0);
+    EXPECT_EQ(ints.at("link.retx.frames"), 0);
+    EXPECT_EQ(ints.at("link.degrade_level"), 0);
+}
+
+} // namespace
+} // namespace dth::cosim

@@ -203,8 +203,11 @@ TEST(WireIntegrity, CorruptedPayloadByteIsDetectedByChecker)
     EXPECT_TRUE(failed) << "corrupted transfer passed verification";
 }
 
-TEST(WireIntegrity, TruncatedBatchPacketPanics)
+TEST(WireIntegrity, TruncatedBatchPacketFailsGracefully)
 {
+    // Transfer bytes are externally-supplied input: a truncated packet
+    // must be rejected with a structured error, never an abort, and the
+    // output vector must be left untouched.
     BatchPacker packer(4096);
     CycleEvents ce;
     ce.cycle = 0;
@@ -215,7 +218,10 @@ TEST(WireIntegrity, TruncatedBatchPacketPanics)
     ASSERT_EQ(transfers.size(), 1u);
     transfers[0].bytes.resize(transfers[0].bytes.size() - 10);
     BatchUnpacker unpacker;
-    EXPECT_DEATH(unpacker.unpack(transfers[0]), "");
+    std::vector<Event> out;
+    EXPECT_FALSE(unpacker.unpackInto(transfers[0], out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(unpacker.error().empty());
 }
 
 } // namespace

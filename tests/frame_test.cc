@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the resilient transport layer: CRC32 vectors, frame
+ * round-trips, sequence tracking, the exhaustive corruption fuzz suite
+ * (every single-bit flip and every truncation must yield a FaultReport,
+ * never an abort), the deterministic fault injector, the retransmit
+ * window, and the ResilientChannel recovery ladder end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "link/channel.h"
+#include "link/fault_injector.h"
+#include "link/frame.h"
+#include "replay/retransmit.h"
+
+namespace dth::link {
+namespace {
+
+Transfer
+makeTransfer(size_t bytes, u64 issue_cycle, u8 fill = 0)
+{
+    Transfer t;
+    t.issueCycle = issue_cycle;
+    t.bytes.resize(bytes);
+    for (size_t i = 0; i < bytes; ++i)
+        t.bytes[i] = static_cast<u8>(fill + i * 7 + (i >> 3));
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors)
+{
+    // The IEEE 802.3 check value every CRC-32 implementation must hit.
+    const char *check = "123456789";
+    std::span<const u8> data(reinterpret_cast<const u8 *>(check), 9);
+    EXPECT_EQ(crc32(data), 0xCBF43926u);
+    EXPECT_EQ(crc32({}), 0u);
+    std::vector<u8> zeros(32, 0);
+    std::vector<u8> ones(32, 0xFF);
+    EXPECT_NE(crc32(zeros), crc32(ones));
+}
+
+TEST(Crc32, SensitiveToEveryBit)
+{
+    std::vector<u8> data(64);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 13);
+    u32 base = crc32(data);
+    for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+        data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        EXPECT_NE(crc32(data), base) << "bit " << bit << " not detected";
+        data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------------
+
+TEST(Frame, RoundTripPreservesPayloadAndCycle)
+{
+    Transfer in = makeTransfer(137, 0x0123456789ABCDEFull);
+    std::vector<u8> wire;
+    FrameEncoder::encodeAs(in, 42, wire);
+    EXPECT_EQ(wire.size(), in.bytes.size() + kFrameOverheadBytes);
+
+    Transfer out;
+    u32 seq = 0;
+    FaultReport rep = FrameDecoder::decodeFrame(wire, out, &seq);
+    EXPECT_TRUE(rep.ok()) << rep.describe();
+    EXPECT_EQ(seq, 42u);
+    EXPECT_EQ(out.issueCycle, in.issueCycle);
+    EXPECT_EQ(out.bytes, in.bytes);
+}
+
+TEST(Frame, EmptyPayloadRoundTrips)
+{
+    Transfer in = makeTransfer(0, 7);
+    std::vector<u8> wire;
+    FrameEncoder::encodeAs(in, 0, wire);
+    EXPECT_EQ(wire.size(), kFrameOverheadBytes);
+    Transfer out;
+    EXPECT_TRUE(FrameDecoder::decodeFrame(wire, out, nullptr).ok());
+    EXPECT_TRUE(out.bytes.empty());
+}
+
+TEST(Frame, EncoderStampsConsecutiveSequences)
+{
+    FrameEncoder enc;
+    std::vector<u8> wire;
+    Transfer t = makeTransfer(8, 1);
+    for (u32 i = 0; i < 5; ++i) {
+        wire.clear();
+        EXPECT_EQ(enc.encode(t, wire), i);
+    }
+    EXPECT_EQ(enc.nextSeq(), 5u);
+}
+
+TEST(Frame, SequenceTrackingClassifiesGapAndStale)
+{
+    FrameEncoder enc;
+    FrameDecoder dec;
+    Transfer t = makeTransfer(16, 3);
+    std::vector<u8> f0, f1, f2;
+    FrameEncoder::encodeAs(t, 0, f0);
+    FrameEncoder::encodeAs(t, 1, f1);
+    FrameEncoder::encodeAs(t, 2, f2);
+
+    Transfer out;
+    EXPECT_TRUE(dec.accept(f0, out).ok());
+    EXPECT_EQ(dec.expectedSeq(), 1u);
+    // Skipping ahead is a gap (frames lost), and does not advance the
+    // delivered prefix.
+    EXPECT_EQ(dec.accept(f2, out).fault, FrameFault::SeqGap);
+    EXPECT_EQ(dec.expectedSeq(), 1u);
+    // Replaying an already-delivered frame is stale.
+    EXPECT_EQ(dec.accept(f0, out).fault, FrameFault::SeqStale);
+    // In-order delivery resumes.
+    EXPECT_TRUE(dec.accept(f1, out).ok());
+    EXPECT_TRUE(dec.accept(f2, out).ok());
+    EXPECT_EQ(dec.delivered(), 3u);
+}
+
+TEST(Frame, OversizedDeclaredLengthRejected)
+{
+    Transfer in = makeTransfer(32, 1);
+    std::vector<u8> wire;
+    FrameEncoder::encodeAs(in, 0, wire);
+    // Corrupt the length field to a huge value and fix nothing else: the
+    // decoder must classify (length check fires before any allocation).
+    wire[8] = 0xFF;
+    wire[9] = 0xFF;
+    wire[10] = 0xFF;
+    wire[11] = 0xFF;
+    Transfer out;
+    FaultReport rep = FrameDecoder::decodeFrame(wire, out, nullptr);
+    EXPECT_FALSE(rep.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive corruption fuzz: never aborts, every corruption detected.
+// ---------------------------------------------------------------------------
+
+TEST(FrameFuzz, EverySingleBitFlipIsDetected)
+{
+    Transfer in = makeTransfer(96, 0xDEADBEEFull);
+    std::vector<u8> wire;
+    FrameEncoder::encodeAs(in, 7, wire);
+    Transfer out;
+    for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+        wire[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        FaultReport rep = FrameDecoder::decodeFrame(wire, out, nullptr);
+        EXPECT_FALSE(rep.ok())
+            << "flip of bit " << bit << " passed undetected";
+        wire[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    }
+    // The pristine frame still decodes after all that restoring.
+    EXPECT_TRUE(FrameDecoder::decodeFrame(wire, out, nullptr).ok());
+}
+
+TEST(FrameFuzz, EveryTruncationLengthIsDetected)
+{
+    Transfer in = makeTransfer(64, 11);
+    std::vector<u8> wire;
+    FrameEncoder::encodeAs(in, 3, wire);
+    Transfer out;
+    for (size_t len = 0; len < wire.size(); ++len) {
+        std::span<const u8> cut(wire.data(), len);
+        FaultReport rep = FrameDecoder::decodeFrame(cut, out, nullptr);
+        EXPECT_FALSE(rep.ok())
+            << "truncation to " << len << " bytes passed undetected";
+    }
+}
+
+TEST(FrameFuzz, RandomGarbageNeverAbortsAndNeverPasses)
+{
+    // Arbitrary byte soup — including buffers that happen to start with
+    // the magic — must always yield a classification, never an abort.
+    Rng rng(0xF00DF00Dull);
+    Transfer out;
+    for (unsigned trial = 0; trial < 2000; ++trial) {
+        std::vector<u8> junk(rng.nextBelow(256));
+        for (u8 &b : junk)
+            b = static_cast<u8>(rng.next());
+        if (trial % 4 == 0 && junk.size() >= 4) {
+            junk[0] = static_cast<u8>(kFrameMagic);
+            junk[1] = static_cast<u8>(kFrameMagic >> 8);
+            junk[2] = static_cast<u8>(kFrameMagic >> 16);
+            junk[3] = static_cast<u8>(kFrameMagic >> 24);
+        }
+        FaultReport rep = FrameDecoder::decodeFrame(junk, out, nullptr);
+        // A random 32-bit CRC collision has probability 2^-32 per trial;
+        // with 2000 trials a pass would be a bug, not luck.
+        EXPECT_FALSE(rep.ok()) << "random garbage passed, trial " << trial;
+        EXPECT_FALSE(rep.describe().empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameFaultPattern)
+{
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.2, 99);
+    LinkFaultInjector a(cfg), b(cfg);
+    std::vector<u8> base(40, 0x5A);
+    for (unsigned i = 0; i < 500; ++i) {
+        std::vector<u8> wa = base, wb = base;
+        Injection ia = a.mangle(wa);
+        Injection ib = b.mangle(wb);
+        EXPECT_EQ(ia.dropped, ib.dropped);
+        EXPECT_EQ(ia.stalled, ib.stalled);
+        EXPECT_EQ(ia.reordered, ib.reordered);
+        EXPECT_EQ(ia.duplicated, ib.duplicated);
+        EXPECT_EQ(ia.bitFlips, ib.bitFlips);
+        EXPECT_EQ(ia.truncatedTo, ib.truncatedTo);
+        EXPECT_EQ(wa, wb);
+    }
+}
+
+TEST(FaultInjector, DisabledInjectorNeverTouchesTheWire)
+{
+    LinkFaultConfig cfg;
+    cfg.enabled = false;
+    LinkFaultInjector inj(cfg);
+    std::vector<u8> wire(64, 0xA5);
+    std::vector<u8> orig = wire;
+    for (unsigned i = 0; i < 100; ++i) {
+        Injection in = inj.mangle(wire);
+        EXPECT_FALSE(in.any());
+    }
+    EXPECT_EQ(wire, orig);
+}
+
+TEST(FaultInjector, AllKindsEventuallyFireEveryKind)
+{
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.3, 1234);
+    LinkFaultInjector inj(cfg);
+    unsigned drops = 0, stalls = 0, reorders = 0, dups = 0, flips = 0,
+             truncs = 0;
+    std::vector<u8> base(80, 0x11);
+    for (unsigned i = 0; i < 2000; ++i) {
+        std::vector<u8> wire = base;
+        Injection in = inj.mangle(wire);
+        drops += in.dropped;
+        stalls += in.stalled;
+        reorders += in.reordered;
+        dups += in.duplicated;
+        flips += in.bitFlips > 0;
+        truncs += in.truncatedTo > 0;
+    }
+    EXPECT_GT(drops, 0u);
+    EXPECT_GT(stalls, 0u);
+    EXPECT_GT(reorders, 0u);
+    EXPECT_GT(dups, 0u);
+    EXPECT_GT(flips, 0u);
+    EXPECT_GT(truncs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retransmit window
+// ---------------------------------------------------------------------------
+
+TEST(RetransmitBuffer, RecordRequestRelease)
+{
+    obs::StatSheet sheet;
+    replay::RetransmitBuffer buf(sheet, 8);
+    std::vector<u8> w0{1, 2, 3}, w1{4, 5};
+    buf.record(0, w0);
+    buf.record(1, w1);
+    EXPECT_EQ(buf.buffered(), 2u);
+    EXPECT_EQ(buf.bufferedBytes(), 5u);
+    ASSERT_NE(buf.request(0), nullptr);
+    EXPECT_EQ(*buf.request(0), w0);
+    ASSERT_NE(buf.request(1), nullptr);
+    EXPECT_EQ(buf.request(2), nullptr);
+    buf.release(0);
+    EXPECT_EQ(buf.request(0), nullptr);
+    ASSERT_NE(buf.request(1), nullptr);
+    buf.release(1);
+    EXPECT_EQ(buf.buffered(), 0u);
+    EXPECT_EQ(buf.bufferedBytes(), 0u);
+}
+
+TEST(RetransmitBuffer, EvictsOldestAtCapacity)
+{
+    obs::StatSheet sheet;
+    replay::RetransmitBuffer buf(sheet, 4);
+    std::vector<u8> w{9};
+    for (u32 seq = 0; seq < 6; ++seq)
+        buf.record(seq, w);
+    EXPECT_EQ(buf.buffered(), 4u);
+    EXPECT_EQ(buf.request(0), nullptr); // evicted
+    EXPECT_EQ(buf.request(1), nullptr); // evicted
+    EXPECT_NE(buf.request(2), nullptr);
+    EXPECT_NE(buf.request(5), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ResilientChannel: the recovery ladder end to end.
+// ---------------------------------------------------------------------------
+
+TEST(ResilientChannel, FaultFreeChannelIsTransparent)
+{
+    LinkFaultConfig cfg; // disabled
+    ResilientChannel ch(cfg, nullptr);
+    for (u64 i = 0; i < 50; ++i) {
+        Transfer in = makeTransfer(20 + i, i * 100);
+        Transfer out;
+        ASSERT_TRUE(ch.transmit(in, out));
+        EXPECT_EQ(out.bytes, in.bytes);
+        EXPECT_EQ(out.issueCycle, in.issueCycle);
+    }
+    ChannelReport rep = ch.report();
+    EXPECT_EQ(rep.degradeLevel, 0u);
+    EXPECT_EQ(rep.frames, 50u);
+    EXPECT_EQ(rep.faultsInjected, 0u);
+    EXPECT_EQ(rep.retxFrames, 0u);
+}
+
+TEST(ResilientChannel, RecoversBitIdenticalUnderChaos)
+{
+    // Moderate rates of every fault kind: recovery must deliver every
+    // transfer bit-identically, and must actually have recovered
+    // something (otherwise the test is vacuous).
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.08, 4242);
+    ResilientChannel ch(cfg, nullptr);
+    u64 delivered = 0;
+    for (u64 i = 0; i < 400; ++i) {
+        Transfer in = makeTransfer(16 + i % 64, i);
+        Transfer out;
+        ASSERT_TRUE(ch.transmit(in, out)) << ch.report().describe();
+        EXPECT_EQ(out.bytes, in.bytes) << "transfer " << i;
+        EXPECT_EQ(out.issueCycle, in.issueCycle);
+        ++delivered;
+    }
+    ChannelReport rep = ch.report();
+    EXPECT_EQ(delivered, 400u);
+    EXPECT_GT(rep.faultsInjected, 0u);
+    EXPECT_GT(rep.retxFrames + rep.naksSent + rep.timeouts, 0u);
+    EXPECT_LT(rep.degradeLevel, 2u) << rep.describe();
+}
+
+TEST(ResilientChannel, ChaosPatternIsSeedDeterministic)
+{
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.1, 777);
+    ResilientChannel a(cfg, nullptr), b(cfg, nullptr);
+    for (u64 i = 0; i < 200; ++i) {
+        Transfer in = makeTransfer(24, i);
+        Transfer oa, ob;
+        ASSERT_TRUE(a.transmit(in, oa));
+        ASSERT_TRUE(b.transmit(in, ob));
+    }
+    ChannelReport ra = a.report(), rb = b.report();
+    EXPECT_EQ(ra.faultsInjected, rb.faultsInjected);
+    EXPECT_EQ(ra.naksSent, rb.naksSent);
+    EXPECT_EQ(ra.retxFrames, rb.retxFrames);
+    EXPECT_EQ(ra.timeouts, rb.timeouts);
+    EXPECT_EQ(ra.staleDiscards, rb.staleDiscards);
+}
+
+TEST(ResilientChannel, RetransmissionsChargeTheTimingModel)
+{
+    Platform p;
+    p.name = "test";
+    p.dutClockHz = 1e6;
+    p.tSyncSec = 1e-6;
+    p.bwBytesPerSec = 1e8;
+    p.swPerTransferSec = 1e-6;
+    p.queueDepth = 4;
+    LinkSimulator sim(p, 1e6, /*non_blocking=*/false);
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.15, 31337);
+    ResilientChannel ch(cfg, &sim);
+    for (u64 i = 0; i < 200; ++i) {
+        Transfer in = makeTransfer(64, i);
+        Transfer out;
+        ASSERT_TRUE(ch.transmit(in, out));
+        sim.onTransfer(i, in.bytes.size(), SoftwareWork{});
+    }
+    LinkResult r = sim.finish(200);
+    ChannelReport rep = ch.report();
+    ASSERT_GT(rep.retxFrames + rep.timeouts + rep.fallbacks, 0u);
+    EXPECT_GT(r.recoverySec, 0.0);
+}
+
+TEST(ResilientChannel, StallStormFallsBackThenDelivers)
+{
+    // 100% stall: every attempt times out, so each transfer exhausts
+    // maxAttempts and is served by the degraded blocking handshake
+    // (degrade level 1) — intact — until the budget runs out.
+    LinkFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.stallRate = 1.0;
+    cfg.seed = 5;
+    cfg.maxAttempts = 3;
+    cfg.unrecoverableBudget = 2;
+    ResilientChannel ch(cfg, nullptr);
+
+    Transfer in = makeTransfer(32, 9);
+    Transfer out;
+    // Budget covers two fallback deliveries.
+    ASSERT_TRUE(ch.transmit(in, out));
+    EXPECT_EQ(out.bytes, in.bytes);
+    EXPECT_EQ(ch.degradeLevel(), 1u);
+    ASSERT_TRUE(ch.transmit(in, out));
+    EXPECT_EQ(out.bytes, in.bytes);
+    ChannelReport rep = ch.report();
+    EXPECT_EQ(rep.fallbacks, 2u);
+    EXPECT_EQ(rep.unrecovered, 2u);
+
+    // The third unrecoverable fault exceeds the budget: structured
+    // failure, not an abort, and the channel stays dead.
+    EXPECT_FALSE(ch.transmit(in, out));
+    EXPECT_TRUE(ch.failed());
+    EXPECT_EQ(ch.degradeLevel(), 2u);
+    EXPECT_TRUE(ch.report().failed());
+    EXPECT_FALSE(ch.transmit(in, out)); // dead channel stays dead
+    EXPECT_FALSE(ch.report().describe().empty());
+}
+
+TEST(ResilientChannel, CountersMatchReport)
+{
+    LinkFaultConfig cfg = LinkFaultConfig::allKinds(0.1, 2024);
+    ResilientChannel ch(cfg, nullptr);
+    for (u64 i = 0; i < 100; ++i) {
+        Transfer in = makeTransfer(40, i);
+        Transfer out;
+        ASSERT_TRUE(ch.transmit(in, out));
+    }
+    ChannelReport rep = ch.report();
+    obs::StatSnapshot snap = ch.counters().snapshot();
+    EXPECT_EQ(snap.integers().at("link.frames"), static_cast<i64>(rep.frames));
+    EXPECT_EQ(snap.integers().at("link.fault.injected"),
+              static_cast<i64>(rep.faultsInjected));
+    EXPECT_EQ(snap.integers().at("link.nak.sent"),
+              static_cast<i64>(rep.naksSent));
+    EXPECT_EQ(snap.integers().at("link.retx.frames"),
+              static_cast<i64>(rep.retxFrames));
+    // The schema is fault-independent: every link.* stat is present even
+    // for counters this run never incremented.
+    EXPECT_TRUE(snap.integers().count("link.retx.unrecovered"));
+    EXPECT_TRUE(snap.integers().count("link.fault.reorder"));
+    EXPECT_TRUE(snap.integers().count("link.degrade_level"));
+}
+
+} // namespace
+} // namespace dth::link

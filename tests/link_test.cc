@@ -101,6 +101,45 @@ TEST(LinkSim, SoftwareWorkScalesCost)
     EXPECT_NEAR(r.softwareSec, 1e-6 + 10e-6 + 10e-6 + 1e-6, 1e-12);
 }
 
+TEST(LinkSim, NonMonotonicCycleCountIsAStructuredError)
+{
+    // A total cycle count behind the last transfer's issue cycle is a
+    // caller bug (or corrupted telemetry), but it is externally-supplied
+    // data: finish() must clamp, count it in link.errors and surface it
+    // in the result — never abort.
+    Platform p = simplePlatform();
+    LinkSimulator sim(p, 1e6, /*non_blocking=*/false);
+    sim.onTransfer(500, 100, SoftwareWork{});
+    LinkResult r = sim.finish(200); // behind issue cycle 500
+    EXPECT_EQ(r.errors, 1u);
+    // Clamped to the last issue cycle, so the attribution stays sane.
+    EXPECT_NEAR(r.hwEmulationSec, 500 / 1e6, 1e-12);
+    EXPECT_GT(r.totalSec, 0.0);
+    obs::StatSnapshot snap = sim.counters().snapshot();
+    EXPECT_EQ(snap.integers().at("link.errors"), 1);
+
+    // A clean run reports zero errors (and the stat is still present).
+    LinkSimulator ok(p, 1e6, false);
+    ok.onTransfer(10, 100, SoftwareWork{});
+    LinkResult ro = ok.finish(1000);
+    EXPECT_EQ(ro.errors, 0u);
+    EXPECT_EQ(ok.counters().snapshot().integers().at("link.errors"), 0);
+}
+
+TEST(LinkSim, RecoveryChargesAccumulate)
+{
+    Platform p = simplePlatform();
+    LinkSimulator sim(p, 1e6, /*non_blocking=*/false);
+    sim.onTransfer(0, 1000, SoftwareWork{});
+    sim.onRetransmit(1000);      // one full retransmission
+    sim.onRecoveryDelay(25e-6);  // one NAK/timeout wait
+    LinkResult r = sim.finish(100);
+    double xmit = 1000 / 1e8;
+    EXPECT_NEAR(r.recoverySec, xmit + 25e-6, 1e-12);
+    // Retransmission also shows up in the transmit-time attribution.
+    EXPECT_NEAR(r.transmitSec, 2 * xmit, 1e-12);
+}
+
 TEST(LinkSim, CommunicationFraction)
 {
     Platform p = simplePlatform();
