@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fleet scaling harness: runs a 16-job campaign (15 clean jobs across
+ * the workload families plus one quarantine/retry-recovery job) at 1,
+ * 2, 4 and 8 workers, verifies the determinism contract (per-job
+ * verdicts and checked-stream digests identical at every worker count
+ * and against solo reference runs), and writes BENCH_fleet.json with
+ * the measured throughput.
+ *
+ * Speedup is wall-clock and therefore tracks min(workers, cores): on a
+ * single-core host every worker count measures ~1x (the campaign is
+ * CPU-bound), while the determinism columns still exercise the full
+ * concurrent machinery. EXPERIMENTS.md discusses the scaling model.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fleet/campaign.h"
+#include "fleet/report.h"
+#include "fleet/scheduler.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace dth;
+using namespace dth::fleet;
+
+Campaign
+scalingCampaign()
+{
+    MatrixSpec matrix;
+    matrix.name = "scaling16";
+    matrix.workloads = {WorkloadKind::Microbench, WorkloadKind::ComputeLike,
+                        WorkloadKind::VectorLike, WorkloadKind::IoHeavy,
+                        WorkloadKind::BootLike};
+    matrix.seeds = {1, 2, 3};
+    matrix.base.workloadOptions.iterations = 300;
+    matrix.base.workloadOptions.bodyLength = 48;
+    Campaign campaign = expandMatrix(matrix);
+    // Job 15: collapses its link on attempt 0, recovers on the damped
+    // retry — the determinism contract must hold through quarantine.
+    JobSpec flaky;
+    flaky.name = "flaky-recovery";
+    flaky.workload = WorkloadKind::Microbench;
+    flaky.workloadOptions.seed = 99;
+    flaky.workloadOptions.iterations = 300;
+    flaky.workloadOptions.bodyLength = 48;
+    flaky.config.linkFaults.enabled = true;
+    flaky.config.linkFaults.stallRate = 1.0;
+    flaky.config.linkFaults.maxAttempts = 2;
+    flaky.config.linkFaults.unrecoverableBudget = 3;
+    flaky.maxRetries = 2;
+    flaky.retryFaultDamping = 0.0;
+    campaign.add(std::move(flaky));
+    return campaign;
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    Campaign campaign = scalingCampaign();
+    std::printf("fleet scaling: %zu jobs\n", campaign.jobs.size());
+
+    // Solo reference runs: the digests every fleet shape must match.
+    std::vector<JobResult> solo;
+    for (size_t i = 0; i < campaign.jobs.size(); ++i)
+        solo.push_back(runJobSolo(campaign.jobs[i],
+                                  static_cast<unsigned>(i)));
+
+    struct Point
+    {
+        unsigned workers;
+        double wallSec;
+        double jobsPerSec;
+        double checkedInstrsPerSec;
+        u64 steals;
+    };
+    std::vector<Point> points;
+    bool deterministic = true;
+    std::string reference_report;
+    double wall1 = 0;
+
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        FleetConfig cfg;
+        cfg.workers = workers;
+        CampaignResult r = FleetScheduler(cfg).run(campaign);
+        if (!r.allPassed()) {
+            std::fprintf(stderr, "campaign failed: %s\n",
+                         r.summary().c_str());
+            return 1;
+        }
+        u64 instrs = 0;
+        for (size_t i = 0; i < r.jobs.size(); ++i) {
+            instrs += r.jobs[i].instrs;
+            if (r.jobs[i].digest != solo[i].digest ||
+                r.jobs[i].outcome != solo[i].outcome ||
+                r.jobs[i].attempts != solo[i].attempts) {
+                std::fprintf(stderr,
+                             "DETERMINISM VIOLATION: job %zu @%u workers\n",
+                             i, workers);
+                deterministic = false;
+            }
+        }
+        std::string report = campaignReportJson(r);
+        if (reference_report.empty())
+            reference_report = report;
+        else if (report != reference_report) {
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: report differs @%u\n",
+                         workers);
+            deterministic = false;
+        }
+        if (workers == 1)
+            wall1 = r.wallSec;
+        Point p;
+        p.workers = workers;
+        p.wallSec = r.wallSec;
+        p.jobsPerSec = r.wallSec > 0 ? r.jobs.size() / r.wallSec : 0;
+        p.checkedInstrsPerSec = r.wallSec > 0 ? instrs / r.wallSec : 0;
+        p.steals = r.steals;
+        points.push_back(p);
+        std::printf(
+            "  %u workers: %.2fs wall, %.1f jobs/s, %.0f instrs/s, "
+            "speedup %.2fx, %llu steals\n",
+            workers, p.wallSec, p.jobsPerSec, p.checkedInstrsPerSec,
+            wall1 > 0 ? wall1 / p.wallSec : 0.0,
+            (unsigned long long)p.steals);
+    }
+    if (!deterministic)
+        return 1;
+    std::printf("  verdicts + digests identical at every worker count "
+                "and vs solo\n");
+
+    std::string json;
+    json += "{\n  \"schema\": \"dth-fleet-bench-v1\",\n";
+    json += "  \"campaign\": \"scaling16\",\n  \"jobs\": " +
+            std::to_string(campaign.jobs.size()) + ",\n";
+    json += "  \"deterministic\": true,\n  \"scaling\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        json += "    {\"workers\": " + std::to_string(p.workers) +
+                ", \"wall_sec\": " + fmt(p.wallSec) +
+                ", \"jobs_per_sec\": " + fmt(p.jobsPerSec) +
+                ", \"checked_instrs_per_sec\": " +
+                fmt(p.checkedInstrsPerSec) +
+                ", \"speedup_x\": " +
+                fmt(wall1 > 0 && p.wallSec > 0 ? wall1 / p.wallSec : 0) +
+                ", \"steals\": " + std::to_string(p.steals) + "}";
+        json += i + 1 < points.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    if (!obs::writeFile("BENCH_fleet.json", json)) {
+        std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+        return 1;
+    }
+    std::printf("BENCH_fleet.json written\n");
+    return 0;
+}

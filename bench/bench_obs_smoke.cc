@@ -6,12 +6,18 @@
  * BENCH_obs.json (dth-obs-v1 snapshot, pretty-printable/diffable with
  * tools/dth_stats) and BENCH_timeline.json (Chrome trace_event timeline
  * of the host pipeline; load in chrome://tracing or ui.perfetto.dev).
+ *
+ * A small fleet campaign rides along and its aggregate is merged into
+ * BENCH_obs.json (obs::mergeSnapshots — the dth_stats --merge path), so
+ * the checked-in schema golden also covers the fleet.* stats.
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "fleet/campaign.h"
+#include "fleet/scheduler.h"
 #include "obs/json.h"
 
 namespace {
@@ -86,8 +92,40 @@ main()
 
     requireSameStats(serial.counters, threaded.counters);
 
+    // A 4-job fleet campaign on 2 workers: its aggregate carries the
+    // fleet.* stats into the snapshot (and the schema golden).
+    fleet::Campaign campaign;
+    campaign.name = "obs-smoke";
+    for (u64 seed = 1; seed <= 4; ++seed) {
+        fleet::JobSpec job;
+        job.workload = fleet::WorkloadKind::Microbench;
+        job.workloadOptions.seed = seed;
+        job.workloadOptions.iterations = 150;
+        job.workloadOptions.bodyLength = 32;
+        job.config.dut = dut::nutshellConfig();
+        campaign.add(std::move(job));
+    }
+    fleet::FleetConfig fleet_cfg;
+    fleet_cfg.workers = 2;
+    fleet::CampaignResult fleet_result =
+        fleet::FleetScheduler(fleet_cfg).run(campaign);
+    if (!fleet_result.allPassed()) {
+        std::fprintf(stderr, "fleet smoke failed: %s\n",
+                     fleet_result.summary().c_str());
+        return 1;
+    }
+    obs::StatSnapshot combined;
+    std::string merge_err;
+    if (!obs::mergeSnapshots(
+            &combined, {&threaded.counters, &fleet_result.aggregate},
+            &merge_err)) {
+        std::fprintf(stderr, "snapshot merge failed: %s\n",
+                     merge_err.c_str());
+        return 1;
+    }
+
     if (!obs::writeFile("BENCH_obs.json",
-                        obs::snapshotToJson(threaded.counters))) {
+                        obs::snapshotToJson(combined))) {
         std::fprintf(stderr, "cannot write BENCH_obs.json\n");
         return 1;
     }

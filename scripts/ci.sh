@@ -7,7 +7,11 @@
 #   3. chaos: link fault-injection soak under ASan+UBSan, gated on zero
 #      unrecovered faults and fault-free-identical verdicts
 #   4. ThreadSanitizer build + concurrency tests (SPSC ring, threaded
-#      cosim runtime, stat registry)
+#      cosim runtime, stat registry, fleet scheduler)
+# Plus the fleet campaign smoke: a 6-job campaign (incl. a seeded
+# link-fault job that must recover via quarantine/retry and a forced
+# cycle-budget timeout) whose report must be byte-identical across
+# worker counts, run in both the werror and ASan+UBSan builds.
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
 
@@ -33,6 +37,23 @@ echo "==> observability bench smoke + snapshot schema gate"
 ./build/tools/dth_stats --schema build/BENCH_obs.json \
     | diff -u bench/BENCH_obs.schema.txt -
 
+echo "==> fleet campaign smoke (deterministic across worker counts)"
+# The campaign intentionally contains one forced-timeout job, so
+# dth_fleet must exit 1 (failures present) — any other status is a bug.
+run_fleet_smoke() { # <build-dir> <workers> <report>
+    local rc=0
+    "$1/tools/dth_fleet" --spec bench/fleet_smoke.json \
+        --workers "$2" --report "$3" --quiet || rc=$?
+    [ "$rc" -eq 1 ]
+}
+run_fleet_smoke build 4 build/FLEET_report_w4.json
+run_fleet_smoke build 1 build/FLEET_report_w1.json
+# Byte-identical verdicts/digests regardless of scheduling.
+cmp build/FLEET_report_w4.json build/FLEET_report_w1.json
+# The aggregate snapshot is a valid dth-obs-v1 merge input.
+"./build/tools/dth_stats" --merge build/BENCH_obs.json \
+    build/BENCH_obs.json >/dev/null
+
 echo "==> ASan+UBSan build + full ctest"
 cmake -B build-asan -S . -DDTH_SANITIZE=address,undefined \
       -DDTH_WERROR=ON >/dev/null
@@ -40,6 +61,10 @@ cmake --build build-asan -j "$JOBS"
 ./build-asan/tools/dth_lint
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+# Fleet smoke under the sanitizers: concurrent sessions over shared
+# immutable tables/programs with quarantine/retry and timeout paths.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    run_fleet_smoke build-asan 4 build-asan/FLEET_report_w4.json
 
 echo "==> chaos: link fault-injection soak under ASan+UBSan"
 # Every fault kind active at fixed seeds. The gate is zero
@@ -53,9 +78,13 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
 
 echo "==> ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DDTH_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target host_pipeline_test
+cmake --build build-tsan -j "$JOBS" --target host_pipeline_test \
+    --target fleet_test
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/host_pipeline_test \
     --gtest_filter='SpscRing.*:*ThreadedEquivalence*:StatRegistry.*'
+# Fleet worker pool racing over one SharedTables + program library.
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/fleet_test --gtest_filter='FleetConcurrency.*'
 
 echo "==> CI OK"

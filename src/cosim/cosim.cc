@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "cosim/session.h"
 
 namespace dth::cosim {
 
@@ -61,8 +62,30 @@ CosimResult::summary() const
 
 CoSimulator::CoSimulator(const CosimConfig &config,
                          const workload::Program &program)
-    : config_(config), program_(program)
+    : CoSimulator(config,
+                  std::make_shared<const workload::Program>(program))
+{}
+
+CoSimulator::CoSimulator(const CosimConfig &config,
+                         std::shared_ptr<const workload::Program> program,
+                         std::shared_ptr<const SharedTables> tables)
+    : config_(config), program_(std::move(program)),
+      tables_(std::move(tables))
 {
+    dth_assert(program_ != nullptr, "null workload program");
+    if (tables_) {
+        // Validate the session config against the shared lint-proven
+        // tables once, up front — a fleet must not discover a config
+        // that can't encode its own events mid-campaign.
+        dth_assert(config_.packetBytes >= tables_->minPacketBytes(),
+                   "packetBytes %u below the %zu-byte minimum the "
+                   "protocol tables require",
+                   config_.packetBytes, tables_->minPacketBytes());
+        dth_assert(config_.maxFuse <= tables_->maxFuseDepth(),
+                   "maxFuse %u exceeds the wire format's fuse-depth "
+                   "ceiling %u",
+                   config_.maxFuse, tables_->maxFuseDepth());
+    }
     dut_ = std::make_unique<dut::DutModel>(config_.dut, program_,
                                            config_.seed);
     if (config_.squash) {
@@ -110,7 +133,7 @@ CoSimulator::CoSimulator(const CosimConfig &config,
     bool mmio_sync = config_.dut.enabled(EventType::MmioEvent);
     for (unsigned c = 0; c < config_.dut.cores; ++c) {
         checkers_.push_back(std::make_unique<checker::CoreChecker>(
-            c, program_, mmio_sync));
+            c, *program_, mmio_sync));
     }
 
     hostStat_.threads = hostSheet_.gauge("host.threads");

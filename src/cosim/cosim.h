@@ -136,12 +136,27 @@ struct CosimResult
     std::string summary() const;
 };
 
+class SharedTables; // cosim/session.h
+
 /** The co-simulation driver. */
 class CoSimulator
 {
   public:
     CoSimulator(const CosimConfig &config,
                 const workload::Program &program);
+
+    /**
+     * Campaign-style construction: the workload image and the
+     * lint-proven protocol tables are shared immutably across sessions
+     * instead of being copied/re-derived per instance (fleet sessions
+     * are cheap to re-construct). When @p tables is set, the config is
+     * validated against it up front: the packet budget must fit every
+     * event and maxFuse must fit the wire format.
+     */
+    CoSimulator(const CosimConfig &config,
+                std::shared_ptr<const workload::Program> program,
+                std::shared_ptr<const SharedTables> tables = nullptr);
+
     ~CoSimulator();
 
     /** Arm a DUT fault before running. */
@@ -202,7 +217,10 @@ class CoSimulator
                              const obs::StatSheet *hw_override);
 
     CosimConfig config_;
-    workload::Program program_;
+    /** Immutable workload image, possibly shared across sessions. */
+    std::shared_ptr<const workload::Program> program_;
+    /** Shared lint-proven protocol tables (may be null outside fleets). */
+    std::shared_ptr<const SharedTables> tables_;
 
     std::unique_ptr<dut::DutModel> dut_;
     std::unique_ptr<SquashUnit> squash_;

@@ -1,0 +1,134 @@
+#include "cosim/session.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace dth::cosim {
+
+namespace {
+
+/** FNV-1a accumulator over heterogeneous fields. */
+struct Fnv
+{
+    u64 hash = 0xCBF29CE484222325ull;
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            hash ^= p[i];
+            hash *= 0x100000001B3ull;
+        }
+    }
+
+    void u(u64 v) { bytes(&v, sizeof(v)); }
+
+    void
+    str(const char *s)
+    {
+        // Hash contents, not pointers: the digest must be stable across
+        // processes and ASLR.
+        bytes(s, s ? std::strlen(s) + 1 : 0);
+    }
+};
+
+} // namespace
+
+u64
+SharedTables::digestOf(const analysis::ProtocolTables &t)
+{
+    Fnv f;
+    f.u(t.numEventTypes);
+    f.u(t.numWireTypes);
+    for (const EventTypeInfo &e : t.events) {
+        f.u(static_cast<u64>(e.type));
+        f.str(e.name);
+        f.u(e.bytesPerEntry);
+        f.u(e.entriesPerCore);
+        f.u(e.fusible);
+        f.u(e.nde);
+        f.u(static_cast<u64>(e.category));
+        f.str(e.component);
+    }
+    f.u(t.eventWireHeaderBytes);
+    f.u(t.wireLengthPrefixBytes);
+    f.u(t.batchPacketHeaderBytes);
+    f.u(t.batchMetaBytes);
+    f.u(t.wireOrderTagBits);
+    f.u(t.packetBytes);
+    f.u(t.maxFuseDepth);
+    f.u(t.digestCountBits);
+    f.u(t.frameMagic);
+    f.u(t.frameHeaderBytes);
+    f.u(t.frameTrailerBytes);
+    f.u(t.maxFramePayloadBytes);
+    f.u(t.retxWindowFrames);
+    for (const analysis::MuxSlot &s : t.muxSlots) {
+        f.u(s.slot);
+        f.u(s.typeId);
+        f.u(s.lanes);
+        f.u(s.widthBytes);
+    }
+    for (const analysis::TypeMutation &m : t.refMutations) {
+        f.u(m.typeId);
+        for (replay::UndoKind k : m.domains)
+            f.u(static_cast<u64>(k));
+    }
+    for (replay::UndoKind k : t.undoKinds)
+        f.u(static_cast<u64>(k));
+    return f.hash;
+}
+
+SharedTables::SharedTables() : tables_(analysis::currentTables())
+{
+    analysis::LintReport report = analysis::runProtocolLint(tables_);
+    dth_assert(report.passed(),
+               "shared session tables failed protocol lint: %s",
+               report.summary().c_str());
+    checksProven_ = report.checksRun;
+    digest_ = digestOf(tables_);
+
+    // Largest enabled-event wire cost: header + body (+ variable-length
+    // prefix); plus the Batch packet/meta overhead gives the smallest
+    // viable packet budget.
+    size_t worst_event = 0;
+    for (const EventTypeInfo &e : tables_.events) {
+        size_t body = e.bytesPerEntry
+                          ? e.bytesPerEntry
+                          : tables_.wireLengthPrefixBytes + 64;
+        worst_event = std::max(worst_event,
+                               tables_.eventWireHeaderBytes + body);
+    }
+    minPacketBytes_ = tables_.batchPacketHeaderBytes +
+                      tables_.batchMetaBytes + worst_event;
+}
+
+void
+SharedTables::assertUnchanged() const
+{
+    u64 now = digestOf(tables_);
+    dth_assert(now == digest_,
+               "shared session tables mutated: digest 0x%llx -> 0x%llx "
+               "(a concurrent session raced on immutable state)",
+               (unsigned long long)digest_, (unsigned long long)now);
+}
+
+std::shared_ptr<const SharedTables>
+SharedTables::acquire()
+{
+    static std::mutex mu;
+    static std::weak_ptr<const SharedTables> cached;
+    std::lock_guard<std::mutex> lock(mu);
+    std::shared_ptr<const SharedTables> live = cached.lock();
+    if (!live) {
+        live = std::make_shared<const SharedTables>();
+        cached = live;
+    }
+    return live;
+}
+
+} // namespace dth::cosim

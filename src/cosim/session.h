@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared immutable per-session constants. A CoSimulator historically
+ * captured every protocol table it needed implicitly (the constexpr
+ * event table) and copied the rest per instance (the workload image).
+ * A verification campaign runs many sessions concurrently on one host,
+ * so the per-session constants move into one lint-proven, immutable
+ * SharedTables snapshot that every session of the process shares:
+ *
+ *  - the full analysis::ProtocolTables capture (event table, wire and
+ *    Batch layout constants, mux slots, replay coverage, frame
+ *    transport bounds), validated ONCE by the dth_lint invariant
+ *    catalogue instead of being re-trusted per session;
+ *  - a content digest taken at capture time; assertUnchanged()
+ *    recomputes it so concurrent sessions (and the fleet scheduler at
+ *    campaign teardown) can prove nobody raced on the shared state.
+ *
+ * Workload Programs are shared the same way: CoSimulator and DutModel
+ * accept std::shared_ptr<const workload::Program>, so a campaign that
+ * runs the same workload image across many seeds/configs builds it
+ * once and constructs sessions cheaply (no image copies).
+ */
+
+#ifndef DTH_COSIM_SESSION_H_
+#define DTH_COSIM_SESSION_H_
+
+#include <memory>
+
+#include "analysis/protocol_lint.h"
+
+namespace dth::cosim {
+
+/** One lint-proven, immutable protocol-table snapshot shared by every
+ *  concurrent session. Thread-safe by construction: all state is set in
+ *  the constructor and never written again. */
+class SharedTables
+{
+  public:
+    /** Capture the in-tree tables and prove the full invariant
+     *  catalogue over them (fatal on any violation: a campaign must not
+     *  start on broken tables). */
+    SharedTables();
+
+    /** The process-wide instance, created on first use and shared until
+     *  the last holder drops it. */
+    static std::shared_ptr<const SharedTables> acquire();
+
+    const analysis::ProtocolTables &tables() const { return tables_; }
+
+    /** Content digest taken at capture time (FNV-1a over a canonical
+     *  serialization). */
+    u64 digest() const { return digest_; }
+
+    /** Invariant checks the validating lint run performed. */
+    unsigned checksProven() const { return checksProven_; }
+
+    /** Smallest packetBytes budget that fits every enabled event plus
+     *  the Batch header/meta overhead. */
+    size_t minPacketBytes() const { return minPacketBytes_; }
+
+    /** Squash fusion-depth ceiling the wire format supports. */
+    unsigned maxFuseDepth() const { return tables_.maxFuseDepth; }
+
+    /** Recompute the digest over the live tables and panic on any
+     *  difference: proof that no concurrent session mutated the shared
+     *  snapshot. */
+    void assertUnchanged() const;
+
+    /** Canonical content digest of @p tables. */
+    static u64 digestOf(const analysis::ProtocolTables &tables);
+
+  private:
+    analysis::ProtocolTables tables_;
+    u64 digest_ = 0;
+    unsigned checksProven_ = 0;
+    size_t minPacketBytes_ = 0;
+};
+
+} // namespace dth::cosim
+
+#endif // DTH_COSIM_SESSION_H_

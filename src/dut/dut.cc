@@ -21,8 +21,17 @@ DutModel::CoreCtx::CoreCtx(const riscv::CoreConfig &cc, const DutConfig &dc)
 
 DutModel::DutModel(const DutConfig &config, const workload::Program &program,
                    u64 seed)
-    : config_(config), program_(program), rng_(seed)
+    : DutModel(config,
+               std::make_shared<const workload::Program>(program), seed)
+{}
+
+DutModel::DutModel(const DutConfig &config,
+                   std::shared_ptr<const workload::Program> program_arg,
+                   u64 seed)
+    : config_(config), program_(std::move(program_arg)), rng_(seed)
 {
+    dth_assert(program_ != nullptr, "null workload program");
+    const workload::Program &program = *program_;
     stat_.events = counters_.sum("dut.events");
     stat_.bytes = counters_.sum("dut.bytes");
     stat_.instrs = counters_.sum("dut.instrs");

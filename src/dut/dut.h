@@ -40,6 +40,12 @@ class DutModel
     DutModel(const DutConfig &config, const workload::Program &program,
              u64 seed = 0xD07);
 
+    /** Campaign-style construction: the workload image is shared
+     *  immutably with other sessions instead of copied per DUT. */
+    DutModel(const DutConfig &config,
+             std::shared_ptr<const workload::Program> program,
+             u64 seed = 0xD07);
+
     /** Advance one hardware cycle; returns the cycle's events. */
     CycleEvents cycle();
 
@@ -56,7 +62,7 @@ class DutModel
 
     const DutConfig &config() const { return config_; }
     riscv::Core &core(unsigned i) { return ctxs_[i]->soc.core; }
-    const workload::Program &program() const { return program_; }
+    const workload::Program &program() const { return *program_; }
     obs::StatSheet &counters() { return counters_; }
 
   private:
@@ -98,7 +104,7 @@ class DutModel
     void markFired(u64 seq, const std::string &what);
 
     DutConfig config_;
-    workload::Program program_;
+    std::shared_ptr<const workload::Program> program_;
     Rng rng_;
     std::vector<std::unique_ptr<CoreCtx>> ctxs_;
     u64 cycle_ = 0;

@@ -1,0 +1,427 @@
+#include "fleet/campaign.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace dth::fleet {
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Microbench: return "microbench";
+      case WorkloadKind::BootLike: return "boot";
+      case WorkloadKind::ComputeLike: return "compute";
+      case WorkloadKind::VectorLike: return "vector";
+      case WorkloadKind::IoHeavy: return "io";
+    }
+    return "?";
+}
+
+bool
+workloadKindFromName(std::string_view name, WorkloadKind *out)
+{
+    for (WorkloadKind k :
+         {WorkloadKind::Microbench, WorkloadKind::BootLike,
+          WorkloadKind::ComputeLike, WorkloadKind::VectorLike,
+          WorkloadKind::IoHeavy}) {
+        if (name == workloadKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+cosim::CosimConfig
+defaultJobConfig()
+{
+    cosim::CosimConfig cfg;
+    cfg.dut = dut::xsDefaultConfig();
+    cfg.platform = link::palladiumPlatform();
+    cfg.applyOptLevel(cosim::OptLevel::BNSD);
+    return cfg;
+}
+
+std::string
+JobSpec::programKey() const
+{
+    char buf[128];
+    const workload::WorkloadOptions &o = workloadOptions;
+    std::snprintf(buf, sizeof(buf), "%s:%llu:%u:%u:%d:%llu:%d",
+                  workloadKindName(workload),
+                  (unsigned long long)o.seed, o.iterations, o.bodyLength,
+                  o.timerInterrupts ? 1 : 0,
+                  (unsigned long long)o.timerInterval,
+                  o.supervisorMode ? 1 : 0);
+    return buf;
+}
+
+void
+Campaign::add(JobSpec spec)
+{
+    if (spec.name.empty()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "job%zu-%s-s%llu", jobs.size(),
+                      workloadKindName(spec.workload),
+                      (unsigned long long)spec.workloadOptions.seed);
+        spec.name = buf;
+    }
+    // Job names key the report; collisions would make it ambiguous.
+    for (const JobSpec &existing : jobs) {
+        dth_assert(existing.name != spec.name,
+                   "duplicate job name '%s'", spec.name.c_str());
+    }
+    jobs.push_back(std::move(spec));
+}
+
+Campaign
+expandMatrix(const MatrixSpec &spec)
+{
+    Campaign campaign;
+    campaign.name = spec.name;
+    for (WorkloadKind workload : spec.workloads) {
+        for (u64 seed : spec.seeds) {
+            for (cosim::OptLevel level : spec.optLevels) {
+                JobSpec job = spec.base;
+                job.workload = workload;
+                job.workloadOptions.seed = seed;
+                job.config.applyOptLevel(level);
+                // Decorrelate the session texture/NDE stream per matrix
+                // point while keeping it a pure function of the spec.
+                job.config.seed =
+                    spec.base.config.seed ^
+                    ((seed + 1) * 0x9E3779B97F4A7C15ull);
+                char buf[96];
+                std::snprintf(buf, sizeof(buf), "%s-s%llu-%s",
+                              workloadKindName(workload),
+                              (unsigned long long)seed,
+                              cosim::optLevelName(level));
+                job.name = buf;
+                campaign.add(std::move(job));
+            }
+        }
+    }
+    return campaign;
+}
+
+workload::Program
+buildWorkload(const JobSpec &spec)
+{
+    switch (spec.workload) {
+      case WorkloadKind::Microbench:
+        return workload::makeMicrobench(spec.workloadOptions);
+      case WorkloadKind::BootLike:
+        return workload::makeBootLike(spec.workloadOptions);
+      case WorkloadKind::ComputeLike:
+        return workload::makeComputeLike(spec.workloadOptions);
+      case WorkloadKind::VectorLike:
+        return workload::makeVectorLike(spec.workloadOptions);
+      case WorkloadKind::IoHeavy:
+        return workload::makeIoHeavy(spec.workloadOptions);
+    }
+    dth_panic("unknown workload kind %u",
+              static_cast<unsigned>(spec.workload));
+}
+
+std::shared_ptr<const workload::Program>
+ProgramLibrary::get(const JobSpec &spec)
+{
+    std::string key = spec.programKey();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++reuses_;
+        return it->second;
+    }
+    auto program =
+        std::make_shared<const workload::Program>(buildWorkload(spec));
+    ++builds_;
+    cache_.emplace(std::move(key), program);
+    return program;
+}
+
+// ---------------------------------------------------------------------------
+// JSON campaign spec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using obs::JsonValue;
+
+/** Field-application context: accumulates the first error. */
+struct SpecErr
+{
+    std::string *err;
+    bool failed = false;
+
+    void
+    fail(const std::string &msg)
+    {
+        if (!failed && err)
+            *err = msg;
+        failed = true;
+    }
+};
+
+bool
+dutByName(std::string_view name, dut::DutConfig *out)
+{
+    if (name == "nutshell")
+        *out = dut::nutshellConfig();
+    else if (name == "xs-minimal")
+        *out = dut::xsMinimalConfig();
+    else if (name == "xs-default")
+        *out = dut::xsDefaultConfig();
+    else if (name == "xs-dual")
+        *out = dut::xsDualConfig();
+    else
+        return false;
+    return true;
+}
+
+bool
+optLevelByName(std::string_view name, cosim::OptLevel *out)
+{
+    if (name == "Z")
+        *out = cosim::OptLevel::Z;
+    else if (name == "B")
+        *out = cosim::OptLevel::B;
+    else if (name == "BN")
+        *out = cosim::OptLevel::BN;
+    else if (name == "BNSD")
+        *out = cosim::OptLevel::BNSD;
+    else
+        return false;
+    return true;
+}
+
+/** Apply one job-field object onto @p spec. Platform resolution is
+ *  deferred so "verilator" can use the (possibly later-set) DUT size. */
+struct PendingPlatform
+{
+    bool set = false;
+    std::string name;
+};
+
+void
+applyJobFields(const JsonValue &obj, JobSpec *spec,
+               PendingPlatform *platform, SpecErr *e)
+{
+    for (const auto &[key, value] : obj.fields) {
+        if (key == "name") {
+            spec->name = value.text;
+        } else if (key == "workload") {
+            if (!workloadKindFromName(value.text, &spec->workload))
+                e->fail("unknown workload '" + value.text + "'");
+        } else if (key == "seed") {
+            spec->workloadOptions.seed = value.asU64();
+            spec->config.seed =
+                0xD1FF ^ ((value.asU64() + 1) * 0x9E3779B97F4A7C15ull);
+        } else if (key == "run_seed") {
+            spec->config.seed = value.asU64();
+        } else if (key == "iterations") {
+            spec->workloadOptions.iterations =
+                static_cast<unsigned>(value.asU64());
+        } else if (key == "body_length") {
+            spec->workloadOptions.bodyLength =
+                static_cast<unsigned>(value.asU64());
+        } else if (key == "timer_interrupts") {
+            spec->workloadOptions.timerInterrupts = value.boolean;
+        } else if (key == "supervisor") {
+            spec->workloadOptions.supervisorMode = value.boolean;
+        } else if (key == "dut") {
+            if (!dutByName(value.text, &spec->config.dut))
+                e->fail("unknown dut '" + value.text + "'");
+        } else if (key == "platform") {
+            platform->set = true;
+            platform->name = value.text;
+        } else if (key == "opt_level") {
+            cosim::OptLevel level;
+            if (!optLevelByName(value.text, &level))
+                e->fail("unknown opt_level '" + value.text + "'");
+            else
+                spec->config.applyOptLevel(level);
+        } else if (key == "host_threads") {
+            spec->config.hostThreads =
+                static_cast<unsigned>(value.asU64());
+        } else if (key == "packet_bytes") {
+            spec->config.packetBytes =
+                static_cast<unsigned>(value.asU64());
+        } else if (key == "max_fuse") {
+            spec->config.maxFuse = static_cast<unsigned>(value.asU64());
+        } else if (key == "max_cycles") {
+            spec->maxCycles = value.asU64();
+        } else if (key == "max_retries") {
+            spec->maxRetries = static_cast<unsigned>(value.asU64());
+        } else if (key == "retry_fault_damping") {
+            spec->retryFaultDamping = value.asDouble();
+        } else if (key == "wall_timeout_sec") {
+            spec->wallTimeoutSec = value.asDouble();
+        } else if (key == "fault_rate") {
+            double rate = value.asDouble();
+            u64 seed = spec->config.linkFaults.seed;
+            unsigned attempts = spec->config.linkFaults.maxAttempts;
+            unsigned budget =
+                spec->config.linkFaults.unrecoverableBudget;
+            spec->config.linkFaults =
+                link::LinkFaultConfig::allKinds(rate, seed);
+            spec->config.linkFaults.enabled = rate > 0;
+            spec->config.linkFaults.maxAttempts = attempts;
+            spec->config.linkFaults.unrecoverableBudget = budget;
+        } else if (key == "stall_rate") {
+            spec->config.linkFaults.enabled = true;
+            spec->config.linkFaults.stallRate = value.asDouble();
+        } else if (key == "fault_seed") {
+            spec->config.linkFaults.seed = value.asU64();
+        } else if (key == "fault_max_attempts") {
+            spec->config.linkFaults.maxAttempts =
+                static_cast<unsigned>(value.asU64());
+        } else if (key == "fault_budget") {
+            spec->config.linkFaults.unrecoverableBudget =
+                static_cast<unsigned>(value.asU64());
+        } else {
+            e->fail("unknown job field '" + key + "'");
+        }
+        if (e->failed)
+            return;
+    }
+}
+
+void
+resolvePlatform(const PendingPlatform &platform, JobSpec *spec,
+                SpecErr *e)
+{
+    if (!platform.set)
+        return;
+    if (platform.name == "palladium")
+        spec->config.platform = link::palladiumPlatform();
+    else if (platform.name == "fpga")
+        spec->config.platform = link::fpgaPlatform();
+    else if (platform.name == "verilator")
+        spec->config.platform =
+            link::verilatorPlatform(spec->config.dut.gatesMillions);
+    else
+        e->fail("unknown platform '" + platform.name + "'");
+}
+
+} // namespace
+
+bool
+campaignFromJson(std::string_view text, Campaign *out, std::string *err)
+{
+    *out = Campaign{};
+    SpecErr e{err};
+    JsonValue root;
+    if (!obs::parseJson(text, &root) ||
+        root.type != JsonValue::Type::Object) {
+        e.fail("malformed JSON");
+        return false;
+    }
+    const JsonValue *schema = root.field("schema");
+    if (!schema || schema->text != "dth-fleet-campaign-v1") {
+        e.fail("missing or unsupported schema id "
+               "(want dth-fleet-campaign-v1)");
+        return false;
+    }
+    if (const JsonValue *name = root.field("name"))
+        out->name = name->text;
+
+    JobSpec defaults;
+    PendingPlatform defaultPlatform;
+    if (const JsonValue *d = root.field("defaults")) {
+        if (d->type != JsonValue::Type::Object) {
+            e.fail("'defaults' must be an object");
+            return false;
+        }
+        applyJobFields(*d, &defaults, &defaultPlatform, &e);
+        resolvePlatform(defaultPlatform, &defaults, &e);
+        if (e.failed)
+            return false;
+        if (!defaults.name.empty()) {
+            e.fail("'defaults' must not set a job name");
+            return false;
+        }
+    }
+
+    if (const JsonValue *m = root.field("matrix")) {
+        if (m->type != JsonValue::Type::Object) {
+            e.fail("'matrix' must be an object");
+            return false;
+        }
+        MatrixSpec matrix;
+        matrix.name = out->name;
+        matrix.base = defaults;
+        matrix.workloads.clear();
+        matrix.seeds.clear();
+        matrix.optLevels.clear();
+        if (const JsonValue *w = m->field("workloads")) {
+            for (const JsonValue &item : w->items) {
+                WorkloadKind kind;
+                if (!workloadKindFromName(item.text, &kind)) {
+                    e.fail("unknown workload '" + item.text + "'");
+                    return false;
+                }
+                matrix.workloads.push_back(kind);
+            }
+        }
+        if (const JsonValue *s = m->field("seeds"))
+            for (const JsonValue &item : s->items)
+                matrix.seeds.push_back(item.asU64());
+        if (const JsonValue *l = m->field("opt_levels")) {
+            for (const JsonValue &item : l->items) {
+                cosim::OptLevel level;
+                if (!optLevelByName(item.text, &level)) {
+                    e.fail("unknown opt_level '" + item.text + "'");
+                    return false;
+                }
+                matrix.optLevels.push_back(level);
+            }
+        }
+        if (matrix.workloads.empty() || matrix.seeds.empty()) {
+            e.fail("'matrix' needs non-empty workloads and seeds");
+            return false;
+        }
+        if (matrix.optLevels.empty())
+            matrix.optLevels.push_back(cosim::OptLevel::BNSD);
+        Campaign expanded = expandMatrix(matrix);
+        for (JobSpec &job : expanded.jobs)
+            out->add(std::move(job));
+    }
+
+    if (const JsonValue *jobs = root.field("jobs")) {
+        if (jobs->type != JsonValue::Type::Array) {
+            e.fail("'jobs' must be an array");
+            return false;
+        }
+        for (const JsonValue &item : jobs->items) {
+            if (item.type != JsonValue::Type::Object) {
+                e.fail("each job must be an object");
+                return false;
+            }
+            JobSpec job = defaults;
+            PendingPlatform platform;
+            applyJobFields(item, &job, &platform, &e);
+            resolvePlatform(platform, &job, &e);
+            if (e.failed)
+                return false;
+            // User input: report name collisions instead of asserting.
+            for (const JobSpec &existing : out->jobs) {
+                if (!job.name.empty() && existing.name == job.name) {
+                    e.fail("duplicate job name '" + job.name + "'");
+                    return false;
+                }
+            }
+            out->add(std::move(job));
+        }
+    }
+
+    if (out->jobs.empty()) {
+        e.fail("campaign has no jobs (need 'matrix' and/or 'jobs')");
+        return false;
+    }
+    return true;
+}
+
+} // namespace dth::fleet

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Campaign specification for the verification fleet: the unit of work
+ * the FleetScheduler executes is a JobSpec — one DUT<->REF session over
+ * one (workload, seed, CosimConfig) point with a per-job cycle budget
+ * and quarantine/retry policy — and a Campaign is an ordered list of
+ * them with stable ids.
+ *
+ * Campaigns come from three places:
+ *  - programmatic construction (tests, benches);
+ *  - matrix expansion (workloads x seeds x opt levels, the regression
+ *    sweep shape), expanded in a deterministic order so job ids are
+ *    stable across hosts and worker counts;
+ *  - a small JSON spec (tools/dth_fleet --spec), parsed with the same
+ *    recursive-descent parser the dth-obs-v1 snapshots use.
+ *
+ * Every determinism guarantee downstream (solo == fleet verdicts,
+ * reports identical across worker counts) starts here: a JobSpec fully
+ * determines its session — nothing about scheduling leaks into the
+ * simulated work.
+ */
+
+#ifndef DTH_FLEET_CAMPAIGN_H_
+#define DTH_FLEET_CAMPAIGN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cosim/cosim.h"
+#include "dut/fault.h"
+#include "workload/generators.h"
+
+namespace dth::fleet {
+
+/** Synthetic workload families a job can run. */
+enum class WorkloadKind : u8 {
+    Microbench,
+    BootLike,
+    ComputeLike,
+    VectorLike,
+    IoHeavy,
+};
+
+/** Lower-case spec name ("microbench", "boot", "compute", ...). */
+const char *workloadKindName(WorkloadKind kind);
+
+/** Parse a spec name; returns false if @p name is unknown. */
+bool workloadKindFromName(std::string_view name, WorkloadKind *out);
+
+/** A runnable starting point: XiangShan-default DUT on the Palladium
+ *  platform model at full DiffTest-H optimization (a default-constructed
+ *  CosimConfig has no DUT events enabled and would verify nothing). */
+cosim::CosimConfig defaultJobConfig();
+
+/** One schedulable session: everything that determines its outcome. */
+struct JobSpec
+{
+    /** Unique within the campaign; derived from the matrix point when
+     *  built by expandMatrix / the JSON loader. */
+    std::string name;
+
+    WorkloadKind workload = WorkloadKind::Microbench;
+    /** Workload generator parameters (seed, iterations, bodyLength). */
+    workload::WorkloadOptions workloadOptions;
+
+    /** Full session configuration, including the run seed and the link
+     *  fault-injection knobs. */
+    cosim::CosimConfig config = defaultJobConfig();
+
+    /** Per-attempt cycle budget: the deterministic timeout. A run that
+     *  exhausts it without trapping or mismatching is TimedOut. */
+    u64 maxCycles = 2'000'000;
+
+    /**
+     * Quarantine/retry policy for attempts that end in the structured
+     * link-degraded state (degrade level 2): the job is quarantined and
+     * re-run up to maxRetries more times. Each retry re-derives the
+     * fault-injector seed and scales the fault rates by
+     * retryFaultDamping (a transient-fault environment model), so
+     * recovery is a pure function of the spec — a retried job recovers
+     * (or not) identically solo and in any fleet.
+     */
+    unsigned maxRetries = 0;
+    double retryFaultDamping = 0.5;
+
+    /** Optional wall-clock safety net (0 = off). Non-deterministic by
+     *  nature; excluded from every determinism guarantee. */
+    double wallTimeoutSec = 0;
+
+    /** Optional armed DUT fault (bug-hunt campaigns). */
+    bool hasFault = false;
+    dut::FaultSpec fault;
+
+    /** Program-library key: jobs agreeing on it share one image. */
+    std::string programKey() const;
+};
+
+/** An ordered set of jobs; the vector index is the stable job id. */
+struct Campaign
+{
+    std::string name = "campaign";
+    std::vector<JobSpec> jobs;
+
+    /** Append @p spec, deriving a unique name if it has none. */
+    void add(JobSpec spec);
+};
+
+/** Matrix shorthand: the cross product expanded in deterministic order
+ *  (workload-major, then seed, then opt level). */
+struct MatrixSpec
+{
+    std::string name = "matrix";
+    std::vector<WorkloadKind> workloads{WorkloadKind::ComputeLike};
+    std::vector<u64> seeds{1};
+    std::vector<cosim::OptLevel> optLevels{cosim::OptLevel::BNSD};
+    /** Template applied to every point (dut/platform/fault knobs). */
+    JobSpec base;
+};
+
+Campaign expandMatrix(const MatrixSpec &spec);
+
+/**
+ * Parse a dth-fleet-campaign-v1 JSON spec. Returns false with @p err
+ * set on malformed input; @p out is cleared first. See
+ * tools/dth_fleet.cc --help or DESIGN.md section 10 for the format.
+ */
+bool campaignFromJson(std::string_view text, Campaign *out,
+                      std::string *err);
+
+/** Build the (deterministic) program image for @p spec. */
+workload::Program buildWorkload(const JobSpec &spec);
+
+/**
+ * Immutable-program cache keyed by JobSpec::programKey(): a campaign
+ * that sweeps seeds/configs over the same workload builds each image
+ * once and shares it across concurrent sessions. Not thread-safe;
+ * the scheduler populates it before the workers start.
+ */
+class ProgramLibrary
+{
+  public:
+    std::shared_ptr<const workload::Program> get(const JobSpec &spec);
+
+    size_t builds() const { return builds_; }
+    size_t reuses() const { return reuses_; }
+
+  private:
+    std::map<std::string, std::shared_ptr<const workload::Program>,
+             std::less<>>
+        cache_;
+    size_t builds_ = 0;
+    size_t reuses_ = 0;
+};
+
+} // namespace dth::fleet
+
+#endif // DTH_FLEET_CAMPAIGN_H_

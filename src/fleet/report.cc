@@ -1,0 +1,247 @@
+#include "fleet/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dth::fleet {
+
+namespace {
+
+/** Wall-clock-dependent stats excluded from the deterministic view. */
+bool
+isNondeterministic(std::string_view name)
+{
+    if (name.substr(0, 5) == "host.")
+        return true;
+    return name == "fleet.steals" || name == "fleet.workers" ||
+           name == "fleet.queue_latency_us";
+}
+
+void
+appendEscaped(std::string *out, std::string_view s)
+{
+    out->push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': *out += "\\\""; break;
+          case '\\': *out += "\\\\"; break;
+          case '\n': *out += "\\n"; break;
+          case '\r': *out += "\\r"; break;
+          case '\t': *out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                *out += buf;
+            } else {
+                out->push_back(c);
+            }
+        }
+    }
+    out->push_back('"');
+}
+
+void
+appendU64(std::string *out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    *out += buf;
+}
+
+void
+appendHex(std::string *out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%016" PRIx64 "\"", v);
+    *out += buf;
+}
+
+void
+appendReal(std::string *out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    *out += buf;
+}
+
+struct Fnv
+{
+    u64 hash = 0xCBF29CE484222325ull;
+
+    void
+    u(u64 v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (i * 8)) & 0xFF;
+            hash *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    str(std::string_view s)
+    {
+        for (char c : s) {
+            hash ^= static_cast<u8>(c);
+            hash *= 0x100000001B3ull;
+        }
+        u(s.size());
+    }
+};
+
+} // namespace
+
+obs::StatSnapshot
+deterministicAggregate(const obs::StatSnapshot &agg)
+{
+    obs::StatSnapshot out;
+    for (const auto &[name, value] : agg.integers())
+        if (!isNondeterministic(name))
+            out.setInt(name, agg.kindOf(name), value);
+    for (const auto &[name, data] : agg.hists())
+        if (!isNondeterministic(name))
+            out.setHist(name, data);
+    // Reals are dropped wholesale: every Real in the registry today is
+    // a wall-clock accumulator.
+    return out;
+}
+
+u64
+aggregateDigest(const obs::StatSnapshot &agg)
+{
+    obs::StatSnapshot det = deterministicAggregate(agg);
+    Fnv fnv;
+    for (const auto &[name, value] : det.integers()) {
+        fnv.str(name);
+        fnv.u(static_cast<u64>(det.kindOf(name)));
+        fnv.u(value);
+    }
+    for (const auto &[name, data] : det.hists()) {
+        fnv.str(name);
+        fnv.u(data.count);
+        fnv.u(data.sum);
+        fnv.u(data.count ? data.min : 0);
+        fnv.u(data.max);
+        for (u64 b : data.buckets)
+            fnv.u(b);
+    }
+    return fnv.hash;
+}
+
+std::string
+campaignReportJson(const CampaignResult &result, const ReportOptions &opts)
+{
+    std::string out;
+    out.reserve(4096 + result.jobs.size() * 256);
+    out += "{\n  \"schema\": \"";
+    out += kFleetReportSchemaId;
+    out += "\",\n  \"campaign\": ";
+    appendEscaped(&out, result.campaign);
+    out += ",\n  \"counts\": {";
+    out += "\"jobs\": ";
+    appendU64(&out, result.jobs.size());
+    out += ", \"passed\": ";
+    appendU64(&out, result.count(JobOutcome::Passed));
+    out += ", \"failed\": ";
+    appendU64(&out, result.count(JobOutcome::Failed));
+    out += ", \"degraded\": ";
+    appendU64(&out, result.count(JobOutcome::Degraded));
+    out += ", \"timed_out\": ";
+    appendU64(&out, result.count(JobOutcome::TimedOut));
+    u64 recovered = 0, attempts = 0;
+    for (const JobResult &job : result.jobs) {
+        recovered += job.recovered ? 1 : 0;
+        attempts += job.attempts;
+    }
+    out += ", \"recovered\": ";
+    appendU64(&out, recovered);
+    out += ", \"attempts\": ";
+    appendU64(&out, attempts);
+    out += "},\n  \"jobs\": [\n";
+    for (size_t i = 0; i < result.jobs.size(); ++i) {
+        const JobResult &job = result.jobs[i];
+        out += "    {\"id\": ";
+        appendU64(&out, job.id);
+        out += ", \"name\": ";
+        appendEscaped(&out, job.name);
+        out += ", \"workload\": \"";
+        out += workloadKindName(job.workload);
+        out += "\", \"workload_seed\": ";
+        appendU64(&out, job.workloadSeed);
+        out += ", \"outcome\": \"";
+        out += jobOutcomeName(job.outcome);
+        out += "\", \"attempts\": ";
+        appendU64(&out, job.attempts);
+        out += ", \"recovered\": ";
+        out += job.recovered ? "true" : "false";
+        out += ", \"cycles\": ";
+        appendU64(&out, job.cycles);
+        out += ", \"instrs\": ";
+        appendU64(&out, job.instrs);
+        out += ", \"checked_events\": ";
+        appendU64(&out, job.checkedEvents);
+        out += ", \"digest\": ";
+        appendHex(&out, job.digest);
+        out += ", \"degrade_level\": ";
+        appendU64(&out, job.linkDegradeLevel);
+        out += ", \"faults_injected\": ";
+        appendU64(&out, job.faultsInjected);
+        out += ", \"replay_ran\": ";
+        out += job.replayRan ? "true" : "false";
+        out += "}";
+        out += i + 1 < result.jobs.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    if (opts.includeFailures) {
+        out += "  \"failures\": [\n";
+        bool first = true;
+        for (const JobResult &job : result.jobs) {
+            if (!job.artifacts)
+                continue;
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "    {\"id\": ";
+            appendU64(&out, job.id);
+            out += ", \"name\": ";
+            appendEscaped(&out, job.name);
+            out += ", \"mismatch\": ";
+            appendEscaped(&out, job.artifacts->mismatch);
+            out += ", \"link_report\": ";
+            appendEscaped(&out, job.artifacts->linkReport);
+            out += ", \"replay_window\": [";
+            for (size_t j = 0; j < job.artifacts->replayTranscript.size();
+                 ++j) {
+                if (j)
+                    out += ", ";
+                appendEscaped(&out, job.artifacts->replayTranscript[j]);
+            }
+            out += "]}";
+        }
+        out += first ? "  ],\n" : "\n  ],\n";
+    }
+    out += "  \"aggregate_digest\": ";
+    appendHex(&out, aggregateDigest(result.aggregate));
+    out += ",\n  \"tables_digest\": ";
+    appendHex(&out, result.tablesDigest);
+    if (opts.includeTiming) {
+        out += ",\n  \"timing\": {";
+        out += "\"workers\": ";
+        appendU64(&out, result.workers);
+        out += ", \"wall_sec\": ";
+        appendReal(&out, result.wallSec);
+        out += ", \"busy_sec\": ";
+        appendReal(&out, result.busySec);
+        out += ", \"speedup_x\": ";
+        appendReal(&out, result.wallSec > 0
+                             ? result.busySec / result.wallSec
+                             : 0.0);
+        out += ", \"steals\": ";
+        appendU64(&out, result.steals);
+        out += "}";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace dth::fleet

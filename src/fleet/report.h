@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable campaign report (dth-fleet-report-v1).
+ *
+ * The report is deterministic by construction: jobs are emitted in
+ * stable job-id order regardless of completion order, every field in
+ * the default report is a pure function of the campaign spec (verdicts,
+ * digests, attempt histories, the filtered aggregate), and wall-clock
+ * facts (latencies, steals, utilization) appear only in the optional
+ * "timing" section. Two runs of the same campaign — at any worker
+ * count, on any host — produce byte-identical default reports; the
+ * fleet determinism suite and the CI smoke compare them directly.
+ */
+
+#ifndef DTH_FLEET_REPORT_H_
+#define DTH_FLEET_REPORT_H_
+
+#include <string>
+
+#include "fleet/scheduler.h"
+#include "obs/stats.h"
+
+namespace dth::fleet {
+
+/** Current report wire-format identifier. */
+inline constexpr std::string_view kFleetReportSchemaId =
+    "dth-fleet-report-v1";
+
+struct ReportOptions
+{
+    /** Emit the wall-clock "timing" section (nondeterministic: the
+     *  default report must be byte-identical across worker counts). */
+    bool includeTiming = false;
+    /** Emit retained failure artifacts (mismatch text, replay window,
+     *  link report) in the "failures" section. */
+    bool includeFailures = true;
+};
+
+/**
+ * The deterministic view of a campaign aggregate: integer stats and
+ * histograms minus everything wall-clock — the host.* telemetry, the
+ * scheduling-dependent fleet stats (fleet.steals, fleet.workers,
+ * fleet.queue_latency_us) and all Real accumulators. This is the part
+ * of the aggregate guaranteed identical across worker counts.
+ */
+obs::StatSnapshot deterministicAggregate(const obs::StatSnapshot &agg);
+
+/** FNV-1a digest over the deterministic aggregate (name, kind, value,
+ *  histogram contents) — one number to compare across fleet shapes. */
+u64 aggregateDigest(const obs::StatSnapshot &agg);
+
+/** Serialize @p result as dth-fleet-report-v1 JSON. */
+std::string campaignReportJson(const CampaignResult &result,
+                               const ReportOptions &opts = {});
+
+} // namespace dth::fleet
+
+#endif // DTH_FLEET_REPORT_H_

@@ -1,0 +1,540 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dth::fleet {
+
+const char *
+jobOutcomeName(JobOutcome outcome)
+{
+    switch (outcome) {
+      case JobOutcome::Passed: return "passed";
+      case JobOutcome::Failed: return "failed";
+      case JobOutcome::Degraded: return "degraded";
+      case JobOutcome::TimedOut: return "timed-out";
+    }
+    return "?";
+}
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Quarantined: return "quarantined";
+      case JobState::Done: return "done";
+    }
+    return "?";
+}
+
+JobOutcome
+classifyOutcome(const cosim::CosimResult &result, const JobSpec &spec)
+{
+    // Order matters: a failed link means the event stream was cut
+    // short, so the (unverified) result is "degraded", not "failed" —
+    // only degraded attempts are quarantine/retry candidates.
+    if (result.linkDegradeLevel >= 2)
+        return JobOutcome::Degraded;
+    if (!result.verified)
+        return JobOutcome::Failed;
+    if (result.goodTrap)
+        return JobOutcome::Passed;
+    if (result.cycles >= spec.maxCycles)
+        return JobOutcome::TimedOut;
+    // Ran clean to a stop that was neither the good trap nor the cycle
+    // budget: a bad trap code.
+    return JobOutcome::Failed;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** FNV-1a digest over the checked-event stream, order-sensitive (the
+ *  same folding the chaos-equivalence suite uses). */
+struct EventDigest
+{
+    u64 hash = 0xCBF29CE484222325ull;
+    u64 events = 0;
+
+    void
+    mix(u64 v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (i * 8)) & 0xFF;
+            hash *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    operator()(const Event &e)
+    {
+        ++events;
+        mix(static_cast<u64>(e.type));
+        mix(e.core);
+        mix(e.index);
+        mix(e.commitSeq);
+        mix(e.emitSeq);
+        for (u8 b : e.payload)
+            mix(b);
+    }
+};
+
+/** Everything one attempt produced. */
+struct AttemptOutput
+{
+    JobOutcome outcome = JobOutcome::Failed;
+    cosim::CosimResult result;
+    u64 digest = 0;
+    u64 checkedEvents = 0;
+    double runSec = 0;
+    bool wallTimedOut = false;
+    std::unique_ptr<FailureArtifacts> artifacts;
+};
+
+/**
+ * Run attempt @p attempt of @p spec. Attempt 0 uses the spec verbatim;
+ * retries re-derive the fault-injector seed and damp the fault rates
+ * (transient-fault environment model) — both pure functions of (spec,
+ * attempt), so solo and fleet executions see identical attempts.
+ */
+AttemptOutput
+runAttempt(const JobSpec &spec,
+           const std::shared_ptr<const workload::Program> &program,
+           const std::shared_ptr<const cosim::SharedTables> &tables,
+           unsigned attempt)
+{
+    cosim::CosimConfig cfg = spec.config;
+    if (attempt > 0) {
+        link::LinkFaultConfig &f = cfg.linkFaults;
+        // Mirror CoSimulator's seed derivation so the attempt-0 stream
+        // stays exactly what the spec describes, then decorrelate per
+        // retry.
+        u64 base = f.seed != 0
+                       ? f.seed
+                       : (cfg.seed * 0x9E3779B97F4A7C15ull) | 1;
+        f.seed = (base ^ ((attempt + 1) * 0xA24BAED4963EE407ull)) | 1;
+        double scale = 1.0;
+        for (unsigned i = 0; i < attempt; ++i)
+            scale *= spec.retryFaultDamping;
+        f.bitFlipRate *= scale;
+        f.truncateRate *= scale;
+        f.dropRate *= scale;
+        f.duplicateRate *= scale;
+        f.reorderRate *= scale;
+        f.stallRate *= scale;
+    }
+
+    cosim::CoSimulator sim(cfg, program, tables);
+    if (spec.hasFault)
+        sim.armFault(spec.fault);
+    EventDigest digest;
+    sim.setCheckedTap([&digest](const Event &e) { digest(e); });
+
+    AttemptOutput out;
+    Clock::time_point t0 = Clock::now();
+    out.result = sim.run(spec.maxCycles);
+    out.runSec = secondsSince(t0);
+    out.digest = digest.hash;
+    out.checkedEvents = digest.events;
+    out.outcome = classifyOutcome(out.result, spec);
+    if (spec.wallTimeoutSec > 0 && out.runSec > spec.wallTimeoutSec) {
+        out.outcome = JobOutcome::TimedOut;
+        out.wallTimedOut = true;
+    }
+    if (out.outcome != JobOutcome::Passed) {
+        auto artifacts = std::make_unique<FailureArtifacts>();
+        if (out.result.mismatch.valid) {
+            artifacts->mismatch = out.result.mismatch.describe();
+            artifacts->replayTranscript =
+                sim.coreChecker(out.result.mismatch.core)
+                    .replayTranscript();
+        }
+        artifacts->linkReport = out.result.linkReport.describe();
+        out.artifacts = std::move(artifacts);
+    }
+    return out;
+}
+
+/** Fold one finished attempt into the job's record. */
+void
+applyAttempt(JobResult *job, AttemptOutput &&attempt)
+{
+    ++job->attempts;
+    job->outcome = attempt.outcome;
+    job->recovered =
+        job->attempts > 1 && attempt.outcome == JobOutcome::Passed;
+    job->wallTimedOut = attempt.wallTimedOut;
+    job->cycles = attempt.result.cycles;
+    job->instrs = attempt.result.instrs;
+    job->checkedEvents = attempt.checkedEvents;
+    job->digest = attempt.digest;
+    job->linkDegradeLevel = attempt.result.linkDegradeLevel;
+    job->faultsInjected = attempt.result.linkReport.faultsInjected;
+    job->replayRan = attempt.result.replayRan;
+    job->counters = std::move(attempt.result.counters);
+    job->artifacts = std::move(attempt.artifacts);
+    job->runSec += attempt.runSec;
+}
+
+} // namespace
+
+unsigned
+CampaignResult::count(JobOutcome outcome) const
+{
+    unsigned n = 0;
+    for (const JobResult &job : jobs)
+        n += job.outcome == outcome ? 1 : 0;
+    return n;
+}
+
+bool
+CampaignResult::allPassed() const
+{
+    for (const JobResult &job : jobs)
+        if (!job.ok())
+            return false;
+    return true;
+}
+
+std::string
+CampaignResult::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s: %zu jobs on %u workers: %u passed, %u failed, %u degraded, "
+        "%u timed out (%.2fs wall, %.2fs serial work, %.2fx)",
+        campaign.c_str(), jobs.size(), workers, count(JobOutcome::Passed),
+        count(JobOutcome::Failed), count(JobOutcome::Degraded),
+        count(JobOutcome::TimedOut), wallSec, busySec,
+        wallSec > 0 ? busySec / wallSec : 0.0);
+    return buf;
+}
+
+FleetScheduler::FleetScheduler(const FleetConfig &config)
+    : config_(config)
+{
+    dth_assert(config_.workers >= 1, "fleet needs at least one worker");
+}
+
+CampaignResult
+FleetScheduler::run(const Campaign &campaign)
+{
+    const unsigned workers = config_.workers;
+    const size_t n = campaign.jobs.size();
+
+    // The scheduler's own shard of the obs registry.
+    obs::StatSheet sheet;
+    struct
+    {
+        obs::StatId jobs, passed, failed, degraded, timedOut;
+        obs::StatId attempts, retries, quarantined, recovered;
+        obs::StatId steals, programsBuilt, programsReused;
+        obs::StatId artifactsRetained, artifactsDropped;
+        obs::StatId workers;
+        obs::StatId wallSec, busySec, speedup, utilization;
+        obs::HistId queueLatencyUs, jobCycles;
+    } S;
+    S.jobs = sheet.sum("fleet.jobs");
+    S.passed = sheet.sum("fleet.jobs_passed");
+    S.failed = sheet.sum("fleet.jobs_failed");
+    S.degraded = sheet.sum("fleet.jobs_degraded");
+    S.timedOut = sheet.sum("fleet.jobs_timed_out");
+    S.attempts = sheet.sum("fleet.attempts");
+    S.retries = sheet.sum("fleet.retries");
+    S.quarantined = sheet.sum("fleet.quarantined");
+    S.recovered = sheet.sum("fleet.recovered");
+    S.steals = sheet.sum("fleet.steals");
+    S.programsBuilt = sheet.sum("fleet.programs_built");
+    S.programsReused = sheet.sum("fleet.programs_reused");
+    S.artifactsRetained = sheet.sum("fleet.failure_artifacts_retained");
+    S.artifactsDropped = sheet.sum("fleet.failure_artifacts_dropped");
+    S.workers = sheet.gauge("fleet.workers");
+    S.wallSec = sheet.real("fleet.wall_sec");
+    S.busySec = sheet.real("fleet.busy_sec");
+    S.speedup = sheet.real("fleet.speedup_x");
+    S.utilization = sheet.real("fleet.worker_utilization");
+    S.queueLatencyUs = sheet.hist("fleet.queue_latency_us");
+    S.jobCycles = sheet.hist("fleet.job_cycles");
+    // Touch every counter so the campaign snapshot's schema does not
+    // depend on which outcomes actually occurred.
+    for (obs::StatId id : {S.jobs, S.passed, S.failed, S.degraded,
+                           S.timedOut, S.attempts, S.retries,
+                           S.quarantined, S.recovered, S.steals,
+                           S.programsBuilt, S.programsReused,
+                           S.artifactsRetained, S.artifactsDropped})
+        sheet.add(id, 0);
+    sheet.set(S.workers, workers);
+    for (obs::StatId id : {S.wallSec, S.busySec, S.speedup,
+                           S.utilization})
+        sheet.addReal(id, 0);
+
+    // Shared immutable per-session state: one lint-proven table
+    // snapshot for every concurrent session, and one program image per
+    // distinct workload point.
+    std::shared_ptr<const cosim::SharedTables> tables =
+        config_.shareTables ? cosim::SharedTables::acquire() : nullptr;
+    ProgramLibrary library;
+    std::vector<std::shared_ptr<const workload::Program>> programs;
+    programs.reserve(n);
+    for (const JobSpec &spec : campaign.jobs)
+        programs.push_back(library.get(spec));
+    sheet.add(S.programsBuilt, library.builds());
+    sheet.add(S.programsReused, library.reuses());
+    sheet.add(S.jobs, n);
+
+    // Per-job runtime state and the initial round-robin partition of
+    // jobs onto the per-worker deques (deterministic; stealing then
+    // rebalances at run time).
+    struct Slot
+    {
+        JobState state = JobState::Queued;
+        JobResult result;
+        bool dispatched = false;
+    };
+    std::vector<Slot> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+        Slot &slot = slots[i];
+        slot.result.id = static_cast<unsigned>(i);
+        slot.result.name = campaign.jobs[i].name;
+        slot.result.workload = campaign.jobs[i].workload;
+        slot.result.workloadSeed =
+            campaign.jobs[i].workloadOptions.seed;
+    }
+    std::vector<std::deque<unsigned>> queues(workers);
+    std::deque<unsigned> quarantine;
+    for (size_t i = 0; i < n; ++i)
+        queues[i % workers].push_back(static_cast<unsigned>(i));
+
+    std::vector<obs::TraceLog> traces(workers);
+    auto epoch = obs::TraceClock::now();
+    if (config_.captureTimeline) {
+        for (unsigned w = 0; w < workers; ++w) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "fleet_worker%u", w);
+            traces[w].start(name, w, epoch, config_.timelineCapacity);
+        }
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = n;
+    u64 steals = 0;
+    size_t artifactsDropped = 0;
+    std::vector<unsigned> retained; //!< job ids with artifacts, sorted
+    std::vector<double> busy(workers, 0.0);
+    Clock::time_point t0 = Clock::now();
+
+    // Pop policy: own deque front, then the quarantine queue, then
+    // steal from the back of the fullest other deque.
+    auto pick = [&](unsigned w, unsigned *idx, bool *stolen) {
+        if (!queues[w].empty()) {
+            *idx = queues[w].front();
+            queues[w].pop_front();
+            return true;
+        }
+        if (!quarantine.empty()) {
+            *idx = quarantine.front();
+            quarantine.pop_front();
+            return true;
+        }
+        unsigned victim = w;
+        size_t victim_size = 0;
+        for (unsigned v = 0; v < workers; ++v) {
+            if (v != w && queues[v].size() > victim_size) {
+                victim = v;
+                victim_size = queues[v].size();
+            }
+        }
+        if (victim_size == 0)
+            return false;
+        *idx = queues[victim].back();
+        queues[victim].pop_back();
+        *stolen = true;
+        return true;
+    };
+
+    auto workerLoop = [&](unsigned w) {
+        std::unique_lock<std::mutex> lock(mu);
+        while (remaining > 0) {
+            unsigned idx = 0;
+            bool stolen = false;
+            if (!pick(w, &idx, &stolen)) {
+                // Jobs are outstanding on other workers; one of them
+                // may yet quarantine-requeue, so wait, don't exit.
+                cv.wait(lock);
+                continue;
+            }
+            Slot &slot = slots[idx];
+            const JobSpec &spec = campaign.jobs[idx];
+            if (stolen)
+                ++steals;
+            slot.state = JobState::Running;
+            slot.result.worker = w;
+            if (!slot.dispatched) {
+                slot.dispatched = true;
+                slot.result.queueLatencySec = secondsSince(t0);
+                sheet.observe(
+                    S.queueLatencyUs,
+                    static_cast<u64>(slot.result.queueLatencySec * 1e6));
+            }
+            unsigned attempt = slot.result.attempts;
+            lock.unlock();
+
+            AttemptOutput out;
+            {
+                obs::ScopedSpan span(traces[w], spec.name.c_str());
+                out = runAttempt(spec, programs[idx], tables, attempt);
+            }
+            busy[w] += out.runSec;
+
+            lock.lock();
+            sheet.add(S.attempts);
+            bool retry = out.outcome == JobOutcome::Degraded &&
+                         attempt < spec.maxRetries;
+            applyAttempt(&slot.result, std::move(out));
+            if (retry) {
+                slot.state = JobState::Quarantined;
+                quarantine.push_back(idx);
+                sheet.add(S.quarantined);
+                sheet.add(S.retries);
+            } else {
+                slot.state = JobState::Done;
+                --remaining;
+                switch (slot.result.outcome) {
+                  case JobOutcome::Passed: sheet.add(S.passed); break;
+                  case JobOutcome::Failed: sheet.add(S.failed); break;
+                  case JobOutcome::Degraded:
+                    sheet.add(S.degraded);
+                    break;
+                  case JobOutcome::TimedOut:
+                    sheet.add(S.timedOut);
+                    break;
+                }
+                if (slot.result.recovered)
+                    sheet.add(S.recovered);
+                sheet.observe(S.jobCycles, slot.result.cycles);
+                // Bounded failure-artifact retention: lowest job ids
+                // win, so the retained set is completion-order
+                // independent.
+                if (slot.result.artifacts) {
+                    retained.insert(
+                        std::lower_bound(retained.begin(),
+                                         retained.end(), idx),
+                        idx);
+                    if (retained.size() > config_.maxRetainedFailures) {
+                        unsigned evicted = retained.back();
+                        retained.pop_back();
+                        slots[evicted].result.artifacts.reset();
+                        ++artifactsDropped;
+                    }
+                }
+            }
+            // Wake idle workers: new quarantine work or progress
+            // toward campaign completion.
+            cv.notify_all();
+        }
+        cv.notify_all();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(workerLoop, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    double wall = secondsSince(t0);
+    double busy_total = 0;
+    for (double b : busy)
+        busy_total += b;
+    sheet.add(S.steals, steals);
+    sheet.add(S.artifactsRetained, retained.size());
+    sheet.add(S.artifactsDropped, artifactsDropped);
+    sheet.addReal(S.wallSec, wall);
+    sheet.addReal(S.busySec, busy_total);
+    sheet.addReal(S.speedup, wall > 0 ? busy_total / wall : 0.0);
+    sheet.addReal(S.utilization,
+                  wall > 0 ? busy_total / (wall * workers) : 0.0);
+
+    CampaignResult cr;
+    cr.campaign = campaign.name;
+    cr.workers = workers;
+    cr.wallSec = wall;
+    cr.busySec = busy_total;
+    cr.steals = steals;
+    cr.tablesDigest = tables ? tables->digest() : 0;
+    cr.jobs.reserve(n);
+    for (Slot &slot : slots)
+        cr.jobs.push_back(std::move(slot.result));
+
+    // Cross-session aggregation: every job's snapshot merged in job-id
+    // order (so Gauge last-wins is deterministic) plus the fleet shard,
+    // through the same kind-aware merge the live registry uses.
+    obs::StatSnapshot fleet_snap = sheet.snapshot();
+    std::vector<const obs::StatSnapshot *> parts;
+    parts.reserve(n + 1);
+    for (const JobResult &job : cr.jobs)
+        parts.push_back(&job.counters);
+    parts.push_back(&fleet_snap);
+    std::string err;
+    bool merged = obs::mergeSnapshots(&cr.aggregate, parts, &err);
+    dth_assert(merged, "campaign aggregation failed: %s", err.c_str());
+
+    if (config_.captureTimeline) {
+        std::vector<const obs::TraceLog *> logs;
+        for (const obs::TraceLog &log : traces)
+            logs.push_back(&log);
+        cr.timelineJson = obs::chromeTraceJson(logs);
+    }
+
+    // The whole campaign ran against one immutable table snapshot;
+    // prove nobody raced on it.
+    if (tables)
+        tables->assertUnchanged();
+    return cr;
+}
+
+JobResult
+runJobSolo(const JobSpec &spec, unsigned id)
+{
+    ProgramLibrary library;
+    std::shared_ptr<const workload::Program> program = library.get(spec);
+    std::shared_ptr<const cosim::SharedTables> tables =
+        cosim::SharedTables::acquire();
+    JobResult job;
+    job.id = id;
+    job.name = spec.name.empty() ? "solo" : spec.name;
+    job.workload = spec.workload;
+    job.workloadSeed = spec.workloadOptions.seed;
+    Clock::time_point t0 = Clock::now();
+    for (unsigned attempt = 0;; ++attempt) {
+        AttemptOutput out = runAttempt(spec, program, tables, attempt);
+        bool retry = out.outcome == JobOutcome::Degraded &&
+                     attempt < spec.maxRetries;
+        applyAttempt(&job, std::move(out));
+        if (!retry)
+            break;
+    }
+    job.queueLatencySec = 0;
+    job.runSec = secondsSince(t0);
+    return job;
+}
+
+} // namespace dth::fleet

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The campaign fleet scheduler: runs a Campaign's sessions across a
+ * bounded worker pool with work stealing, tracks each job through its
+ * lifecycle (queued -> running -> passed/failed/degraded/timed-out,
+ * with a quarantined detour for link-degraded attempts awaiting
+ * retry), and aggregates every session's typed stat snapshot plus the
+ * scheduler's own fleet.* stats into one campaign snapshot.
+ *
+ * Determinism contract (tests/fleet_test.cc, the CI fleet smoke): a
+ * job's verdict, checked-stream digest, cycle/instruction counts and
+ * attempt history are a pure function of its JobSpec — identical when
+ * run solo, in a 1-worker fleet, or in an N-worker fleet, because
+ * nothing about scheduling reaches the simulated work. Wall-clock
+ * observations (queue latency, run time, steals, utilization) are
+ * explicitly nondeterministic and carried separately.
+ *
+ * Memory contract: per-job retention is bounded. Every job keeps its
+ * summary row and stat snapshot; full failure artifacts (mismatch
+ * report, replay-window transcript, channel report) are kept only for
+ * non-passing jobs, capped at FleetConfig::maxRetainedFailures with
+ * lowest-job-id preference so the retained set is completion-order
+ * independent.
+ */
+
+#ifndef DTH_FLEET_SCHEDULER_H_
+#define DTH_FLEET_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosim/session.h"
+#include "fleet/campaign.h"
+#include "obs/stats.h"
+#include "obs/trace_log.h"
+
+namespace dth::fleet {
+
+/** Final verdict of one job (after retries). */
+enum class JobOutcome : u8 {
+    Passed,   //!< verified, hit the good trap
+    Failed,   //!< mismatch or bad trap
+    Degraded, //!< resilient link failed (structured degraded state)
+    TimedOut, //!< exhausted the cycle budget (or the wall safety net)
+};
+
+/** Lifecycle state while the campaign runs. */
+enum class JobState : u8 { Queued, Running, Quarantined, Done };
+
+const char *jobOutcomeName(JobOutcome outcome);
+const char *jobStateName(JobState state);
+
+/** Full failure evidence, retained only for non-passing jobs. */
+struct FailureArtifacts
+{
+    /** checker::MismatchReport::describe() of the failing core. */
+    std::string mismatch;
+    /** Replay-window instruction transcript (paper Fig. 12 step 8). */
+    std::vector<std::string> replayTranscript;
+    /** link::ChannelReport::describe(). */
+    std::string linkReport;
+};
+
+/** One job's record in the campaign report. */
+struct JobResult
+{
+    unsigned id = 0;
+    std::string name;
+    WorkloadKind workload = WorkloadKind::Microbench;
+    u64 workloadSeed = 0;
+
+    JobOutcome outcome = JobOutcome::Failed;
+    unsigned attempts = 0;
+    /** A quarantined attempt degraded but a retry then passed. */
+    bool recovered = false;
+    /** The wall-clock safety net fired (nondeterministic path). */
+    bool wallTimedOut = false;
+
+    // Deterministic session facts (the solo==fleet guarantee).
+    u64 cycles = 0;
+    u64 instrs = 0;
+    u64 checkedEvents = 0;
+    /** FNV-1a digest over the checked-event stream, order-sensitive. */
+    u64 digest = 0;
+    unsigned linkDegradeLevel = 0;
+    u64 faultsInjected = 0;
+    bool replayRan = false;
+
+    /** Final attempt's kind-tagged stat snapshot. */
+    obs::StatSnapshot counters;
+
+    /** Present only for non-passing jobs within the retention cap. */
+    std::unique_ptr<FailureArtifacts> artifacts;
+
+    // Wall-clock observations (excluded from determinism guarantees).
+    double queueLatencySec = 0;
+    double runSec = 0;
+    unsigned worker = 0;
+
+    bool ok() const { return outcome == JobOutcome::Passed; }
+};
+
+/** Fleet-wide knobs. */
+struct FleetConfig
+{
+    /** Concurrent sessions; 1 degenerates to a serial campaign. */
+    unsigned workers = 1;
+    /** Share one lint-proven SharedTables across all sessions. */
+    bool shareTables = true;
+    /** Failure-artifact retention cap (lowest job ids win). */
+    size_t maxRetainedFailures = 32;
+    /** Record a per-worker Chrome trace_event timeline of the
+     *  campaign (one span per attempt). */
+    bool captureTimeline = false;
+    size_t timelineCapacity = 1 << 12;
+};
+
+/** Everything the campaign produced. */
+struct CampaignResult
+{
+    std::string campaign;
+    unsigned workers = 1;
+    /** Job-id order (== Campaign::jobs order), not completion order. */
+    std::vector<JobResult> jobs;
+
+    /** Kind-aware merge of every job's snapshot (in job-id order, so
+     *  Gauge last-wins is deterministic) plus the fleet.* stats. */
+    obs::StatSnapshot aggregate;
+
+    /** Shared-tables digest, re-verified at campaign teardown. */
+    u64 tablesDigest = 0;
+
+    // Wall-clock facts (nondeterministic).
+    double wallSec = 0;
+    /** Summed worker busy time ~= the serial campaign cost. */
+    double busySec = 0;
+    u64 steals = 0;
+
+    /** Chrome trace timeline (empty unless captureTimeline). */
+    std::string timelineJson;
+
+    unsigned count(JobOutcome outcome) const;
+    bool allPassed() const;
+    std::string summary() const;
+};
+
+/** Work-stealing campaign scheduler. */
+class FleetScheduler
+{
+  public:
+    explicit FleetScheduler(const FleetConfig &config);
+
+    /** Run every job to completion and aggregate. @p campaign must
+     *  outlive the call (job names feed the timeline). */
+    CampaignResult run(const Campaign &campaign);
+
+    const FleetConfig &config() const { return config_; }
+
+  private:
+    FleetConfig config_;
+};
+
+/**
+ * Run one job alone, through exactly the attempt/quarantine policy the
+ * fleet applies — the reference for the solo-vs-fleet determinism
+ * suite and for reproducing a single campaign job at a debugger.
+ */
+JobResult runJobSolo(const JobSpec &spec, unsigned id = 0);
+
+/** Outcome classification shared by the fleet and solo paths. */
+JobOutcome classifyOutcome(const cosim::CosimResult &result,
+                           const JobSpec &spec);
+
+} // namespace dth::fleet
+
+#endif // DTH_FLEET_SCHEDULER_H_

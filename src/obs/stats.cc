@@ -299,6 +299,69 @@ StatSheet::findHist(std::string_view name) const
     return &hists_[id];
 }
 
+void
+applySnapshot(StatSheet *sheet, const StatSnapshot &snap)
+{
+    for (const auto &[name, value] : snap.integers()) {
+        switch (snap.kindOf(name)) {
+          case StatKind::Sum:
+            sheet->add(sheet->sum(name), value);
+            break;
+          case StatKind::Max:
+            sheet->trackMax(sheet->maxStat(name), value);
+            break;
+          case StatKind::Gauge:
+            sheet->set(sheet->gauge(name), value);
+            break;
+          case StatKind::Real:
+            dth_panic("integer stat '%s' carries real kind", name.c_str());
+        }
+    }
+    for (const auto &[name, value] : snap.reals())
+        sheet->addReal(sheet->real(name), value);
+    for (const auto &[name, data] : snap.hists())
+        sheet->mergeHist(sheet->hist(name), data);
+}
+
+bool
+mergeSnapshots(StatSnapshot *out,
+               const std::vector<const StatSnapshot *> &snaps,
+               std::string *err)
+{
+    // Pre-validate kind agreement across the inputs: StatSchema treats a
+    // kind conflict as a fatal programming error, but for file-sourced
+    // snapshots it is an input error that must be reported, not an
+    // abort.
+    std::map<std::string, StatKind, std::less<>> kinds;
+    for (const StatSnapshot *snap : snaps) {
+        for (const auto &[name, value] : snap->integers()) {
+            (void)value;
+            StatKind kind = snap->kindOf(name);
+            auto [it, inserted] = kinds.emplace(name, kind);
+            if (!inserted && it->second != kind) {
+                if (err) {
+                    *err = "stat '" + name + "' declared as " +
+                           statKindName(kind) + " and " +
+                           statKindName(it->second);
+                }
+                return false;
+            }
+        }
+    }
+
+    // A private schema keeps foreign snapshot names out of the
+    // process-global interner (and away from its kind assertions).
+    StatSchema schema;
+    StatSheet merged(schema);
+    for (const StatSnapshot *snap : snaps) {
+        StatSheet shard(schema);
+        applySnapshot(&shard, *snap);
+        merged.merge(shard);
+    }
+    *out = merged.snapshot();
+    return true;
+}
+
 StatSnapshot
 StatSheet::snapshot() const
 {

@@ -256,6 +256,15 @@ class StatSheet
         hists_[id].observe(value);
     }
 
+    /** Fold a whole histogram into one of this sheet's (cold path;
+     *  snapshot import and cross-session aggregation). */
+    void
+    mergeHist(HistId id, const HistData &data)
+    {
+        dth_assert(id < hists_.size(), "hist id %u out of range", id);
+        hists_[id].merge(data);
+    }
+
     // ---- hot-path reads -------------------------------------------------
     u64
     value(StatId id) const
@@ -325,6 +334,27 @@ class StatSheet
     std::vector<u8> touched_;
     std::vector<HistData> hists_;
 };
+
+/**
+ * Re-materialize a snapshot into @p sheet (names re-interned into the
+ * sheet's schema, values applied through the kind-correct mutators), so
+ * StatSheet::merge — the one kind-aware merge implementation — can
+ * combine snapshots that came back from dth-obs-v1 files or other
+ * sessions.
+ */
+void applySnapshot(StatSheet *sheet, const StatSnapshot &snap);
+
+/**
+ * Kind-aware merge of @p snaps in order: Sum and Real add, Max takes
+ * the maximum, Gauge takes the last snapshot's value, histograms
+ * combine bucket-wise. The combination itself is StatSheet::merge over
+ * a private schema, so file merging can never disagree with how live
+ * shards merge. Returns false (with @p err set) when two inputs
+ * declare the same stat with different kinds.
+ */
+bool mergeSnapshots(StatSnapshot *out,
+                    const std::vector<const StatSnapshot *> &snaps,
+                    std::string *err);
 
 } // namespace dth::obs
 

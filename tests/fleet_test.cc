@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Campaign fleet tests: spec construction (matrix expansion, JSON
+ * loading, program sharing), per-job outcome classification against
+ * real co-simulation runs, quarantine/retry recovery, the bounded
+ * failure-artifact retention policy, cross-session stat aggregation,
+ * and the headline determinism contract — a job's verdict and
+ * checked-stream digest are identical run solo, on 1 worker, or in an
+ * 8-job fleet on any worker count.
+ *
+ * FleetConcurrency.* runs many concurrent sessions over one shared
+ * immutable SharedTables/program set and is part of the TSan CI gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/campaign.h"
+#include "fleet/report.h"
+#include "fleet/scheduler.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace dth;
+using namespace dth::fleet;
+
+/** A fast job on the default (XiangShan/Palladium/BNSD) config. */
+JobSpec
+smallJob(WorkloadKind kind, u64 seed, unsigned iterations = 150)
+{
+    JobSpec spec;
+    spec.workload = kind;
+    spec.workloadOptions.seed = seed;
+    spec.workloadOptions.iterations = iterations;
+    spec.workloadOptions.bodyLength = 32;
+    return spec;
+}
+
+/** Link-fault knobs that collapse the channel (chaos-test recipe). */
+void
+collapseLink(JobSpec *spec)
+{
+    spec->config.linkFaults.enabled = true;
+    spec->config.linkFaults.stallRate = 1.0;
+    spec->config.linkFaults.maxAttempts = 2;
+    spec->config.linkFaults.unrecoverableBudget = 3;
+}
+
+JobSpec
+mismatchJob(u64 seed)
+{
+    JobSpec spec = smallJob(WorkloadKind::ComputeLike, seed, 400);
+    spec.hasFault = true;
+    spec.fault.archetype = dut::BugArchetype::WrongRdValue;
+    spec.fault.triggerSeq = 2000;
+    return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign construction
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, ExpandMatrixIsDeterministicWorkloadMajor)
+{
+    MatrixSpec spec;
+    spec.workloads = {WorkloadKind::Microbench, WorkloadKind::IoHeavy};
+    spec.seeds = {1, 2};
+    spec.optLevels = {cosim::OptLevel::B, cosim::OptLevel::BNSD};
+    Campaign campaign = expandMatrix(spec);
+    ASSERT_EQ(campaign.jobs.size(), 8u);
+    // Workload-major, then seed, then opt level; ids are positional.
+    EXPECT_EQ(campaign.jobs[0].workload, WorkloadKind::Microbench);
+    EXPECT_EQ(campaign.jobs[0].workloadOptions.seed, 1u);
+    EXPECT_EQ(campaign.jobs[3].workloadOptions.seed, 2u);
+    EXPECT_EQ(campaign.jobs[4].workload, WorkloadKind::IoHeavy);
+    // Session seeds are decorrelated per matrix point but pure
+    // functions of the spec.
+    EXPECT_NE(campaign.jobs[0].config.seed, campaign.jobs[2].config.seed);
+    Campaign again = expandMatrix(spec);
+    for (size_t i = 0; i < campaign.jobs.size(); ++i) {
+        EXPECT_EQ(campaign.jobs[i].name, again.jobs[i].name);
+        EXPECT_EQ(campaign.jobs[i].config.seed, again.jobs[i].config.seed);
+    }
+}
+
+TEST(Campaign, AddDerivesUniqueNames)
+{
+    Campaign campaign;
+    campaign.add(smallJob(WorkloadKind::Microbench, 1));
+    campaign.add(smallJob(WorkloadKind::Microbench, 2));
+    EXPECT_FALSE(campaign.jobs[0].name.empty());
+    EXPECT_NE(campaign.jobs[0].name, campaign.jobs[1].name);
+}
+
+TEST(Campaign, ProgramLibrarySharesIdenticalWorkloads)
+{
+    // Same workload point, different session config: one image.
+    JobSpec a = smallJob(WorkloadKind::ComputeLike, 7);
+    JobSpec b = a;
+    b.config.seed ^= 0x1234;
+    b.config.applyOptLevel(cosim::OptLevel::B);
+    JobSpec c = smallJob(WorkloadKind::ComputeLike, 8);
+
+    ProgramLibrary library;
+    auto pa = library.get(a);
+    auto pb = library.get(b);
+    auto pc = library.get(c);
+    EXPECT_EQ(pa.get(), pb.get());
+    EXPECT_NE(pa.get(), pc.get());
+    EXPECT_EQ(library.builds(), 2u);
+    EXPECT_EQ(library.reuses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON campaign specs
+// ---------------------------------------------------------------------------
+
+constexpr const char *kGoodSpec = R"({
+  "schema": "dth-fleet-campaign-v1",
+  "name": "smoke",
+  "defaults": {"iterations": 150, "body_length": 32, "dut": "nutshell"},
+  "matrix": {"workloads": ["microbench", "compute"], "seeds": [1, 2],
+             "opt_levels": ["BNSD"]},
+  "jobs": [
+    {"name": "flaky", "workload": "boot", "seed": 3, "stall_rate": 1.0,
+     "fault_max_attempts": 2, "fault_budget": 3,
+     "max_retries": 1, "retry_fault_damping": 0.0},
+    {"name": "tiny-budget", "workload": "compute", "seed": 4,
+     "max_cycles": 2000}
+  ]
+})";
+
+TEST(CampaignJson, ParsesMatrixDefaultsAndJobs)
+{
+    Campaign campaign;
+    std::string err;
+    ASSERT_TRUE(campaignFromJson(kGoodSpec, &campaign, &err)) << err;
+    EXPECT_EQ(campaign.name, "smoke");
+    ASSERT_EQ(campaign.jobs.size(), 6u);
+    for (const JobSpec &job : campaign.jobs) {
+        EXPECT_EQ(job.workloadOptions.iterations, 150u);
+        EXPECT_EQ(job.config.dut.name, dut::nutshellConfig().name);
+    }
+    const JobSpec &flaky = campaign.jobs[4];
+    EXPECT_EQ(flaky.name, "flaky");
+    EXPECT_EQ(flaky.workload, WorkloadKind::BootLike);
+    EXPECT_TRUE(flaky.config.linkFaults.enabled);
+    EXPECT_EQ(flaky.config.linkFaults.stallRate, 1.0);
+    EXPECT_EQ(flaky.maxRetries, 1u);
+    EXPECT_EQ(flaky.retryFaultDamping, 0.0);
+    EXPECT_EQ(campaign.jobs[5].maxCycles, 2000u);
+    // Distinct matrix seeds decorrelate the per-session run seed.
+    EXPECT_NE(campaign.jobs[0].config.seed, campaign.jobs[1].config.seed);
+}
+
+TEST(CampaignJson, RejectsMalformedSpecs)
+{
+    Campaign campaign;
+    std::string err;
+    EXPECT_FALSE(campaignFromJson("not json", &campaign, &err));
+    EXPECT_FALSE(campaignFromJson("{\"schema\": \"nope\"}", &campaign,
+                                  &err));
+    EXPECT_FALSE(campaignFromJson(
+        R"({"schema": "dth-fleet-campaign-v1"})", &campaign, &err));
+    EXPECT_NE(err.find("no jobs"), std::string::npos) << err;
+    EXPECT_FALSE(campaignFromJson(
+        R"({"schema": "dth-fleet-campaign-v1",
+            "jobs": [{"workload": "quantum"}]})",
+        &campaign, &err));
+    EXPECT_NE(err.find("unknown workload"), std::string::npos) << err;
+    EXPECT_FALSE(campaignFromJson(
+        R"({"schema": "dth-fleet-campaign-v1",
+            "jobs": [{"name": "a", "frobnicate": 1}]})",
+        &campaign, &err));
+    EXPECT_NE(err.find("unknown job field"), std::string::npos) << err;
+    EXPECT_FALSE(campaignFromJson(
+        R"({"schema": "dth-fleet-campaign-v1",
+            "jobs": [{"name": "dup"}, {"name": "dup"}]})",
+        &campaign, &err));
+    EXPECT_NE(err.find("duplicate job name"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Outcome classification on real sessions
+// ---------------------------------------------------------------------------
+
+TEST(FleetOutcome, CleanJobPasses)
+{
+    JobResult r = runJobSolo(smallJob(WorkloadKind::ComputeLike, 5));
+    EXPECT_EQ(r.outcome, JobOutcome::Passed);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_FALSE(r.recovered);
+    EXPECT_GT(r.checkedEvents, 1000u);
+    EXPECT_EQ(r.artifacts, nullptr);
+    EXPECT_TRUE(r.counters.has("dut.instrs"));
+}
+
+TEST(FleetOutcome, ArmedFaultFailsWithArtifacts)
+{
+    JobResult r = runJobSolo(mismatchJob(5));
+    EXPECT_EQ(r.outcome, JobOutcome::Failed);
+    ASSERT_NE(r.artifacts, nullptr);
+    EXPECT_FALSE(r.artifacts->mismatch.empty());
+    // BNSD runs detect at fused granularity and localize via Replay.
+    EXPECT_TRUE(r.replayRan);
+    EXPECT_FALSE(r.artifacts->replayTranscript.empty());
+}
+
+TEST(FleetOutcome, CycleBudgetExhaustionTimesOut)
+{
+    JobSpec spec = smallJob(WorkloadKind::ComputeLike, 5);
+    spec.maxCycles = 2000; // far below the ~10k the job needs
+    JobResult r = runJobSolo(spec);
+    EXPECT_EQ(r.outcome, JobOutcome::TimedOut);
+    EXPECT_FALSE(r.wallTimedOut) << "cycle budget, not the wall net";
+    EXPECT_EQ(r.cycles, spec.maxCycles);
+    ASSERT_NE(r.artifacts, nullptr);
+    EXPECT_TRUE(r.artifacts->mismatch.empty());
+}
+
+TEST(FleetOutcome, LinkCollapseDegrades)
+{
+    JobSpec spec = smallJob(WorkloadKind::Microbench, 5);
+    collapseLink(&spec);
+    JobResult r = runJobSolo(spec);
+    EXPECT_EQ(r.outcome, JobOutcome::Degraded);
+    EXPECT_EQ(r.linkDegradeLevel, 2u);
+    EXPECT_GT(r.faultsInjected, 0u);
+    ASSERT_NE(r.artifacts, nullptr);
+    EXPECT_NE(r.artifacts->linkReport.find("degrade level 2"),
+              std::string::npos);
+}
+
+TEST(FleetOutcome, QuarantineRetryRecovers)
+{
+    // Attempt 0 collapses the link; damping 0 makes every retry
+    // fault-free, so the job must recover on attempt 1 — a pure
+    // function of the spec (the fleet path is compared below).
+    JobSpec spec = smallJob(WorkloadKind::Microbench, 5);
+    collapseLink(&spec);
+    spec.maxRetries = 2;
+    spec.retryFaultDamping = 0.0;
+    JobResult solo = runJobSolo(spec);
+    EXPECT_EQ(solo.outcome, JobOutcome::Passed);
+    EXPECT_EQ(solo.attempts, 2u);
+    EXPECT_TRUE(solo.recovered);
+    EXPECT_EQ(solo.artifacts, nullptr);
+
+    Campaign campaign;
+    campaign.name = "retry";
+    campaign.add(spec);
+    FleetConfig fc;
+    fc.workers = 2;
+    CampaignResult fleet = FleetScheduler(fc).run(campaign);
+    EXPECT_EQ(fleet.jobs[0].outcome, JobOutcome::Passed);
+    EXPECT_EQ(fleet.jobs[0].attempts, 2u);
+    EXPECT_TRUE(fleet.jobs[0].recovered);
+    EXPECT_EQ(fleet.jobs[0].digest, solo.digest);
+    EXPECT_EQ(fleet.aggregate.get("fleet.quarantined"), 1u);
+    EXPECT_EQ(fleet.aggregate.get("fleet.retries"), 1u);
+    EXPECT_EQ(fleet.aggregate.get("fleet.recovered"), 1u);
+    EXPECT_EQ(fleet.aggregate.get("fleet.attempts"), 2u);
+}
+
+TEST(FleetOutcome, RetriesExhaustedStaysDegraded)
+{
+    JobSpec spec = smallJob(WorkloadKind::Microbench, 5);
+    collapseLink(&spec);
+    spec.maxRetries = 1;
+    spec.retryFaultDamping = 1.0; // retries as hostile as attempt 0
+    JobResult r = runJobSolo(spec);
+    EXPECT_EQ(r.outcome, JobOutcome::Degraded);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_FALSE(r.recovered);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract
+// ---------------------------------------------------------------------------
+
+/** Mixed campaign: clean jobs, a retry-recovery job, a cycle-budget
+ *  timeout and an armed-fault mismatch. */
+Campaign
+mixedCampaign()
+{
+    Campaign campaign;
+    campaign.name = "mixed";
+    campaign.add(smallJob(WorkloadKind::Microbench, 1));
+    campaign.add(smallJob(WorkloadKind::ComputeLike, 2));
+    campaign.add(smallJob(WorkloadKind::VectorLike, 3));
+    campaign.add(smallJob(WorkloadKind::IoHeavy, 4));
+    campaign.add(smallJob(WorkloadKind::BootLike, 5));
+    JobSpec flaky = smallJob(WorkloadKind::Microbench, 6);
+    collapseLink(&flaky);
+    flaky.maxRetries = 2;
+    flaky.retryFaultDamping = 0.0;
+    flaky.name = "flaky";
+    campaign.add(std::move(flaky));
+    JobSpec slow = smallJob(WorkloadKind::ComputeLike, 7);
+    slow.maxCycles = 2000;
+    slow.name = "tiny-budget";
+    campaign.add(std::move(slow));
+    JobSpec buggy = mismatchJob(8);
+    buggy.name = "buggy";
+    campaign.add(std::move(buggy));
+    return campaign;
+}
+
+TEST(FleetDeterminism, SoloAndEveryWorkerCountAgree)
+{
+    Campaign campaign = mixedCampaign();
+    std::vector<JobResult> solo;
+    for (size_t i = 0; i < campaign.jobs.size(); ++i)
+        solo.push_back(runJobSolo(campaign.jobs[i],
+                                  static_cast<unsigned>(i)));
+
+    std::string report;
+    u64 digest = 0;
+    for (unsigned workers : {1u, 2u, 4u}) {
+        FleetConfig fc;
+        fc.workers = workers;
+        CampaignResult r = FleetScheduler(fc).run(campaign);
+        ASSERT_EQ(r.jobs.size(), solo.size());
+        for (size_t i = 0; i < solo.size(); ++i) {
+            SCOPED_TRACE(campaign.jobs[i].name + " @" +
+                         std::to_string(workers) + " workers");
+            EXPECT_EQ(r.jobs[i].outcome, solo[i].outcome);
+            EXPECT_EQ(r.jobs[i].digest, solo[i].digest);
+            EXPECT_EQ(r.jobs[i].checkedEvents, solo[i].checkedEvents);
+            EXPECT_EQ(r.jobs[i].cycles, solo[i].cycles);
+            EXPECT_EQ(r.jobs[i].instrs, solo[i].instrs);
+            EXPECT_EQ(r.jobs[i].attempts, solo[i].attempts);
+            EXPECT_EQ(r.jobs[i].recovered, solo[i].recovered);
+            EXPECT_EQ(r.jobs[i].linkDegradeLevel,
+                      solo[i].linkDegradeLevel);
+        }
+        // The default report and the filtered aggregate are
+        // byte/bit-identical across worker counts.
+        std::string this_report = campaignReportJson(r);
+        u64 this_digest = aggregateDigest(r.aggregate);
+        if (report.empty()) {
+            report = this_report;
+            digest = this_digest;
+        } else {
+            EXPECT_EQ(this_report, report);
+            EXPECT_EQ(this_digest, digest);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retention, aggregation, reporting
+// ---------------------------------------------------------------------------
+
+TEST(FleetRetention, LowestJobIdsKeepArtifacts)
+{
+    Campaign campaign;
+    campaign.name = "failures";
+    for (u64 seed = 1; seed <= 5; ++seed)
+        campaign.add(mismatchJob(seed));
+    FleetConfig fc;
+    fc.workers = 4; // completion order is scheduling-dependent
+    fc.maxRetainedFailures = 2;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    EXPECT_EQ(r.count(JobOutcome::Failed), 5u);
+    for (const JobResult &job : r.jobs) {
+        if (job.id < 2)
+            EXPECT_NE(job.artifacts, nullptr) << job.id;
+        else
+            EXPECT_EQ(job.artifacts, nullptr) << job.id;
+    }
+    EXPECT_EQ(r.aggregate.get("fleet.failure_artifacts_retained"), 2u);
+    EXPECT_EQ(r.aggregate.get("fleet.failure_artifacts_dropped"), 3u);
+}
+
+TEST(FleetAggregate, MergesJobCountersKindAware)
+{
+    Campaign campaign;
+    campaign.name = "agg";
+    for (u64 seed = 1; seed <= 4; ++seed)
+        campaign.add(smallJob(WorkloadKind::ComputeLike, seed));
+    FleetConfig fc;
+    fc.workers = 2;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    ASSERT_TRUE(r.allPassed());
+    EXPECT_EQ(r.aggregate.get("fleet.jobs"), 4u);
+    EXPECT_EQ(r.aggregate.get("fleet.jobs_passed"), 4u);
+    EXPECT_EQ(r.aggregate.get("fleet.workers"), 2u);
+    // Sum kinds accumulate across sessions.
+    u64 instrs = 0;
+    for (const JobResult &job : r.jobs)
+        instrs += job.counters.get("dut.instrs");
+    EXPECT_GT(instrs, 0u);
+    EXPECT_EQ(r.aggregate.get("dut.instrs"), instrs);
+    // One image, built once, reused thrice (distinct seeds: rebuilt).
+    EXPECT_EQ(r.aggregate.get("fleet.programs_built"), 4u);
+    auto it = r.aggregate.hists().find("fleet.job_cycles");
+    ASSERT_NE(it, r.aggregate.hists().end());
+    EXPECT_EQ(it->second.count, 4u);
+}
+
+TEST(FleetReport, FiltersWallClockFromDeterministicAggregate)
+{
+    Campaign campaign;
+    campaign.name = "filter";
+    campaign.add(smallJob(WorkloadKind::Microbench, 1));
+    FleetConfig fc;
+    fc.workers = 2;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    ASSERT_TRUE(r.aggregate.has("fleet.steals"));
+    ASSERT_TRUE(r.aggregate.has("host.threads"));
+    obs::StatSnapshot det = deterministicAggregate(r.aggregate);
+    EXPECT_FALSE(det.has("fleet.steals"));
+    EXPECT_FALSE(det.has("fleet.workers"));
+    EXPECT_FALSE(det.has("host.threads"));
+    EXPECT_TRUE(det.reals().empty());
+    EXPECT_TRUE(det.has("fleet.jobs"));
+    EXPECT_EQ(det.hists().count("fleet.queue_latency_us"), 0u);
+    EXPECT_EQ(det.hists().count("fleet.job_cycles"), 1u);
+}
+
+TEST(FleetReport, JsonCarriesVerdictsAndFailures)
+{
+    Campaign campaign;
+    campaign.name = "report";
+    campaign.add(smallJob(WorkloadKind::Microbench, 1));
+    campaign.add(mismatchJob(2));
+    FleetConfig fc;
+    fc.workers = 1;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    std::string json = campaignReportJson(r);
+    EXPECT_NE(json.find("\"schema\": \"dth-fleet-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"passed\""), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"failures\""), std::string::npos);
+    EXPECT_EQ(json.find("\"timing\""), std::string::npos);
+    // The report is valid JSON by the obs parser's standards.
+    obs::JsonValue parsed;
+    ASSERT_TRUE(obs::parseJson(json, &parsed));
+    EXPECT_EQ(parsed.field("counts")->field("passed")->asU64(), 1u);
+    EXPECT_EQ(parsed.field("counts")->field("failed")->asU64(), 1u);
+    ReportOptions with_timing;
+    with_timing.includeTiming = true;
+    std::string timed = campaignReportJson(r, with_timing);
+    EXPECT_NE(timed.find("\"timing\""), std::string::npos);
+    ASSERT_TRUE(obs::parseJson(timed, &parsed));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency over shared immutable state (TSan gate)
+// ---------------------------------------------------------------------------
+
+TEST(FleetConcurrency, ParallelSessionsShareTablesAndPrograms)
+{
+    // 8 concurrent sessions over 2 distinct program images and one
+    // SharedTables snapshot; the scheduler asserts the tables' digest
+    // is unchanged at teardown.
+    Campaign campaign;
+    campaign.name = "concurrent";
+    for (unsigned i = 0; i < 8; ++i) {
+        JobSpec spec = smallJob(i % 2 == 0 ? WorkloadKind::Microbench
+                                           : WorkloadKind::ComputeLike,
+                                /*seed=*/1 + i % 2);
+        spec.config.seed ^= i * 0x9E3779B97F4A7C15ull;
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "job%u", i);
+        spec.name = buf;
+        campaign.add(std::move(spec));
+    }
+    FleetConfig fc;
+    fc.workers = 4;
+    fc.captureTimeline = true;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    EXPECT_TRUE(r.allPassed()) << r.summary();
+    EXPECT_NE(r.tablesDigest, 0u);
+    EXPECT_NE(r.timelineJson.find("fleet_worker0"), std::string::npos);
+    // Two images server all eight sessions.
+    EXPECT_EQ(r.aggregate.get("fleet.programs_built"), 2u);
+    EXPECT_EQ(r.aggregate.get("fleet.programs_reused"), 6u);
+}
+
+TEST(FleetConcurrency, UnsharedTablesStillRun)
+{
+    Campaign campaign;
+    campaign.add(smallJob(WorkloadKind::Microbench, 1));
+    FleetConfig fc;
+    fc.workers = 2;
+    fc.shareTables = false;
+    CampaignResult r = FleetScheduler(fc).run(campaign);
+    EXPECT_TRUE(r.allPassed());
+    EXPECT_EQ(r.tablesDigest, 0u);
+}
+
+} // namespace

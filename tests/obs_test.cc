@@ -280,6 +280,72 @@ TEST_F(ObsTest, HotPathMutatorsDoNotAllocate)
     EXPECT_EQ(s.get("t.sum"), 200000u);
 }
 
+// ---- snapshot-level merging (cross-session aggregation) --------------------
+
+TEST_F(ObsTest, MergeSnapshotsFollowsKindRules)
+{
+    // Two "sessions" materialized to snapshots (the fleet/file form).
+    StatSheet a(schema_), b(schema_);
+    StatId sum = a.sum("t.sum"), mx = a.maxStat("t.max");
+    StatId gauge = a.gauge("t.gauge"), real = a.real("t.real");
+    HistId h = a.hist("t.hist");
+    a.add(sum, 10);
+    a.trackMax(mx, 7);
+    a.set(gauge, 1);
+    a.addReal(real, 0.5);
+    a.observe(h, 2);
+    b.add(b.sum("t.sum"), 5);
+    b.trackMax(b.maxStat("t.max"), 3);
+    b.set(b.gauge("t.gauge"), 9);
+    b.addReal(b.real("t.real"), 0.25);
+    b.observe(b.hist("t.hist"), 200);
+    b.add(b.sum("t.only_b"), 1);
+
+    StatSnapshot merged;
+    std::string err;
+    std::vector<const StatSnapshot *> parts;
+    StatSnapshot sa = a.snapshot(), sb = b.snapshot();
+    parts = {&sa, &sb};
+    ASSERT_TRUE(mergeSnapshots(&merged, parts, &err)) << err;
+    EXPECT_EQ(merged.get("t.sum"), 15u);
+    EXPECT_EQ(merged.get("t.max"), 7u);
+    EXPECT_EQ(merged.get("t.gauge"), 9u) << "gauge: last snapshot wins";
+    EXPECT_DOUBLE_EQ(merged.getReal("t.real"), 0.75);
+    EXPECT_EQ(merged.get("t.only_b"), 1u);
+    const auto it = merged.hists().find("t.hist");
+    ASSERT_NE(it, merged.hists().end());
+    EXPECT_EQ(it->second.count, 2u);
+    EXPECT_EQ(it->second.max, 200u);
+    // Merge order decides the gauge: reversed inputs keep a's value.
+    parts = {&sb, &sa};
+    ASSERT_TRUE(mergeSnapshots(&merged, parts, &err)) << err;
+    EXPECT_EQ(merged.get("t.gauge"), 1u);
+}
+
+TEST_F(ObsTest, MergeSnapshotsRejectsKindConflicts)
+{
+    StatSnapshot a, b;
+    a.setInt("t.stat", StatKind::Sum, 1);
+    b.setInt("t.stat", StatKind::Max, 2);
+    StatSnapshot merged;
+    std::string err;
+    std::vector<const StatSnapshot *> parts{&a, &b};
+    EXPECT_FALSE(mergeSnapshots(&merged, parts, &err));
+    EXPECT_NE(err.find("t.stat"), std::string::npos) << err;
+}
+
+TEST_F(ObsTest, ApplySnapshotRoundTripsThroughSheet)
+{
+    StatSheet src(schema_);
+    src.add(src.sum("t.sum"), 42);
+    src.set(src.gauge("t.gauge"), 3);
+    src.observe(src.hist("t.hist"), 8);
+    StatSnapshot snap = src.snapshot();
+    StatSheet dst(schema_);
+    applySnapshot(&dst, snap);
+    EXPECT_EQ(dst.snapshot(), snap);
+}
+
 // Merging shards is also steady-state allocation-free once the
 // destination has seen the source layout (the per-bundle snapshotHw
 // path in the threaded pipeline relies on this).

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * dth_fleet: run a verification campaign across a worker fleet.
+ *
+ *   dth_fleet --demo                      built-in 16-job demo matrix
+ *   dth_fleet --spec FILE                 dth-fleet-campaign-v1 JSON
+ *
+ * options:
+ *   --workers N      concurrent sessions (default 4)
+ *   --report FILE    write the dth-fleet-report-v1 JSON (deterministic:
+ *                    byte-identical across worker counts)
+ *   --stats FILE     write the aggregated campaign snapshot (dth-obs-v1;
+ *                    viewable/mergable with dth_stats)
+ *   --trace FILE     write a Chrome trace_event timeline of the fleet
+ *   --timing         include the wall-clock section in the report
+ *   --retain N       failure-artifact retention cap (default 32)
+ *   --quiet          suppress the per-job table
+ *
+ * exit status: 0 every job passed, 1 some job did not, 2 usage or spec
+ * error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "fleet/campaign.h"
+#include "fleet/report.h"
+#include "fleet/scheduler.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace dth;
+using namespace dth::fleet;
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--demo | --spec FILE] [--workers N] [--report FILE]\n"
+        "       [--stats FILE] [--trace FILE] [--timing] [--retain N]\n"
+        "       [--quiet]\n"
+        "  Run a verification campaign (workload x seed x config jobs)\n"
+        "  across a work-stealing worker fleet and aggregate the\n"
+        "  results. --spec takes a dth-fleet-campaign-v1 JSON file;\n"
+        "  --demo runs the built-in 16-job matrix.\n",
+        argv0);
+}
+
+/** The built-in demo: 4 workloads x 2 seeds x 2 opt levels = 16 jobs. */
+Campaign
+demoCampaign()
+{
+    MatrixSpec spec;
+    spec.name = "demo";
+    spec.workloads = {WorkloadKind::Microbench, WorkloadKind::ComputeLike,
+                      WorkloadKind::VectorLike, WorkloadKind::IoHeavy};
+    spec.seeds = {1, 2};
+    spec.optLevels = {cosim::OptLevel::BN, cosim::OptLevel::BNSD};
+    spec.base.workloadOptions.iterations = 300;
+    spec.base.workloadOptions.bodyLength = 48;
+    return expandMatrix(spec);
+}
+
+bool
+readWholeFile(const char *path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *spec_path = nullptr;
+    const char *report_path = nullptr;
+    const char *stats_path = nullptr;
+    const char *trace_path = nullptr;
+    bool demo = false;
+    bool timing = false;
+    bool quiet = false;
+    FleetConfig fleet;
+    fleet.workers = 4;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dth_fleet: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "-h") || !std::strcmp(argv[i], "--help")) {
+            usage(argv[0]);
+            return 0;
+        } else if (!std::strcmp(argv[i], "--demo")) {
+            demo = true;
+        } else if (!std::strcmp(argv[i], "--spec")) {
+            spec_path = value("--spec");
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            fleet.workers =
+                static_cast<unsigned>(std::atoi(value("--workers")));
+            if (fleet.workers < 1) {
+                std::fprintf(stderr,
+                             "dth_fleet: --workers must be >= 1\n");
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--retain")) {
+            fleet.maxRetainedFailures =
+                static_cast<size_t>(std::atoi(value("--retain")));
+        } else if (!std::strcmp(argv[i], "--report")) {
+            report_path = value("--report");
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            stats_path = value("--stats");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace_path = value("--trace");
+        } else if (!std::strcmp(argv[i], "--timing")) {
+            timing = true;
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "dth_fleet: unknown option %s\n",
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (demo == (spec_path != nullptr)) {
+        std::fprintf(stderr,
+                     "dth_fleet: exactly one of --demo / --spec\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    Campaign campaign;
+    if (demo) {
+        campaign = demoCampaign();
+    } else {
+        std::string text;
+        if (!readWholeFile(spec_path, &text)) {
+            std::fprintf(stderr, "dth_fleet: cannot read %s\n",
+                         spec_path);
+            return 2;
+        }
+        std::string err;
+        if (!campaignFromJson(text, &campaign, &err)) {
+            std::fprintf(stderr, "dth_fleet: bad spec %s: %s\n",
+                         spec_path, err.c_str());
+            return 2;
+        }
+    }
+
+    fleet.captureTimeline = trace_path != nullptr;
+    FleetScheduler scheduler(fleet);
+    CampaignResult result = scheduler.run(campaign);
+
+    if (!quiet) {
+        TextTable t({"id", "job", "outcome", "attempts", "cycles",
+                     "instrs", "digest"});
+        for (const JobResult &job : result.jobs) {
+            char id[16], attempts[16], cycles[24], instrs[24], digest[24];
+            std::snprintf(id, sizeof(id), "%u", job.id);
+            std::snprintf(attempts, sizeof(attempts), "%u%s",
+                          job.attempts, job.recovered ? "*" : "");
+            std::snprintf(cycles, sizeof(cycles), "%llu",
+                          (unsigned long long)job.cycles);
+            std::snprintf(instrs, sizeof(instrs), "%llu",
+                          (unsigned long long)job.instrs);
+            std::snprintf(digest, sizeof(digest), "%016llx",
+                          (unsigned long long)job.digest);
+            t.addRow({id, job.name, jobOutcomeName(job.outcome),
+                      attempts, cycles, instrs, digest});
+        }
+        t.print();
+        std::printf("(* = recovered after quarantine/retry)\n");
+    }
+    std::printf("%s\n", result.summary().c_str());
+
+    bool io_ok = true;
+    if (report_path) {
+        ReportOptions opts;
+        opts.includeTiming = timing;
+        io_ok &= obs::writeFile(report_path,
+                                campaignReportJson(result, opts));
+    }
+    if (stats_path)
+        io_ok &= obs::writeFile(stats_path,
+                                obs::snapshotToJson(result.aggregate));
+    if (trace_path)
+        io_ok &= obs::writeFile(trace_path, result.timelineJson);
+    if (!io_ok) {
+        std::fprintf(stderr, "dth_fleet: failed writing output files\n");
+        return 2;
+    }
+    return result.allPassed() ? 0 : 1;
+}

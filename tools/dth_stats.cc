@@ -11,11 +11,18 @@
  *                              lines) — wall-clock-independent, so CI
  *                              diffs it against a checked-in golden
  *                              file to catch schema drift
+ *   dth_stats --merge A B...   kind-aware merge of two or more
+ *                              snapshots (Sum/Real add, Max maxes,
+ *                              Gauge last-wins, histograms combine) —
+ *                              the same obs::mergeSnapshots the fleet
+ *                              scheduler aggregates campaigns with;
+ *                              merged dth-obs-v1 JSON on stdout
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "obs/json.h"
@@ -29,10 +36,14 @@ using namespace dth::obs;
 void
 usage(const char *argv0)
 {
-    std::printf("usage: %s FILE | --diff A B | --schema FILE\n", argv0);
+    std::printf("usage: %s FILE | --diff A B | --schema FILE "
+                "| --merge A B [C...]\n",
+                argv0);
     std::printf(
-        "  Pretty-print, diff or schema-dump a dth-obs-v1 stats\n"
-        "  snapshot. --diff exits 0 when identical, 2 when not.\n");
+        "  Pretty-print, diff, schema-dump or merge dth-obs-v1 stats\n"
+        "  snapshots. --diff exits 0 when identical, 2 when not.\n"
+        "  --merge combines snapshots kind-aware (sum/real add, max\n"
+        "  maxes, gauge last-wins, hists combine) to stdout.\n");
 }
 
 bool
@@ -166,6 +177,27 @@ printSchema(const char *path)
     return 0;
 }
 
+int
+mergeFiles(int count, char **paths)
+{
+    std::vector<StatSnapshot> inputs(count);
+    std::vector<const StatSnapshot *> parts;
+    for (int i = 0; i < count; ++i) {
+        if (!load(&inputs[i], paths[i]))
+            return 1;
+        parts.push_back(&inputs[i]);
+    }
+    StatSnapshot merged;
+    std::string err;
+    if (!mergeSnapshots(&merged, parts, &err)) {
+        std::fprintf(stderr, "dth_stats: merge failed: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    std::fputs(snapshotToJson(merged).c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -182,6 +214,8 @@ main(int argc, char **argv)
         return printSchema(argv[2]);
     if (argc == 4 && !std::strcmp(argv[1], "--diff"))
         return diffSnapshots(argv[2], argv[3]);
+    if (argc >= 4 && !std::strcmp(argv[1], "--merge"))
+        return mergeFiles(argc - 2, argv + 2);
     usage(argv[0]);
     return 1;
 }
